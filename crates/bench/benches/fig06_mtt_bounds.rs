@@ -1,0 +1,54 @@
+//! Figure 6 — MTT-derived maximum speedup bounds for an eight-core system, as a function of
+//! mean task size, for the four platforms.
+//!
+//! As in the paper, the bound for each platform is `MS(t) = min(8, t / Lo)` where `Lo` is the
+//! lifetime overhead measured on the Task-Chain (1 dep) microbenchmark.
+//!
+//! Run with `cargo bench -p tis-bench --bench fig06_mtt_bounds`.
+
+use tis_bench::{measure_lifetime_overhead, Harness, Platform};
+use tis_machine::mtt_speedup_bound;
+use tis_workloads::task_chain;
+
+fn main() {
+    let harness = Harness::paper_prototype();
+    let cores = harness.cores();
+    let chain = task_chain(150, 1);
+
+    let overheads: Vec<(Platform, f64)> = Platform::ALL
+        .iter()
+        .map(|&p| (p, measure_lifetime_overhead(&harness, p, &chain)))
+        .collect();
+
+    println!("Figure 6: MTT-derived maximum speedup ({} cores), Lo from Task-Chain (1 dep)", cores);
+    print!("{:>12}", "task size");
+    for (p, lo) in &overheads {
+        print!(" | {:>10} (Lo={:.0})", p.label(), lo);
+    }
+    println!();
+    println!("{}", "-".repeat(12 + overheads.len() * 25));
+
+    // Log-spaced task sizes from 10^2 to 10^5 cycles, like the x-axis of Figure 6.
+    let mut t = 100.0f64;
+    while t <= 100_000.0 {
+        print!("{:>12.0}", t);
+        for (_, lo) in &overheads {
+            print!(" | {:>21.2}", mtt_speedup_bound(t, *lo, cores));
+        }
+        println!();
+        t *= 10f64.powf(0.25);
+    }
+
+    println!();
+    println!("Paper landmarks: at ~1000-cycle tasks Phentos' bound is just below 3x while every");
+    println!("other platform is below 0.1x; by ~10000-cycle tasks Phentos has saturated at 8x");
+    println!("while the others are still below 1x.");
+    let phentos_lo = overheads[0].1;
+    let others_max_lo = overheads[1..].iter().map(|(_, lo)| *lo).fold(0.0f64, f64::max);
+    println!(
+        "Measured: Phentos bound at 1k cycles = {:.2}x, at 10k cycles = {:.2}x; slowest platform at 10k = {:.2}x",
+        mtt_speedup_bound(1_000.0, phentos_lo, cores),
+        mtt_speedup_bound(10_000.0, phentos_lo, cores),
+        mtt_speedup_bound(10_000.0, others_max_lo, cores)
+    );
+}

@@ -1,0 +1,53 @@
+//! Figure 7 — lifetime task-scheduling overhead (cycles per task) for Task-Free / Task-Chain
+//! with 1 and 15 dependences, on the four platforms.
+//!
+//! Run with `cargo bench -p tis-bench --bench fig07_lifetime_overhead`.
+
+use tis_bench::{figure7_paper_values, figure7_workloads, measure_lifetime_overhead, Harness, Platform};
+
+fn main() {
+    let harness = Harness::paper_prototype();
+    let workloads = figure7_workloads(150);
+
+    println!("Figure 7: lifetime Task Scheduling overhead (cycles/task), measured vs paper");
+    println!(
+        "{:<10} | {:>22} | {:>22} | {:>22} | {:>22}",
+        "platform", "Task-Free 1 dep", "Task-Free 15 deps", "Task-Chain 1 dep", "Task-Chain 15 deps"
+    );
+    println!("{}", "-".repeat(110));
+    for platform in Platform::ALL {
+        let paper = figure7_paper_values(platform);
+        let mut cells = Vec::new();
+        for (i, (_, program)) in workloads.iter().enumerate() {
+            let measured = measure_lifetime_overhead(&harness, platform, program);
+            cells.push(format!("{:>8.0} (paper {:>6.0})", measured, paper[i]));
+        }
+        println!(
+            "{:<10} | {} | {} | {} | {}",
+            platform.label(),
+            cells[0],
+            cells[1],
+            cells[2],
+            cells[3]
+        );
+    }
+
+    // The paper's reduction headlines: up to 7.53x (Nanos-RV) and 308x (Phentos) vs Nanos-SW.
+    let chain1 = &workloads[2].1;
+    let phentos = measure_lifetime_overhead(&harness, Platform::Phentos, chain1);
+    let rv = measure_lifetime_overhead(&harness, Platform::NanosRv, chain1);
+    let tf15 = &workloads[1].1;
+    let sw_tf15 = measure_lifetime_overhead(&harness, Platform::NanosSw, tf15);
+    let phentos_tf15 = measure_lifetime_overhead(&harness, Platform::Phentos, tf15);
+    let rv_tf15 = measure_lifetime_overhead(&harness, Platform::NanosRv, tf15);
+    println!();
+    println!(
+        "overhead reduction vs Nanos-SW (Task-Free 15 deps): Phentos {:.0}x (paper up to 308x), Nanos-RV {:.2}x (paper up to 7.53x)",
+        sw_tf15 / phentos_tf15,
+        sw_tf15 / rv_tf15
+    );
+    println!(
+        "Task-Chain 1 dep overheads used by Figures 6 and 10: Phentos {:.0}, Nanos-RV {:.0} cycles/task",
+        phentos, rv
+    );
+}

@@ -1,0 +1,76 @@
+//! Figure 8 — speedup as a function of mean task size: over the serial version, over Nanos-SW
+//! and over Nanos-RV, for every workload of the catalog.
+//!
+//! Run with `cargo bench -p tis-bench --bench fig08_speedup_vs_tasksize`.
+
+use tis_bench::{evaluate_catalog, Harness, Platform};
+
+fn main() {
+    let harness = Harness::paper_prototype();
+    let mut results = evaluate_catalog(&harness, &Platform::FIGURE9);
+    results.sort_by(|a, b| a.mean_task_cycles.partial_cmp(&b.mean_task_cycles).unwrap());
+
+    println!("Figure 8 (left): speedup over serial vs task size");
+    println!("{:>14} | {:>10} | {:>10} | {:>10} | workload", "task size", "Phentos", "Nanos-RV", "Nanos-SW");
+    println!("{}", "-".repeat(80));
+    for r in &results {
+        println!(
+            "{:>14.0} | {:>10.2} | {:>10.2} | {:>10.2} | {} {}",
+            r.mean_task_cycles,
+            r.speedup(Platform::Phentos).unwrap_or(0.0),
+            r.speedup(Platform::NanosRv).unwrap_or(0.0),
+            r.speedup(Platform::NanosSw).unwrap_or(0.0),
+            r.benchmark,
+            r.input
+        );
+    }
+
+    println!();
+    println!("Figure 8 (middle): speedup over Nanos-SW vs task size");
+    println!("{:>14} | {:>12} | {:>12} | workload", "task size", "Phentos/SW", "Nanos-RV/SW");
+    println!("{}", "-".repeat(64));
+    for r in &results {
+        println!(
+            "{:>14.0} | {:>12.2} | {:>12.2} | {} {}",
+            r.mean_task_cycles,
+            r.ratio(Platform::Phentos, Platform::NanosSw).unwrap_or(0.0),
+            r.ratio(Platform::NanosRv, Platform::NanosSw).unwrap_or(0.0),
+            r.benchmark,
+            r.input
+        );
+    }
+
+    println!();
+    println!("Figure 8 (right): speedup over Nanos-RV vs task size");
+    println!("{:>14} | {:>12} | workload", "task size", "Phentos/RV");
+    println!("{}", "-".repeat(48));
+    for r in &results {
+        println!(
+            "{:>14.0} | {:>12.2} | {} {}",
+            r.mean_task_cycles,
+            r.ratio(Platform::Phentos, Platform::NanosRv).unwrap_or(0.0),
+            r.benchmark,
+            r.input
+        );
+    }
+
+    // The paper's qualitative claim: the advantage of the accelerated platforms shrinks as task
+    // granularity grows.
+    let fine: Vec<f64> = results
+        .iter()
+        .filter(|r| r.mean_task_cycles < 10_000.0)
+        .filter_map(|r| r.ratio(Platform::Phentos, Platform::NanosSw))
+        .collect();
+    let coarse: Vec<f64> = results
+        .iter()
+        .filter(|r| r.mean_task_cycles >= 10_000.0)
+        .filter_map(|r| r.ratio(Platform::Phentos, Platform::NanosSw))
+        .collect();
+    let mean = |v: &[f64]| if v.is_empty() { 0.0 } else { v.iter().sum::<f64>() / v.len() as f64 };
+    println!();
+    println!(
+        "Mean Phentos/Nanos-SW advantage: {:.1}x on fine-grained (<10k cycles) vs {:.1}x on coarse-grained workloads",
+        mean(&fine),
+        mean(&coarse)
+    );
+}

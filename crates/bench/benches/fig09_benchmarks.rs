@@ -1,0 +1,58 @@
+//! Figure 9 — normalized benchmark performance (speedup over serial) for every one of the 37
+//! workload inputs under Nanos-SW, Nanos-RV and Phentos, plus the paper's headline geometric
+//! means.
+//!
+//! Run with `cargo bench -p tis-bench --bench fig09_benchmarks`.
+
+use tis_bench::{evaluate_catalog, geomean_ratio, Harness, Platform};
+
+fn main() {
+    let harness = Harness::paper_prototype();
+    let results = evaluate_catalog(&harness, &Platform::FIGURE9);
+
+    println!("Figure 9: speedup over serial execution, 8 cores");
+    println!(
+        "{:<14} {:<12} | {:>10} | {:>10} | {:>10} | {:>14}",
+        "benchmark", "input", "Nanos-SW", "Nanos-RV", "Phentos", "task size (cyc)"
+    );
+    println!("{}", "-".repeat(84));
+    let mut current = "";
+    for r in &results {
+        if r.benchmark != current {
+            current = r.benchmark;
+            println!("{}", "-".repeat(84));
+        }
+        println!(
+            "{:<14} {:<12} | {:>10.2} | {:>10.2} | {:>10.2} | {:>14.0}",
+            r.benchmark,
+            r.input,
+            r.speedup(Platform::NanosSw).unwrap_or(0.0),
+            r.speedup(Platform::NanosRv).unwrap_or(0.0),
+            r.speedup(Platform::Phentos).unwrap_or(0.0),
+            r.mean_task_cycles
+        );
+    }
+
+    let rv_over_sw = geomean_ratio(&results, Platform::NanosRv, Platform::NanosSw).unwrap_or(0.0);
+    let ph_over_sw = geomean_ratio(&results, Platform::Phentos, Platform::NanosSw).unwrap_or(0.0);
+    let ph_over_rv = geomean_ratio(&results, Platform::Phentos, Platform::NanosRv).unwrap_or(0.0);
+    let max = |p: Platform| {
+        results.iter().filter_map(|r| r.speedup(p)).fold(0.0f64, f64::max)
+    };
+    let wins = |a: Platform, b: Platform| {
+        results.iter().filter(|r| r.ratio(a, b).map(|x| x > 1.0).unwrap_or(false)).count()
+    };
+
+    println!();
+    println!("Headline comparison (geometric means over the 37 workloads):");
+    println!("  Nanos-RV / Nanos-SW : {:>6.2}x   (paper: 2.13x)", rv_over_sw);
+    println!("  Phentos  / Nanos-SW : {:>6.2}x   (paper: 13.19x)", ph_over_sw);
+    println!("  Phentos  / Nanos-RV : {:>6.2}x   (paper: 6.20x)", ph_over_rv);
+    println!("  max speedup over serial: Nanos-RV {:.2}x (paper 5.62x), Phentos {:.2}x (paper 5.72x)", max(Platform::NanosRv), max(Platform::Phentos));
+    println!(
+        "  Nanos-RV beats Nanos-SW on {}/37 workloads (paper: 34/37); Phentos beats Nanos-SW on {}/37 (paper: 36/37); Phentos beats Nanos-RV on {}/37 (paper: 34/37)",
+        wins(Platform::NanosRv, Platform::NanosSw),
+        wins(Platform::Phentos, Platform::NanosSw),
+        wins(Platform::Phentos, Platform::NanosRv)
+    );
+}

@@ -1,0 +1,56 @@
+//! Figure 10 — measured speedups over serial execution compared against the MTT-derived
+//! theoretical bound, per platform.
+//!
+//! As in the paper, the bound uses the Task-Chain (1 dep) lifetime overhead of each platform.
+//!
+//! Run with `cargo bench -p tis-bench --bench fig10_speedup_vs_bounds`.
+
+use tis_bench::{evaluate_catalog, measure_lifetime_overhead, Harness, Platform};
+use tis_machine::mtt_speedup_bound;
+use tis_workloads::task_chain;
+
+fn main() {
+    let harness = Harness::paper_prototype();
+    let cores = harness.cores();
+    let chain = task_chain(150, 1);
+    let mut results = evaluate_catalog(&harness, &Platform::FIGURE9);
+    results.sort_by(|a, b| a.mean_task_cycles.partial_cmp(&b.mean_task_cycles).unwrap());
+
+    for platform in Platform::FIGURE9 {
+        let lo = measure_lifetime_overhead(&harness, platform, &chain);
+        println!();
+        println!(
+            "Figure 10 ({}): measured speedup vs MTT bound (Lo = {:.0} cycles, {} cores)",
+            platform.label(),
+            lo,
+            cores
+        );
+        println!("{:>14} | {:>10} | {:>10} | {:>8} | workload", "task size", "measured", "bound", "within");
+        println!("{}", "-".repeat(72));
+        let mut violations = 0usize;
+        for r in &results {
+            let measured = r.speedup(platform).unwrap_or(0.0);
+            let bound = mtt_speedup_bound(r.mean_task_cycles, lo, cores);
+            // Allow a small tolerance: the bound is derived from a single-dependence chain while
+            // real workloads have different dependence mixes.
+            let within = measured <= bound * 1.15 + 0.1;
+            if !within {
+                violations += 1;
+            }
+            println!(
+                "{:>14.0} | {:>10.2} | {:>10.2} | {:>8} | {} {}",
+                r.mean_task_cycles,
+                measured,
+                bound,
+                if within { "yes" } else { "NO" },
+                r.benchmark,
+                r.input
+            );
+        }
+        println!(
+            "{} of {} measured points exceed the MTT bound (the paper's points all sit below their bounds)",
+            violations,
+            results.len()
+        );
+    }
+}

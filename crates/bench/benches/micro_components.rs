@@ -1,0 +1,73 @@
+//! Criterion microbenchmarks of the core data paths: the Picos dependence tracker, the packet
+//! codec, the RoCC instruction codec and the MESI memory system.
+//!
+//! These measure the *simulator's* throughput (host-side), which is what bounds how large an
+//! experiment the harness can run; the simulated latencies are covered by the figure benches.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tis_core::rocc::{RoccInstruction, TaskSchedOp};
+use tis_mem::{AccessKind, CacheConfig, MemLatencies, MemorySystem};
+use tis_picos::{decode_descriptor, encode_descriptor, DependenceTracker, SubmittedTask, TrackerConfig};
+use tis_taskmodel::Dependence;
+
+fn bench_tracker(c: &mut Criterion) {
+    c.bench_function("picos_tracker_insert_retire_chain", |b| {
+        b.iter(|| {
+            let mut t = DependenceTracker::new(TrackerConfig::default());
+            let mut prev = None;
+            for i in 0..200u64 {
+                let (id, _) =
+                    t.insert(&SubmittedTask::new(i, vec![Dependence::read_write(0x1000)])).unwrap();
+                if let Some(p) = prev {
+                    t.retire(p).unwrap();
+                }
+                prev = Some(id);
+            }
+            black_box(t.in_flight())
+        })
+    });
+}
+
+fn bench_packet_codec(c: &mut Criterion) {
+    let task = SubmittedTask::new(
+        0x1234_5678_9ABC_DEF0,
+        (0..15u64).map(|i| Dependence::read_write(0x8000_0000 + i * 64)).collect(),
+    );
+    c.bench_function("picos_descriptor_roundtrip_15deps", |b| {
+        b.iter(|| {
+            let packets = encode_descriptor(black_box(&task));
+            black_box(decode_descriptor(&packets).unwrap())
+        })
+    });
+}
+
+fn bench_rocc_codec(c: &mut Criterion) {
+    c.bench_function("rocc_encode_decode_all_ops", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for op in TaskSchedOp::ALL {
+                let w = RoccInstruction::for_op(op, 5, 6, 7).encode();
+                acc ^= RoccInstruction::decode(w).encode();
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_mesi(c: &mut Criterion) {
+    c.bench_function("mesi_ping_pong_1000_accesses", |b| {
+        b.iter(|| {
+            let mut m = MemorySystem::new(4, CacheConfig::rocket_l1d(), MemLatencies::default());
+            let mut total = 0u64;
+            for i in 0..1000u64 {
+                let core = (i % 4) as usize;
+                total += m.access(core, 0x9000, AccessKind::Atomic, 8, i * 10).latency;
+            }
+            black_box(total)
+        })
+    });
+}
+
+criterion_group!(benches, bench_tracker, bench_packet_codec, bench_rocc_codec, bench_mesi);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Table I — the supported custom task-scheduling instructions, printed from the implemented
+//! instruction set (encodings included as a bonus).
+//!
+//! Run with `cargo bench -p tis-bench --bench table1_instructions`.
+
+use tis_core::rocc::{RoccInstruction, TaskSchedOp};
+
+fn main() {
+    println!("Table I: supported custom Task Scheduling instructions");
+    println!(
+        "{:<22} {:<10} {:<8} {:<11} {:<9} description",
+        "name", "mnemonic", "funct7", "operands", "blocking"
+    );
+    println!("{}", "-".repeat(110));
+    for op in TaskSchedOp::ALL {
+        let mut operands = Vec::new();
+        if op.uses_rs1() {
+            operands.push("rs1");
+        }
+        if op.uses_rs2() {
+            operands.push("rs2");
+        }
+        if op.uses_rd() {
+            operands.push("rd");
+        }
+        let encoded = RoccInstruction::for_op(op, 10, 11, 12).encode();
+        println!(
+            "{:<22} {:<10} 0x{:02x}     {:<11} {:<9} {}",
+            format!("{op:?}"),
+            op.mnemonic(),
+            op.funct7(),
+            operands.join(","),
+            if op.is_non_blocking() { "no" } else { "yes" },
+            op.description()
+        );
+        println!("{:<22} {:<10} word: 0x{encoded:08x}", "", "");
+    }
+    println!();
+    println!("Only Retire Task is blocking, exactly as in the paper (Section IV-B).");
+}

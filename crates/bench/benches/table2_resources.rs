@@ -1,0 +1,27 @@
+//! Table II — FPGA resource usage breakdown of the prototype, from the resource model.
+//!
+//! Run with `cargo bench -p tis-bench --bench table2_resources`.
+
+use tis_core::ResourceReport;
+
+fn main() {
+    println!("Table II: resource usage breakdown in number of FPGA cells (8-core prototype)");
+    println!("{}", ResourceReport::paper_prototype().render());
+    println!(
+        "Scheduling subsystem fraction: {:.2}% (paper: 1.79%, claim: below 2%)",
+        ResourceReport::paper_prototype().scheduling_fraction() * 100.0
+    );
+    println!();
+    println!("Scaling the same design to other core counts:");
+    println!("{:>8} | {:>12} | {:>22}", "cores", "total cells", "scheduling fraction");
+    println!("{}", "-".repeat(50));
+    for cores in [2usize, 4, 8, 16, 32] {
+        let r = ResourceReport::for_cores(cores);
+        println!(
+            "{:>8} | {:>11}K | {:>21.2}%",
+            cores,
+            r.rows()[0].cells / 1000,
+            r.scheduling_fraction() * 100.0
+        );
+    }
+}

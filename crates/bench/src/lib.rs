@@ -1,0 +1,309 @@
+//! Experiment harness shared by the figure/table bench targets, the integration tests and the
+//! examples.
+//!
+//! The harness knows how to run any [`TaskProgram`] on any of the paper's four platforms
+//! ([`Platform`]), how to measure the lifetime-overhead microbenchmarks of Figure 7, and how to
+//! evaluate the 37-workload catalog of Figure 9. Each `benches/figNN_*.rs` target is a thin
+//! `main` that calls into this crate and prints the same rows/series as the corresponding figure
+//! or table of the paper, next to the paper's published values where they are scalar.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use tis_core::{PhentosConfig, Phentos, TisConfig, TisFabric};
+use tis_machine::{run_machine, EngineError, ExecutionReport, MachineConfig, NullFabric};
+use tis_nanos::{AxiConfig, AxiFabric, Nanos, NanosTuning, NanosVariant};
+use tis_sim::geomean;
+use tis_taskmodel::TaskProgram;
+use tis_workloads::{paper_catalog, task_chain, task_free, WorkloadInstance};
+
+/// The four Task Scheduling platforms compared throughout the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Platform {
+    /// The paper's fly-weight runtime on the tightly-integrated (RoCC) fabric.
+    Phentos,
+    /// Nanos with the `picos` plugin on the tightly-integrated (RoCC) fabric.
+    NanosRv,
+    /// Nanos with Picos behind an AXI/MMIO driver (the Picos++ baseline of Tan et al.).
+    NanosAxi,
+    /// Nanos with software dependence inference (no scheduling hardware).
+    NanosSw,
+}
+
+impl Platform {
+    /// All platforms in the order the paper's figures list them.
+    pub const ALL: [Platform; 4] =
+        [Platform::Phentos, Platform::NanosRv, Platform::NanosAxi, Platform::NanosSw];
+
+    /// The three platforms of Figure 9 (Nanos-AXI only appears in the overhead/MTT figures).
+    pub const FIGURE9: [Platform; 3] = [Platform::NanosSw, Platform::NanosRv, Platform::Phentos];
+
+    /// Label used in the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            Platform::Phentos => "Phentos",
+            Platform::NanosRv => "Nanos-RV",
+            Platform::NanosAxi => "Nanos-AXI",
+            Platform::NanosSw => "Nanos-SW",
+        }
+    }
+}
+
+/// Everything needed to run experiments: machine plus per-platform configuration.
+#[derive(Debug, Clone)]
+pub struct Harness {
+    /// Machine configuration (core count, caches, memory, cost model).
+    pub machine: MachineConfig,
+    /// Tightly-integrated fabric configuration.
+    pub tis: TisConfig,
+    /// AXI fabric configuration.
+    pub axi: AxiConfig,
+    /// Phentos tuning.
+    pub phentos: PhentosConfig,
+    /// Nanos tuning.
+    pub nanos: NanosTuning,
+}
+
+impl Harness {
+    /// The paper's eight-core prototype.
+    pub fn paper_prototype() -> Self {
+        Harness {
+            machine: MachineConfig::rocket_octacore(),
+            tis: TisConfig::default(),
+            axi: AxiConfig::default(),
+            phentos: PhentosConfig::default(),
+            nanos: NanosTuning::default(),
+        }
+    }
+
+    /// The same system with a different core count.
+    pub fn with_cores(cores: usize) -> Self {
+        Harness { machine: MachineConfig::rocket_with_cores(cores), ..Self::paper_prototype() }
+    }
+
+    /// Number of cores in the configured machine.
+    pub fn cores(&self) -> usize {
+        self.machine.cores
+    }
+
+    /// Serial-execution baseline of a program on this machine, in cycles.
+    pub fn serial_cycles(&self, program: &TaskProgram) -> u64 {
+        program.serial_cycles(self.machine.dram_bytes_per_cycle, self.machine.costs.serial_call_overhead)
+    }
+
+    /// Runs `program` on the given platform.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`EngineError`] (deadlock / cycle-cap) from the simulation.
+    pub fn run(&self, platform: Platform, program: &TaskProgram) -> Result<ExecutionReport, EngineError> {
+        let cores = self.machine.cores;
+        match platform {
+            Platform::Phentos => {
+                let mut runtime = Phentos::new(program, cores, self.phentos);
+                let mut fabric = TisFabric::new(cores, self.tis);
+                run_machine(&self.machine, &mut runtime, &mut fabric)
+            }
+            Platform::NanosRv => {
+                let mut runtime = Nanos::new(program, cores, NanosVariant::PicosRocc, self.nanos);
+                let mut fabric = TisFabric::new(cores, self.tis);
+                run_machine(&self.machine, &mut runtime, &mut fabric)
+            }
+            Platform::NanosAxi => {
+                let mut runtime = Nanos::new(program, cores, NanosVariant::PicosAxi, self.nanos);
+                let mut fabric = AxiFabric::new(cores, self.axi);
+                run_machine(&self.machine, &mut runtime, &mut fabric)
+            }
+            Platform::NanosSw => {
+                let mut runtime = Nanos::new(program, cores, NanosVariant::Software, self.nanos);
+                let mut fabric = NullFabric::new();
+                run_machine(&self.machine, &mut runtime, &mut fabric)
+            }
+        }
+    }
+}
+
+impl Default for Harness {
+    fn default() -> Self {
+        Harness::paper_prototype()
+    }
+}
+
+/// The paper's Figure 7 reference values (lifetime overhead in Rocket-equivalent cycles), used
+/// by the harness output and the experiment-shape tests: rows are platforms, columns are
+/// Task-Free(1), Task-Free(15), Task-Chain(1), Task-Chain(15).
+pub fn figure7_paper_values(platform: Platform) -> [f64; 4] {
+    match platform {
+        Platform::Phentos => [185.0, 320.0, 329.0, 423.0],
+        Platform::NanosRv => [12_348.0, 13_143.0, 12_835.0, 12_393.0],
+        Platform::NanosAxi => [13_426.0, 17_042.0, 18_459.0, 18_668.0],
+        Platform::NanosSw => [25_208.0, 99_008.0, 35_867.0, 58_214.0],
+    }
+}
+
+/// The four lifetime-overhead workloads of Figure 7, in column order.
+pub fn figure7_workloads(tasks_per_run: usize) -> Vec<(&'static str, TaskProgram)> {
+    vec![
+        ("Task-Free  1 dep ", task_free(tasks_per_run, 1)),
+        ("Task-Free 15 deps", task_free(tasks_per_run, 15)),
+        ("Task-Chain  1 dep ", task_chain(tasks_per_run, 1)),
+        ("Task-Chain 15 deps", task_chain(tasks_per_run, 15)),
+    ]
+}
+
+/// Measures the lifetime task-scheduling overhead (cycles per task) of a platform on one of the
+/// Figure 7 microbenchmarks. As in the paper, the measurement isolates scheduling cost: payloads
+/// are empty and a single core plays both producer and consumer, so the makespan divided by the
+/// task count is the per-task lifetime overhead.
+pub fn measure_lifetime_overhead(harness: &Harness, platform: Platform, program: &TaskProgram) -> f64 {
+    let single = Harness { machine: MachineConfig { cores: 1, ..harness.machine }, ..harness.clone() };
+    let report = single.run(platform, program).expect("overhead microbenchmark must complete");
+    report.mean_cycles_per_task()
+}
+
+/// Result of evaluating one catalog workload on one platform.
+#[derive(Debug, Clone)]
+pub struct PlatformResult {
+    /// Which platform ran.
+    pub platform: Platform,
+    /// Makespan in cycles.
+    pub cycles: u64,
+    /// Speedup over the serial baseline.
+    pub speedup_vs_serial: f64,
+}
+
+/// Result of evaluating one catalog workload across platforms.
+#[derive(Debug, Clone)]
+pub struct WorkloadResult {
+    /// Benchmark name.
+    pub benchmark: &'static str,
+    /// Paper input label.
+    pub input: String,
+    /// Mean task size in cycles (the granularity axis of Figures 8 and 10).
+    pub mean_task_cycles: f64,
+    /// Serial baseline in cycles.
+    pub serial_cycles: u64,
+    /// One entry per evaluated platform.
+    pub platforms: Vec<PlatformResult>,
+}
+
+impl WorkloadResult {
+    /// Speedup of one platform over the serial baseline, if it was evaluated.
+    pub fn speedup(&self, platform: Platform) -> Option<f64> {
+        self.platforms.iter().find(|p| p.platform == platform).map(|p| p.speedup_vs_serial)
+    }
+
+    /// Ratio of two platforms' performance (first over second), if both were evaluated.
+    pub fn ratio(&self, num: Platform, den: Platform) -> Option<f64> {
+        match (self.speedup(num), self.speedup(den)) {
+            (Some(a), Some(b)) if b > 0.0 => Some(a / b),
+            _ => None,
+        }
+    }
+}
+
+/// Evaluates one workload on the given platforms, validating every schedule against the
+/// reference dependence graph.
+pub fn evaluate_workload(
+    harness: &Harness,
+    workload: &WorkloadInstance,
+    platforms: &[Platform],
+) -> WorkloadResult {
+    let serial = harness.serial_cycles(&workload.program);
+    let mut results = Vec::new();
+    for &p in platforms {
+        let report = harness
+            .run(p, &workload.program)
+            .unwrap_or_else(|e| panic!("{} on {}: {e}", workload.label(), p.label()));
+        report
+            .validate_against(&workload.program)
+            .unwrap_or_else(|e| panic!("{} on {} produced an invalid schedule: {e}", workload.label(), p.label()));
+        results.push(PlatformResult {
+            platform: p,
+            cycles: report.total_cycles,
+            speedup_vs_serial: report.speedup_over(serial),
+        });
+    }
+    WorkloadResult {
+        benchmark: workload.benchmark,
+        input: workload.input.clone(),
+        mean_task_cycles: workload.program.stats(harness.machine.dram_bytes_per_cycle).mean_task_cycles,
+        serial_cycles: serial,
+        platforms: results,
+    }
+}
+
+/// Evaluates the whole 37-workload catalog of Figure 9 on the given platforms.
+pub fn evaluate_catalog(harness: &Harness, platforms: &[Platform]) -> Vec<WorkloadResult> {
+    paper_catalog()
+        .iter()
+        .map(|w| evaluate_workload(harness, w, platforms))
+        .collect()
+}
+
+/// Geometric mean of the ratio `num / den` over a set of workload results (the paper's headline
+/// 2.13× / 13.19× / 6.20× numbers are computed this way over all 37 workloads).
+pub fn geomean_ratio(results: &[WorkloadResult], num: Platform, den: Platform) -> Option<f64> {
+    geomean(results.iter().filter_map(|r| r.ratio(num, den)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tis_workloads::blackscholes::blackscholes;
+
+    #[test]
+    fn harness_runs_every_platform_on_a_small_workload() {
+        let harness = Harness::with_cores(2);
+        let w = WorkloadInstance {
+            benchmark: "blackscholes",
+            input: "tiny".into(),
+            program: blackscholes(256, 32),
+        };
+        let result = evaluate_workload(&harness, &w, &Platform::ALL);
+        assert_eq!(result.platforms.len(), 4);
+        for p in Platform::ALL {
+            assert!(result.speedup(p).unwrap() > 0.0, "{} produced no speedup value", p.label());
+        }
+        // The tightly-integrated runtimes must not lose to the software baseline here.
+        assert!(result.ratio(Platform::Phentos, Platform::NanosSw).unwrap() > 1.0);
+    }
+
+    #[test]
+    fn lifetime_overhead_ordering_matches_figure_7() {
+        let harness = Harness::paper_prototype();
+        let program = task_chain(60, 1);
+        let phentos = measure_lifetime_overhead(&harness, Platform::Phentos, &program);
+        let rv = measure_lifetime_overhead(&harness, Platform::NanosRv, &program);
+        let axi = measure_lifetime_overhead(&harness, Platform::NanosAxi, &program);
+        let sw = measure_lifetime_overhead(&harness, Platform::NanosSw, &program);
+        assert!(phentos < rv && rv < axi && axi < sw, "ordering: {phentos:.0} {rv:.0} {axi:.0} {sw:.0}");
+        assert!(phentos < 1_500.0, "Phentos overhead must be hundreds of cycles, got {phentos:.0}");
+        assert!(sw > 15_000.0, "Nanos-SW overhead must be tens of thousands of cycles, got {sw:.0}");
+    }
+
+    #[test]
+    fn figure7_reference_values_are_the_paper_numbers() {
+        assert_eq!(figure7_paper_values(Platform::Phentos)[0], 185.0);
+        assert_eq!(figure7_paper_values(Platform::NanosSw)[1], 99_008.0);
+        assert_eq!(figure7_workloads(10).len(), 4);
+    }
+
+    #[test]
+    fn geomean_ratio_over_two_workloads() {
+        let harness = Harness::with_cores(2);
+        let results: Vec<WorkloadResult> = [blackscholes(256, 16), blackscholes(256, 64)]
+            .into_iter()
+            .enumerate()
+            .map(|(i, program)| {
+                evaluate_workload(
+                    &harness,
+                    &WorkloadInstance { benchmark: "blackscholes", input: format!("t{i}"), program },
+                    &[Platform::Phentos, Platform::NanosSw],
+                )
+            })
+            .collect();
+        let g = geomean_ratio(&results, Platform::Phentos, Platform::NanosSw).unwrap();
+        assert!(g > 1.0, "Phentos beats Nanos-SW in geomean, got {g:.2}");
+    }
+}

@@ -1,0 +1,194 @@
+//! The per-core Picos Delegate (Section IV-E).
+//!
+//! One delegate is instantiated per Rocket core (the "ROCC Acc-Stub" of Figure 2). It decodes
+//! the custom instructions issued by its core and carries them out against the shared
+//! [`PicosManager`](crate::manager::PicosManager). The only per-core architectural state it
+//! keeps is the *SW-ID-fetched* flag that couples `Fetch SW ID` and `Fetch Picos ID`: the
+//! Picos ID of a ready task can only be fetched (and the entry popped) after its SW ID has been
+//! successfully read, exactly as specified in Sections IV-E5 and IV-E6.
+
+use tis_sim::Cycle;
+
+use crate::manager::{CoreId, PicosManager};
+use crate::rocc::TaskSchedOp;
+
+/// Per-core instruction counters (one slot per Table-I operation).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DelegateStats {
+    /// Instructions issued, indexed like [`TaskSchedOp::ALL`].
+    pub issued: [u64; 7],
+    /// Instructions that returned the failure flag, indexed like [`TaskSchedOp::ALL`].
+    pub failed: [u64; 7],
+}
+
+impl DelegateStats {
+    fn index(op: TaskSchedOp) -> usize {
+        TaskSchedOp::ALL.iter().position(|&o| o == op).expect("op is in ALL")
+    }
+
+    fn record(&mut self, op: TaskSchedOp, ok: bool) {
+        let i = Self::index(op);
+        self.issued[i] += 1;
+        if !ok {
+            self.failed[i] += 1;
+        }
+    }
+
+    /// Total instructions issued by this core.
+    pub fn total_issued(&self) -> u64 {
+        self.issued.iter().sum()
+    }
+
+    /// Total instructions that reported failure.
+    pub fn total_failed(&self) -> u64 {
+        self.failed.iter().sum()
+    }
+}
+
+/// The RoCC accelerator stub instantiated in every core.
+#[derive(Debug, Clone, Default)]
+pub struct PicosDelegate {
+    core: CoreId,
+    sw_id_fetched: bool,
+    stats: DelegateStats,
+}
+
+impl PicosDelegate {
+    /// Creates the delegate for a given core.
+    pub fn new(core: CoreId) -> Self {
+        PicosDelegate { core, sw_id_fetched: false, stats: DelegateStats::default() }
+    }
+
+    /// Core this delegate belongs to.
+    pub fn core(&self) -> CoreId {
+        self.core
+    }
+
+    /// Instruction statistics.
+    pub fn stats(&self) -> &DelegateStats {
+        &self.stats
+    }
+
+    /// *Submission Request* — returns `true` on success.
+    pub fn submission_request(&mut self, manager: &mut PicosManager, packet_count: u32, now: Cycle) -> bool {
+        let ok = manager.submission_request(self.core, packet_count, now);
+        self.stats.record(TaskSchedOp::SubmissionRequest, ok);
+        ok
+    }
+
+    /// *Submit Packet* (one packet) or *Submit Three Packets* (three packets) — returns `true`
+    /// on success.
+    pub fn submit_packets(&mut self, manager: &mut PicosManager, packets: &[u32], now: Cycle) -> bool {
+        let op = if packets.len() >= 3 { TaskSchedOp::SubmitThreePackets } else { TaskSchedOp::SubmitPacket };
+        let ok = manager.push_packets(self.core, packets, now);
+        self.stats.record(op, ok);
+        ok
+    }
+
+    /// *Ready Task Request* — returns `true` on success.
+    pub fn ready_task_request(&mut self, manager: &mut PicosManager, now: Cycle) -> bool {
+        let ok = manager.ready_task_request(self.core, now);
+        self.stats.record(TaskSchedOp::ReadyTaskRequest, ok);
+        ok
+    }
+
+    /// *Fetch SW ID* — peeks the front of the core's private ready queue without popping it and
+    /// arms the SW-ID-fetched flag on success.
+    pub fn fetch_sw_id(&mut self, manager: &mut PicosManager, now: Cycle) -> Option<u64> {
+        let result = manager.front_ready(self.core, now).map(|e| e.sw_id);
+        if result.is_some() {
+            self.sw_id_fetched = true;
+        }
+        self.stats.record(TaskSchedOp::FetchSwId, result.is_some());
+        result
+    }
+
+    /// *Fetch Picos ID* — pops the front of the queue, but only if a previous *Fetch SW ID*
+    /// succeeded for it; otherwise returns `None` and changes nothing.
+    pub fn fetch_picos_id(&mut self, manager: &mut PicosManager, now: Cycle) -> Option<u32> {
+        if !self.sw_id_fetched {
+            self.stats.record(TaskSchedOp::FetchPicosId, false);
+            return None;
+        }
+        let result = manager.pop_ready(self.core, now).map(|e| e.picos_id);
+        if result.is_some() {
+            self.sw_id_fetched = false;
+        }
+        self.stats.record(TaskSchedOp::FetchPicosId, result.is_some());
+        result
+    }
+
+    /// *Retire Task* — blocking; returns the cycles the core is held.
+    pub fn retire_task(&mut self, manager: &mut PicosManager, picos_id: u32, now: Cycle) -> Cycle {
+        self.stats.record(TaskSchedOp::RetireTask, true);
+        manager.retire(self.core, picos_id, now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manager::ManagerConfig;
+    use tis_picos::{encode_nonzero_prefix, PicosConfig, SubmittedTask};
+
+    fn setup() -> (PicosManager, PicosDelegate, PicosDelegate) {
+        let manager = PicosManager::new(2, ManagerConfig::default(), PicosConfig::default());
+        (manager, PicosDelegate::new(0), PicosDelegate::new(1))
+    }
+
+    fn submit_simple(manager: &mut PicosManager, delegate: &mut PicosDelegate, sw_id: u64, now: u64) {
+        let pkts = encode_nonzero_prefix(&SubmittedTask::new(sw_id, vec![]));
+        assert!(delegate.submission_request(manager, pkts.len() as u32, now));
+        for chunk in pkts.chunks(3) {
+            assert!(delegate.submit_packets(manager, chunk, now));
+        }
+    }
+
+    #[test]
+    fn fetch_picos_id_requires_prior_sw_id_fetch() {
+        let (mut manager, mut d0, mut d1) = setup();
+        submit_simple(&mut manager, &mut d0, 77, 0);
+        assert!(d1.ready_task_request(&mut manager, 10));
+        let mut now = 10;
+        while manager.front_ready(1, now).is_none() {
+            now += 5;
+            assert!(now < 10_000);
+        }
+        // Without fetching the SW ID first, the Picos ID fetch must fail and not pop anything.
+        assert_eq!(d1.fetch_picos_id(&mut manager, now), None);
+        assert_eq!(d1.fetch_sw_id(&mut manager, now), Some(77));
+        let pid = d1.fetch_picos_id(&mut manager, now).expect("armed by the SW ID fetch");
+        // The entry was popped: a second pair of fetches fails until new work arrives.
+        assert_eq!(d1.fetch_sw_id(&mut manager, now), None);
+        assert_eq!(d1.fetch_picos_id(&mut manager, now), None);
+        d1.retire_task(&mut manager, pid, now + 50);
+        assert_eq!(manager.tasks_in_flight(), 0);
+    }
+
+    #[test]
+    fn sw_id_fetch_does_not_pop_the_queue() {
+        let (mut manager, mut d0, _d1) = setup();
+        submit_simple(&mut manager, &mut d0, 5, 0);
+        assert!(d0.ready_task_request(&mut manager, 5));
+        let mut now = 5;
+        while d0.fetch_sw_id(&mut manager, now).is_none() {
+            now += 5;
+            assert!(now < 10_000);
+        }
+        // Fetching the SW ID again still sees the same task: the entry is only consumed by
+        // Fetch Picos ID.
+        assert_eq!(d0.fetch_sw_id(&mut manager, now), Some(5));
+        assert!(d0.fetch_picos_id(&mut manager, now).is_some());
+    }
+
+    #[test]
+    fn stats_count_failures() {
+        let (mut manager, mut d0, _d1) = setup();
+        assert_eq!(d0.fetch_sw_id(&mut manager, 0), None);
+        assert_eq!(d0.fetch_picos_id(&mut manager, 0), None);
+        assert_eq!(d0.stats().total_issued(), 2);
+        assert_eq!(d0.stats().total_failed(), 2);
+        submit_simple(&mut manager, &mut d0, 1, 10);
+        assert!(d0.stats().total_issued() > 2);
+    }
+}

@@ -1,0 +1,290 @@
+//! The tightly-integrated scheduler fabric: Table I served in a couple of cycles per
+//! instruction.
+//!
+//! [`TisFabric`] assembles one [`PicosDelegate`] per core around a shared
+//! [`PicosManager`] (which owns the Picos device) and exposes the result as a
+//! [`SchedulerFabric`], the interface runtimes program against. Each operation costs the core a
+//! fixed RoCC instruction latency (2 cycles on Rocket, Section IV-F2) plus whatever the blocking
+//! *Retire Task* transaction adds — this is the "FPGA-CPU communication latency eliminated"
+//! property the paper's speedups come from.
+
+use tis_machine::fabric::{CoreId, FabricOutcome, FabricStats, SchedulerFabric};
+use tis_picos::PicosConfig;
+use tis_sim::Cycle;
+
+use crate::delegate::PicosDelegate;
+use crate::manager::{ManagerConfig, PicosManager};
+
+/// Configuration of the tightly-integrated scheduling subsystem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TisConfig {
+    /// Latency of one RoCC custom instruction as seen by the issuing core.
+    pub rocc_latency: Cycle,
+    /// Picos Manager sizing and crossing latencies.
+    pub manager: ManagerConfig,
+    /// Picos device configuration (tracker capacities, pipeline timing, ready-queue depth).
+    pub picos: PicosConfig,
+}
+
+impl Default for TisConfig {
+    fn default() -> Self {
+        TisConfig {
+            rocc_latency: 2,
+            manager: ManagerConfig::default(),
+            picos: PicosConfig::default(),
+        }
+    }
+}
+
+/// The RoCC-integrated Picos scheduling fabric (the paper's contribution).
+#[derive(Debug, Clone)]
+pub struct TisFabric {
+    config: TisConfig,
+    manager: PicosManager,
+    delegates: Vec<PicosDelegate>,
+    stats: FabricStats,
+}
+
+impl TisFabric {
+    /// Builds the fabric for a machine with `cores` cores.
+    pub fn new(cores: usize, config: TisConfig) -> Self {
+        TisFabric {
+            config,
+            manager: PicosManager::new(cores, config.manager, config.picos),
+            delegates: (0..cores).map(PicosDelegate::new).collect(),
+            stats: FabricStats::default(),
+        }
+    }
+
+    /// Builds the fabric with default configuration.
+    pub fn with_cores(cores: usize) -> Self {
+        TisFabric::new(cores, TisConfig::default())
+    }
+
+    /// Configuration in use.
+    pub fn config(&self) -> TisConfig {
+        self.config
+    }
+
+    /// The shared Picos Manager (for statistics and tests).
+    pub fn manager(&self) -> &PicosManager {
+        &self.manager
+    }
+
+    /// Per-core delegate statistics.
+    pub fn delegate(&self, core: CoreId) -> &PicosDelegate {
+        &self.delegates[core]
+    }
+
+    /// Number of tasks currently tracked by Picos.
+    pub fn tasks_in_flight(&self) -> usize {
+        self.manager.tasks_in_flight()
+    }
+}
+
+impl SchedulerFabric for TisFabric {
+    fn name(&self) -> &'static str {
+        "rocc-picos"
+    }
+
+    fn set_time_horizon(&mut self, safe_now: Cycle) {
+        self.manager.set_time_horizon(safe_now);
+    }
+
+    fn submission_request(&mut self, core: CoreId, packet_count: u32, now: Cycle) -> (Cycle, FabricOutcome<()>) {
+        self.stats.operations += 1;
+        let ok = self.delegates[core].submission_request(&mut self.manager, packet_count, now);
+        if !ok {
+            self.stats.submission_failures += 1;
+        }
+        (self.config.rocc_latency, if ok { FabricOutcome::Success(()) } else { FabricOutcome::Failure })
+    }
+
+    fn submit_packets(&mut self, core: CoreId, packets: &[u32], now: Cycle) -> (Cycle, FabricOutcome<()>) {
+        self.stats.operations += 1;
+        let ok = self.delegates[core].submit_packets(&mut self.manager, packets, now);
+        if ok && self.manager.stats().descriptors_forwarded > self.stats.tasks_submitted {
+            self.stats.tasks_submitted = self.manager.stats().descriptors_forwarded;
+        }
+        (self.config.rocc_latency, if ok { FabricOutcome::Success(()) } else { FabricOutcome::Failure })
+    }
+
+    fn ready_task_request(&mut self, core: CoreId, now: Cycle) -> (Cycle, FabricOutcome<()>) {
+        self.stats.operations += 1;
+        let ok = self.delegates[core].ready_task_request(&mut self.manager, now);
+        (self.config.rocc_latency, if ok { FabricOutcome::Success(()) } else { FabricOutcome::Failure })
+    }
+
+    fn fetch_sw_id(&mut self, core: CoreId, now: Cycle) -> (Cycle, FabricOutcome<u64>) {
+        self.stats.operations += 1;
+        match self.delegates[core].fetch_sw_id(&mut self.manager, now) {
+            Some(sw) => (self.config.rocc_latency, FabricOutcome::Success(sw)),
+            None => {
+                self.stats.fetch_failures += 1;
+                (self.config.rocc_latency, FabricOutcome::Failure)
+            }
+        }
+    }
+
+    fn fetch_picos_id(&mut self, core: CoreId, now: Cycle) -> (Cycle, FabricOutcome<u32>) {
+        self.stats.operations += 1;
+        match self.delegates[core].fetch_picos_id(&mut self.manager, now) {
+            Some(pid) => {
+                self.stats.tasks_dispatched += 1;
+                (self.config.rocc_latency, FabricOutcome::Success(pid))
+            }
+            None => {
+                self.stats.fetch_failures += 1;
+                (self.config.rocc_latency, FabricOutcome::Failure)
+            }
+        }
+    }
+
+    fn retire_task(&mut self, core: CoreId, picos_id: u32, now: Cycle) -> Cycle {
+        self.stats.operations += 1;
+        self.stats.tasks_retired += 1;
+        let manager_latency = self.delegates[core].retire_task(&mut self.manager, picos_id, now);
+        self.config.rocc_latency + manager_latency
+    }
+
+    fn stats(&self) -> FabricStats {
+        self.stats.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tis_picos::{encode_nonzero_prefix, SubmittedTask};
+    use tis_taskmodel::Dependence;
+
+    /// Submit a task through the public fabric API, exactly as a runtime would.
+    fn submit(fabric: &mut TisFabric, core: usize, sw_id: u64, deps: Vec<Dependence>, now: u64) -> bool {
+        let pkts = encode_nonzero_prefix(&SubmittedTask::new(sw_id, deps));
+        let (_, out) = fabric.submission_request(core, pkts.len() as u32, now);
+        if !out.is_success() {
+            return false;
+        }
+        for chunk in pkts.chunks(3) {
+            let (_, out) = fabric.submit_packets(core, chunk, now);
+            assert!(out.is_success());
+        }
+        true
+    }
+
+    #[test]
+    fn every_instruction_costs_the_rocc_latency() {
+        let mut f = TisFabric::with_cores(2);
+        let (lat, _) = f.submission_request(0, 3, 0);
+        assert_eq!(lat, 2);
+        let (lat, _) = f.ready_task_request(1, 0);
+        assert_eq!(lat, 2);
+        let (lat, _) = f.fetch_sw_id(1, 0);
+        assert_eq!(lat, 2);
+    }
+
+    #[test]
+    fn end_to_end_task_lifecycle_through_the_fabric() {
+        let mut f = TisFabric::with_cores(2);
+        assert!(submit(&mut f, 0, 99, vec![Dependence::write(0x1000)], 0));
+        let (_, out) = f.ready_task_request(1, 10);
+        assert!(out.is_success());
+        let mut now = 10;
+        let sw = loop {
+            now += 4;
+            let (_, out) = f.fetch_sw_id(1, now);
+            if let FabricOutcome::Success(sw) = out {
+                break sw;
+            }
+            assert!(now < 10_000, "task never became ready");
+        };
+        assert_eq!(sw, 99);
+        let (_, out) = f.fetch_picos_id(1, now);
+        let pid = out.success().expect("picos id after sw id");
+        let lat = f.retire_task(1, pid, now + 500);
+        assert!(lat >= f.config().rocc_latency);
+        assert_eq!(f.tasks_in_flight(), 0);
+        let stats = SchedulerFabric::stats(&f);
+        assert_eq!(stats.tasks_dispatched, 1);
+        assert_eq!(stats.tasks_retired, 1);
+        assert!(stats.operations >= 6);
+    }
+
+    #[test]
+    fn dependent_task_is_withheld_until_predecessor_retires() {
+        let mut f = TisFabric::with_cores(2);
+        assert!(submit(&mut f, 0, 1, vec![Dependence::write(0x2000)], 0));
+        assert!(submit(&mut f, 0, 2, vec![Dependence::read(0x2000)], 5));
+        let (_, out) = f.ready_task_request(1, 10);
+        assert!(out.is_success());
+        let mut now = 10;
+        let first = loop {
+            now += 4;
+            if let FabricOutcome::Success(sw) = f.fetch_sw_id(1, now).1 {
+                break sw;
+            }
+            assert!(now < 10_000);
+        };
+        assert_eq!(first, 1);
+        let pid1 = f.fetch_picos_id(1, now).1.success().unwrap();
+        // Ask for more work: nothing can arrive until task 1 retires.
+        let (_, out) = f.ready_task_request(1, now);
+        assert!(out.is_success());
+        for probe in 0..20 {
+            assert!(!f.fetch_sw_id(1, now + probe * 10).1.is_success());
+        }
+        f.retire_task(1, pid1, now + 300);
+        let mut now2 = now + 300;
+        let second = loop {
+            now2 += 4;
+            if let FabricOutcome::Success(sw) = f.fetch_sw_id(1, now2).1 {
+                break sw;
+            }
+            assert!(now2 < now + 10_000);
+        };
+        assert_eq!(second, 2);
+    }
+
+    #[test]
+    fn submission_failure_when_picos_saturated_is_non_blocking() {
+        use tis_picos::{PicosConfig, TrackerConfig};
+        let cfg = TisConfig {
+            picos: PicosConfig {
+                tracker: TrackerConfig { task_memory_entries: 2, address_table_entries: 64 },
+                ..PicosConfig::default()
+            },
+            ..TisConfig::default()
+        };
+        let mut f = TisFabric::new(1, cfg);
+        assert!(submit(&mut f, 0, 1, vec![], 0));
+        assert!(submit(&mut f, 0, 2, vec![], 1));
+        // Third task: task memory holds 2 in-flight tasks, the forward queue backs up, and the
+        // next submission request fails fast instead of stalling the core.
+        let mut accepted = 0;
+        for i in 0..4 {
+            if submit(&mut f, 0, 10 + i, vec![], 10 + i) {
+                accepted += 1;
+            }
+        }
+        assert!(accepted < 4, "saturated hardware must reject some submissions");
+        assert!(SchedulerFabric::stats(&f).submission_failures > 0);
+    }
+
+    #[test]
+    fn per_core_delegates_are_independent() {
+        let mut f = TisFabric::with_cores(4);
+        assert!(submit(&mut f, 2, 5, vec![], 0));
+        assert!(f.ready_task_request(3, 1).1.is_success());
+        let mut now = 1;
+        while !f.fetch_sw_id(3, now).1.is_success() {
+            now += 4;
+            assert!(now < 10_000);
+        }
+        // Core 1 never fetched a SW ID, so its Fetch Picos ID must fail even though core 3's
+        // queue has an armed entry.
+        assert!(!f.fetch_picos_id(1, now).1.is_success());
+        assert!(f.fetch_picos_id(3, now).1.is_success());
+        assert!(f.delegate(3).stats().total_issued() > 0);
+        assert_eq!(f.delegate(0).stats().total_issued(), 0);
+    }
+}

@@ -1,0 +1,58 @@
+//! **tis-core** — the paper's primary contribution: tightly-integrated task scheduling for a
+//! RISC-V multi-core.
+//!
+//! The MICRO 2019 paper "Adding Tightly-Integrated Task Scheduling Acceleration to a RISC-V
+//! Multi-core Processor" embeds the Picos hardware task-dependence manager *inside* a Rocket
+//! Chip processor and exposes it to software through seven custom RoCC instructions (Table I),
+//! eliminating the CPU↔FPGA communication that throttled earlier systems. This crate is the Rust
+//! model of that contribution, layered on the substrates of the workspace:
+//!
+//! * [`rocc`] — the RoCC instruction format (Figure 1) and the Table-I instruction set;
+//! * [`delegate`] — the per-core **Picos Delegate**: the RoCC accelerator stub that implements
+//!   each custom instruction against the shared manager (Section IV-E);
+//! * [`manager`] — **Picos Manager** (Section IV-F): the Submission Handler with its Guided
+//!   Arbiter and Zero Padder, the Work-Fetch Arbiter, the Packet Encoder, the Round-Robin
+//!   retirement arbiter, the per-core ready queues and the protocol-crossing glue around Picos;
+//! * [`fabric`] — [`TisFabric`]: the above assembled into a
+//!   [`SchedulerFabric`](tis_machine::SchedulerFabric) that cores drive with ~2-cycle
+//!   instructions;
+//! * [`phentos`] — the **Phentos** fly-weight runtime (Section V-B): no non-IO syscalls,
+//!   cache-line-sized task metadata, private retirement counters with batched atomic updates,
+//!   bounded spin polling;
+//! * [`resources`] — the FPGA resource model behind Table II;
+//! * [`system`] — a small facade for running a task program on the tightly-integrated system.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use tis_core::system::TisSystem;
+//! use tis_taskmodel::{Dependence, Payload, ProgramBuilder};
+//!
+//! let mut b = ProgramBuilder::new("demo");
+//! let buf = 0x8000_0000;
+//! b.spawn(Payload::compute(5_000), vec![Dependence::write(buf)]);
+//! b.spawn(Payload::compute(5_000), vec![Dependence::read(buf)]);
+//! b.taskwait();
+//! let program = b.build();
+//!
+//! let report = TisSystem::eight_core().run_phentos(&program).expect("simulation succeeds");
+//! assert_eq!(report.tasks_retired, 2);
+//! report.validate_against(&program).expect("dependences honoured");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod delegate;
+pub mod fabric;
+pub mod manager;
+pub mod phentos;
+pub mod resources;
+pub mod rocc;
+pub mod system;
+
+pub use fabric::{TisConfig, TisFabric};
+pub use phentos::{Phentos, PhentosConfig};
+pub use resources::{ResourceReport, ResourceRow};
+pub use rocc::{RoccInstruction, TaskSchedOp, CUSTOM0_OPCODE};
+pub use system::TisSystem;

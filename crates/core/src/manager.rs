@@ -1,0 +1,463 @@
+//! Picos Manager (Section IV-F): the glue between the per-core Picos Delegates and Picos itself.
+//!
+//! The manager decouples the CPU from the accelerator's API and adds the structures that make the
+//! integration fast:
+//!
+//! * **Submission Handler** — per-core submission buffers serialized by a *Guided Arbiter* (only
+//!   one core transmits a descriptor to Picos at a time, and a started descriptor finishes before
+//!   another begins), plus the *Zero Padder* that expands the compact 3+3·D-packet sequences the
+//!   cores send into the 48-packet descriptors Picos expects;
+//! * **Work-Fetch Arbiter** — a FIFO routing queue that serves *Ready Task Request*s in the exact
+//!   order cores issued them;
+//! * **Packet Encoder** — compresses the three 32-bit ready packets produced by Picos into one
+//!   96-bit `(Picos ID, SW ID)` tuple stored in the per-core ready queues;
+//! * **per-core ready queues** — small buffers that hide roughly half of Picos' 8-cycle ready
+//!   fetch latency from the cores;
+//! * **Round-Robin Arbiter** — merges the retirement packets of all cores into Picos' single
+//!   retirement interface;
+//! * **protocol crossings** — modelled as a fixed per-transfer latency between the manager's
+//!   queues and Picos' non-fallthrough queues.
+
+use tis_picos::{decode_descriptor, Picos, PicosConfig, PACKETS_PER_DESCRIPTOR};
+use tis_sim::{BoundedQueue, Cycle};
+
+/// Identifier of a core attached to the manager.
+pub type CoreId = usize;
+
+/// Timing and sizing knobs of the Picos Manager itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ManagerConfig {
+    /// Entries in each core-specific ready queue.
+    pub ready_queue_per_core: usize,
+    /// Depth of the work-fetch arbiter's routing queue.
+    pub routing_queue_depth: usize,
+    /// Latency of a protocol crossing between Chisel queues and Picos queues, in cycles.
+    pub protocol_crossing: Cycle,
+    /// Latency of the Packet Encoder compressing three ready packets into one tuple.
+    pub packet_encode: Cycle,
+    /// Occupancy of the Round-Robin retirement arbiter per retirement packet.
+    pub retire_arbiter_occupancy: Cycle,
+}
+
+impl Default for ManagerConfig {
+    fn default() -> Self {
+        ManagerConfig {
+            ready_queue_per_core: 2,
+            routing_queue_depth: 16,
+            protocol_crossing: 2,
+            packet_encode: 1,
+            retire_arbiter_occupancy: 1,
+        }
+    }
+}
+
+/// A 96-bit ready-task tuple sitting in a core-specific ready queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadyEntry {
+    /// Picos task-memory index, needed at retirement.
+    pub picos_id: u32,
+    /// Software identifier chosen by the submitting runtime.
+    pub sw_id: u64,
+    /// Cycle from which the entry is visible to Fetch SW ID.
+    pub available_at: Cycle,
+}
+
+#[derive(Debug, Clone)]
+struct SubmissionBuffer {
+    expected: usize,
+    packets: Vec<u32>,
+}
+
+/// Aggregate statistics of the manager.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ManagerStats {
+    /// Descriptors forwarded to Picos.
+    pub descriptors_forwarded: u64,
+    /// Zero packets appended by the Zero Padder.
+    pub zero_packets_padded: u64,
+    /// Ready tuples routed to core-specific queues.
+    pub ready_routed: u64,
+    /// Ready Task Requests rejected because the routing queue was full.
+    pub routing_rejections: u64,
+    /// Submission Requests rejected (buffer busy or Picos full).
+    pub submission_rejections: u64,
+    /// Retirement packets merged by the round-robin arbiter.
+    pub retirements: u64,
+}
+
+/// The Picos Manager.
+#[derive(Debug, Clone)]
+pub struct PicosManager {
+    cores: usize,
+    config: ManagerConfig,
+    picos: Picos,
+    submission_buffers: Vec<Option<SubmissionBuffer>>,
+    /// Guided-arbiter forwarding order: cores whose buffers are complete, oldest first.
+    forward_queue: BoundedQueue<CoreId>,
+    routing_queue: BoundedQueue<CoreId>,
+    ready_queues: Vec<BoundedQueue<ReadyEntry>>,
+    retire_arbiter_free_at: Cycle,
+    stats: ManagerStats,
+}
+
+impl PicosManager {
+    /// Creates a manager for `cores` cores around a Picos device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero.
+    pub fn new(cores: usize, config: ManagerConfig, picos_config: PicosConfig) -> Self {
+        assert!(cores > 0, "manager needs at least one core");
+        PicosManager {
+            cores,
+            config,
+            picos: Picos::new(picos_config),
+            submission_buffers: vec![None; cores],
+            forward_queue: BoundedQueue::new(cores.max(1)),
+            routing_queue: BoundedQueue::new(config.routing_queue_depth),
+            ready_queues: (0..cores)
+                .map(|_| BoundedQueue::new(config.ready_queue_per_core))
+                .collect(),
+            retire_arbiter_free_at: 0,
+            stats: ManagerStats::default(),
+        }
+    }
+
+    /// Number of attached cores.
+    pub fn cores(&self) -> usize {
+        self.cores
+    }
+
+    /// Manager configuration.
+    pub fn config(&self) -> ManagerConfig {
+        self.config
+    }
+
+    /// Immutable access to the underlying Picos device (for statistics).
+    pub fn picos(&self) -> &Picos {
+        &self.picos
+    }
+
+    /// Manager statistics.
+    pub fn stats(&self) -> &ManagerStats {
+        &self.stats
+    }
+
+    /// Forwards the engine's safe-time horizon to the Picos device (see
+    /// [`Picos::set_time_horizon`](tis_picos::Picos::set_time_horizon)).
+    pub fn set_time_horizon(&mut self, safe_now: Cycle) {
+        self.picos.set_time_horizon(safe_now);
+    }
+
+    /// Services internal data movement up to cycle `now`:
+    /// complete submission buffers are forwarded to Picos (Guided Arbiter + Zero Padder), and
+    /// ready descriptors are routed to the cores waiting in the work-fetch routing queue.
+    pub fn advance(&mut self, now: Cycle) {
+        // 1. Forward complete descriptors to Picos, in guided-arbiter order.
+        while let Some(&core) = self.forward_queue.front() {
+            if !self.picos.can_accept_submission() {
+                break;
+            }
+            let buffer = self.submission_buffers[core]
+                .as_ref()
+                .expect("forward queue only holds cores with a buffer");
+            debug_assert!(buffer.packets.len() >= buffer.expected);
+            let mut full = buffer.packets.clone();
+            let padded = PACKETS_PER_DESCRIPTOR - full.len();
+            full.resize(PACKETS_PER_DESCRIPTOR, 0);
+            let task = match decode_descriptor(&full) {
+                Ok(t) => t,
+                Err(e) => panic!("runtime submitted a malformed descriptor: {e}"),
+            };
+            match self.picos.try_submit(&task, now) {
+                Ok(_) => {
+                    self.stats.descriptors_forwarded += 1;
+                    self.stats.zero_packets_padded += padded as u64;
+                    self.submission_buffers[core] = None;
+                    self.forward_queue.pop();
+                }
+                Err(_) => break, // Picos filled up between the check and the submit; retry later.
+            }
+        }
+        // 2. Route ready descriptors to requesting cores, strictly in request order.
+        loop {
+            let Some(&core) = self.routing_queue.front() else { break };
+            if self.ready_queues[core].is_full() {
+                break; // in-order service: the head blocks until its target queue has space
+            }
+            let Some(rt) = self.picos.pop_ready(now) else { break };
+            let entry = ReadyEntry {
+                picos_id: rt.picos_id.0,
+                sw_id: rt.sw_id,
+                available_at: now + self.config.protocol_crossing + self.config.packet_encode,
+            };
+            self.ready_queues[core]
+                .push(entry)
+                .expect("checked for space above");
+            self.routing_queue.pop();
+            self.stats.ready_routed += 1;
+        }
+    }
+
+    /// *Submission Request* (Section IV-E1): reserve this core's submission buffer for a
+    /// descriptor of `packet_count` non-zero packets. Fails if the core still has an unfinished
+    /// submission buffered or if Picos cannot currently accept new tasks.
+    pub fn submission_request(&mut self, core: CoreId, packet_count: u32, now: Cycle) -> bool {
+        self.advance(now);
+        let buffer_busy = self.submission_buffers[core].is_some();
+        let backlog = self.forward_queue.len();
+        // Refuse new submissions when the accelerator is saturated: either the buffer is busy,
+        // or Picos is full and cannot drain the already-queued descriptors.
+        if buffer_busy
+            || packet_count as usize > PACKETS_PER_DESCRIPTOR
+            || packet_count < 3
+            || (!self.picos.can_accept_submission() && backlog > 0)
+            || self.forward_queue.is_full()
+        {
+            self.stats.submission_rejections += 1;
+            return false;
+        }
+        self.submission_buffers[core] = Some(SubmissionBuffer {
+            expected: packet_count as usize,
+            packets: Vec::with_capacity(packet_count as usize),
+        });
+        true
+    }
+
+    /// *Submit Packet* / *Submit Three Packets*: append packets to this core's submission buffer.
+    /// Fails if no submission request is outstanding or the packets overflow the announced count.
+    pub fn push_packets(&mut self, core: CoreId, packets: &[u32], now: Cycle) -> bool {
+        let Some(buffer) = self.submission_buffers[core].as_mut() else {
+            return false;
+        };
+        if buffer.packets.len() + packets.len() > buffer.expected {
+            return false;
+        }
+        buffer.packets.extend_from_slice(packets);
+        if buffer.packets.len() == buffer.expected {
+            self.forward_queue
+                .push(core)
+                .expect("forward queue sized to core count, one entry per core at most");
+        }
+        self.advance(now);
+        true
+    }
+
+    /// *Ready Task Request*: enqueue this core in the work-fetch arbiter. Fails when the routing
+    /// queue is full — the non-blocking behaviour that avoids Deadlock Scenario 2 of the paper.
+    pub fn ready_task_request(&mut self, core: CoreId, now: Cycle) -> bool {
+        self.advance(now);
+        if self.routing_queue.push(core).is_err() {
+            self.stats.routing_rejections += 1;
+            return false;
+        }
+        self.advance(now);
+        true
+    }
+
+    /// Front of a core's private ready queue, if visible at `now`.
+    pub fn front_ready(&mut self, core: CoreId, now: Cycle) -> Option<ReadyEntry> {
+        self.advance(now);
+        match self.ready_queues[core].front() {
+            Some(e) if e.available_at <= now => Some(*e),
+            _ => None,
+        }
+    }
+
+    /// Pops the front of a core's private ready queue (used by *Fetch Picos ID*).
+    pub fn pop_ready(&mut self, core: CoreId, now: Cycle) -> Option<ReadyEntry> {
+        self.advance(now);
+        match self.ready_queues[core].front() {
+            Some(e) if e.available_at <= now => self.ready_queues[core].pop(),
+            _ => None,
+        }
+    }
+
+    /// *Retire Task*: push a retirement packet through the Round-Robin arbiter into Picos.
+    /// Returns the cycles the issuing core is held by the (blocking) transaction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the Picos ID does not name an in-flight task — that is a runtime bug (double
+    /// retirement), not a recoverable hardware condition.
+    pub fn retire(&mut self, _core: CoreId, picos_id: u32, now: Cycle) -> Cycle {
+        self.advance(now);
+        let wait = self.retire_arbiter_free_at.saturating_sub(now);
+        let start = now + wait;
+        self.retire_arbiter_free_at = start + self.config.retire_arbiter_occupancy;
+        self.picos
+            .retire(tis_picos::PicosId(picos_id), start)
+            .unwrap_or_else(|e| panic!("retirement of an unknown task: {e}"));
+        self.stats.retirements += 1;
+        self.advance(now);
+        wait + self.config.retire_arbiter_occupancy + self.config.protocol_crossing
+    }
+
+    /// Whether any task is still in flight inside Picos.
+    pub fn tasks_in_flight(&self) -> usize {
+        self.picos.in_flight()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tis_picos::{PicosTiming, SubmittedTask};
+    use tis_taskmodel::Dependence;
+
+    fn manager(cores: usize) -> PicosManager {
+        PicosManager::new(cores, ManagerConfig::default(), PicosConfig::default())
+    }
+
+    fn packets_for(sw_id: u64, deps: Vec<Dependence>) -> Vec<u32> {
+        tis_picos::encode_nonzero_prefix(&SubmittedTask::new(sw_id, deps))
+    }
+
+    #[test]
+    fn submit_fetch_retire_happy_path() {
+        let mut m = manager(2);
+        let pkts = packets_for(42, vec![]);
+        assert!(m.submission_request(0, pkts.len() as u32, 0));
+        assert!(m.push_packets(0, &pkts, 1));
+        // Core 1 asks for work and eventually receives the task.
+        assert!(m.ready_task_request(1, 10));
+        let mut now = 10;
+        let entry = loop {
+            now += 5;
+            if let Some(e) = m.front_ready(1, now) {
+                break e;
+            }
+            assert!(now < 10_000, "ready task never arrived");
+        };
+        assert_eq!(entry.sw_id, 42);
+        let popped = m.pop_ready(1, now).unwrap();
+        assert_eq!(popped.picos_id, entry.picos_id);
+        let lat = m.retire(1, popped.picos_id, now + 100);
+        assert!(lat >= 1);
+        assert_eq!(m.tasks_in_flight(), 0);
+        assert_eq!(m.stats().descriptors_forwarded, 1);
+        assert_eq!(m.stats().zero_packets_padded, 45, "task with 0 deps pads 45 zero packets");
+    }
+
+    #[test]
+    fn zero_padder_accounts_per_dependence() {
+        let mut m = manager(1);
+        let pkts = packets_for(7, vec![Dependence::write(0x100), Dependence::read(0x200)]);
+        assert_eq!(pkts.len(), 9);
+        assert!(m.submission_request(0, 9, 0));
+        assert!(m.push_packets(0, &pkts, 0));
+        m.advance(1_000);
+        assert_eq!(m.stats().zero_packets_padded, 48 - 9);
+    }
+
+    #[test]
+    fn submission_request_rejects_second_request_while_buffer_busy() {
+        let mut m = manager(2);
+        assert!(m.submission_request(0, 6, 0));
+        assert!(!m.submission_request(0, 6, 1), "buffer still open");
+        assert!(m.submission_request(1, 6, 2), "another core's buffer is independent");
+        assert_eq!(m.stats().submission_rejections, 1);
+    }
+
+    #[test]
+    fn submission_request_validates_packet_count() {
+        let mut m = manager(1);
+        assert!(!m.submission_request(0, 2, 0), "fewer than a header is malformed");
+        assert!(!m.submission_request(0, 49, 0), "more than a descriptor is malformed");
+    }
+
+    #[test]
+    fn push_without_request_fails() {
+        let mut m = manager(1);
+        assert!(!m.push_packets(0, &[1, 2, 3], 0));
+    }
+
+    #[test]
+    fn push_more_than_announced_fails() {
+        let mut m = manager(1);
+        let pkts = packets_for(1, vec![]);
+        assert!(m.submission_request(0, 3, 0));
+        assert!(m.push_packets(0, &pkts, 0));
+        assert!(!m.push_packets(0, &[9], 1), "descriptor already complete");
+    }
+
+    #[test]
+    fn ready_requests_served_in_request_order() {
+        let mut m = manager(3);
+        // Submit two independent tasks.
+        for (i, sw) in [11u64, 22].iter().enumerate() {
+            let pkts = packets_for(*sw, vec![]);
+            assert!(m.submission_request(i, pkts.len() as u32, 0));
+            assert!(m.push_packets(i, &pkts, 0));
+        }
+        // Core 2 asks first, then core 0: core 2 must get the first ready task (sw 11).
+        assert!(m.ready_task_request(2, 5));
+        assert!(m.ready_task_request(0, 6));
+        let mut now = 6;
+        let (mut got2, mut got0) = (None, None);
+        while (got2.is_none() || got0.is_none()) && now < 10_000 {
+            now += 5;
+            if got2.is_none() {
+                got2 = m.front_ready(2, now);
+            }
+            if got0.is_none() {
+                got0 = m.front_ready(0, now);
+            }
+        }
+        assert_eq!(got2.unwrap().sw_id, 11, "first requester gets the first ready task");
+        assert_eq!(got0.unwrap().sw_id, 22);
+    }
+
+    #[test]
+    fn routing_queue_full_returns_failure() {
+        let cfg = ManagerConfig { routing_queue_depth: 1, ..ManagerConfig::default() };
+        let mut m = PicosManager::new(2, cfg, PicosConfig::default());
+        assert!(m.ready_task_request(0, 0));
+        assert!(!m.ready_task_request(1, 1), "routing queue holds a single outstanding request");
+        assert_eq!(m.stats().routing_rejections, 1);
+    }
+
+    #[test]
+    fn fetch_from_empty_queue_is_none() {
+        let mut m = manager(1);
+        assert!(m.front_ready(0, 100).is_none());
+        assert!(m.pop_ready(0, 100).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown task")]
+    fn double_retire_panics() {
+        let mut m = manager(1);
+        let pkts = packets_for(5, vec![]);
+        assert!(m.submission_request(0, pkts.len() as u32, 0));
+        assert!(m.push_packets(0, &pkts, 0));
+        m.ready_task_request(0, 10);
+        let mut now = 10;
+        let e = loop {
+            now += 5;
+            if let Some(e) = m.pop_ready(0, now) {
+                break e;
+            }
+        };
+        m.retire(0, e.picos_id, now);
+        m.retire(0, e.picos_id, now + 10);
+    }
+
+    #[test]
+    fn ready_latency_reflects_picos_pipeline_and_crossing() {
+        let mut m = manager(1);
+        let pkts = packets_for(9, vec![]);
+        assert!(m.submission_request(0, pkts.len() as u32, 0));
+        assert!(m.push_packets(0, &pkts, 0));
+        assert!(m.ready_task_request(0, 0));
+        // The entry cannot be visible before Picos' submission pipeline + ready publication.
+        let floor = PicosTiming::default().submission_cycles(0);
+        assert!(m.front_ready(0, floor / 2).is_none());
+        let mut now = floor;
+        while m.front_ready(0, now).is_none() {
+            now += 1;
+            assert!(now < 1_000);
+        }
+        assert!(now >= floor);
+    }
+}

@@ -1,0 +1,187 @@
+//! FPGA resource model behind Table II.
+//!
+//! The paper reports the resource usage of the synthesized prototype in "FPGA cells" and makes
+//! one quantitative claim: the entire task-scheduling subsystem (Picos + Picos Manager + the
+//! per-core Delegates) occupies **less than 2 %** of the octa-core SoC. We cannot synthesize RTL
+//! from Rust, so this module is a *model*: per-module cell counts taken from Table II for the
+//! paper's configuration, plus a scaling rule over the core count so the ablation harness can ask
+//! what the fraction would look like for other machines. The `table2_resources` bench prints the
+//! paper's table next to the model's output.
+
+/// One row of the resource-usage breakdown.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResourceRow {
+    /// Module name as it appears in Table II.
+    pub module: &'static str,
+    /// Estimated FPGA cells used by the module.
+    pub cells: u64,
+    /// Fraction of the whole system.
+    pub fraction: f64,
+    /// Short description from Table II.
+    pub description: &'static str,
+}
+
+/// Per-module cell counts of the paper's prototype (Table II), used as calibration anchors.
+mod paper {
+    /// Whole octa-core system.
+    pub const TOP: u64 = 384_000;
+    /// One core including FPU and L1 caches.
+    pub const CORE: u64 = 44_000;
+    /// Floating-point unit of one core.
+    pub const FPU: u64 = 18_000;
+    /// Data cache of one core.
+    pub const DCACHE: u64 = 6_000;
+    /// Instruction cache of one core.
+    pub const ICACHE: u64 = 1_000;
+    /// Picos + Picos Manager + all Delegates.
+    pub const SSYSTEM: u64 = 7_000;
+}
+
+/// Resource-usage report for a machine with a given core count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResourceReport {
+    cores: usize,
+    rows: Vec<ResourceRow>,
+}
+
+impl ResourceReport {
+    /// Builds the report for the paper's eight-core prototype.
+    pub fn paper_prototype() -> Self {
+        ResourceReport::for_cores(8)
+    }
+
+    /// Builds the report for an `cores`-core instantiation of the same design.
+    ///
+    /// Scaling rule: each core contributes a fixed cell count; the scheduling subsystem is one
+    /// shared Picos + Manager plus a small per-core Delegate; the remainder of the paper's `top`
+    /// figure (interconnect, DDR controller, peripherals) is treated as fixed infrastructure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero.
+    pub fn for_cores(cores: usize) -> Self {
+        assert!(cores > 0, "a system needs at least one core");
+        let infra = paper::TOP - 8 * paper::CORE - paper::SSYSTEM;
+        // Split the paper's scheduling subsystem into a shared part (Picos + Manager) and a
+        // per-core Delegate part; the Delegates are tiny compared to Picos itself.
+        let delegate_per_core = 150u64;
+        let shared_ssystem = paper::SSYSTEM - 8 * delegate_per_core;
+        let ssystem = shared_ssystem + delegate_per_core * cores as u64;
+        let top = infra + paper::CORE * cores as u64 + ssystem;
+        let f = |cells: u64| cells as f64 / top as f64;
+        let rows = vec![
+            ResourceRow { module: "top", cells: top, fraction: 1.0, description: "Whole system" },
+            ResourceRow {
+                module: "Core",
+                cells: paper::CORE,
+                fraction: f(paper::CORE),
+                description: "Core with FPU and L1$",
+            },
+            ResourceRow {
+                module: "fpuOpt",
+                cells: paper::FPU,
+                fraction: f(paper::FPU),
+                description: "Floating-point unit",
+            },
+            ResourceRow {
+                module: "dcache",
+                cells: paper::DCACHE,
+                fraction: f(paper::DCACHE),
+                description: "D-cache of a single core",
+            },
+            ResourceRow {
+                module: "icache",
+                cells: paper::ICACHE,
+                fraction: f(paper::ICACHE),
+                description: "I-cache of a single core",
+            },
+            ResourceRow {
+                module: "SSystem",
+                cells: ssystem,
+                fraction: f(ssystem),
+                description: "Picos, Picos Manager, and Delegates",
+            },
+        ];
+        ResourceReport { cores, rows }
+    }
+
+    /// Number of cores the report was built for.
+    pub fn cores(&self) -> usize {
+        self.cores
+    }
+
+    /// The rows of the table.
+    pub fn rows(&self) -> &[ResourceRow] {
+        &self.rows
+    }
+
+    /// Fraction of the whole system occupied by the task-scheduling subsystem.
+    pub fn scheduling_fraction(&self) -> f64 {
+        self.rows
+            .iter()
+            .find(|r| r.module == "SSystem")
+            .map(|r| r.fraction)
+            .expect("SSystem row always present")
+    }
+
+    /// Renders the table in the same format as Table II.
+    pub fn render(&self) -> String {
+        let mut out = String::from("Module     Usage     Fraction   Description\n");
+        for r in &self.rows {
+            out.push_str(&format!(
+                "{:<10} {:>6}K   {:>7.2}%   {}\n",
+                r.module,
+                r.cells / 1000,
+                r.fraction * 100.0,
+                r.description
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_prototype_matches_table_2_totals() {
+        let r = ResourceReport::paper_prototype();
+        let top = &r.rows()[0];
+        assert_eq!(top.cells, 384_000);
+        assert_eq!(r.cores(), 8);
+        let core = r.rows().iter().find(|x| x.module == "Core").unwrap();
+        assert!((core.fraction - 0.1156).abs() < 0.005, "core is ~11.56% of the system");
+    }
+
+    #[test]
+    fn scheduling_subsystem_below_two_percent() {
+        // The paper's headline resource claim.
+        let r = ResourceReport::paper_prototype();
+        assert!(r.scheduling_fraction() < 0.02);
+        assert!(r.scheduling_fraction() > 0.005, "but it is not free either");
+    }
+
+    #[test]
+    fn fraction_shrinks_with_more_cores() {
+        let f4 = ResourceReport::for_cores(4).scheduling_fraction();
+        let f8 = ResourceReport::for_cores(8).scheduling_fraction();
+        let f16 = ResourceReport::for_cores(16).scheduling_fraction();
+        assert!(f16 < f8, "a bigger SoC amortises the shared Picos better");
+        assert!(f8 < f4 || (f8 - f4).abs() < 1e-3);
+    }
+
+    #[test]
+    fn render_contains_all_modules() {
+        let s = ResourceReport::paper_prototype().render();
+        for m in ["top", "Core", "fpuOpt", "dcache", "icache", "SSystem"] {
+            assert!(s.contains(m), "missing row {m}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_cores_panics() {
+        ResourceReport::for_cores(0);
+    }
+}

@@ -1,0 +1,126 @@
+//! A small facade for running task programs on the tightly-integrated system.
+//!
+//! [`TisSystem`] bundles a machine configuration, the scheduling-fabric configuration and the
+//! Phentos runtime configuration behind a builder-style API, so examples and downstream users
+//! can go from a [`TaskProgram`] to an [`ExecutionReport`] in two lines. The Nanos runtime
+//! family lives in the `tis-nanos` crate (it is an adaptation of pre-existing software, not part
+//! of the contribution) and is driven the same way through
+//! [`tis_machine::run_machine`].
+
+use tis_machine::{run_machine, EngineError, ExecutionReport, MachineConfig};
+use tis_taskmodel::TaskProgram;
+
+use crate::fabric::{TisConfig, TisFabric};
+use crate::phentos::{Phentos, PhentosConfig};
+
+/// Builder/facade for the tightly-integrated scheduling system.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TisSystem {
+    machine: MachineConfig,
+    tis: TisConfig,
+    phentos: PhentosConfig,
+}
+
+impl TisSystem {
+    /// The paper's eight-core prototype with default Picos and Phentos parameters.
+    pub fn eight_core() -> Self {
+        TisSystem {
+            machine: MachineConfig::rocket_octacore(),
+            tis: TisConfig::default(),
+            phentos: PhentosConfig::default(),
+        }
+    }
+
+    /// Same system with a different number of cores.
+    pub fn with_cores(cores: usize) -> Self {
+        TisSystem { machine: MachineConfig::rocket_with_cores(cores), ..Self::eight_core() }
+    }
+
+    /// Replaces the machine configuration.
+    pub fn machine(mut self, machine: MachineConfig) -> Self {
+        self.machine = machine;
+        self
+    }
+
+    /// Replaces the scheduling-fabric configuration.
+    pub fn fabric_config(mut self, tis: TisConfig) -> Self {
+        self.tis = tis;
+        self
+    }
+
+    /// Replaces the Phentos runtime configuration.
+    pub fn phentos_config(mut self, phentos: PhentosConfig) -> Self {
+        self.phentos = phentos;
+        self
+    }
+
+    /// The machine configuration currently selected.
+    pub fn machine_config(&self) -> &MachineConfig {
+        &self.machine
+    }
+
+    /// Runs `program` under the Phentos runtime on the tightly-integrated fabric.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`EngineError`] if the simulation deadlocks or exceeds its cycle
+    /// cap.
+    pub fn run_phentos(&self, program: &TaskProgram) -> Result<ExecutionReport, EngineError> {
+        let cores = self.machine.cores;
+        let mut runtime = Phentos::new(program, cores, self.phentos);
+        let mut fabric = TisFabric::new(cores, self.tis);
+        run_machine(&self.machine, &mut runtime, &mut fabric)
+    }
+
+    /// Serial-execution baseline for `program` on this machine (one core, plain function calls).
+    pub fn serial_cycles(&self, program: &TaskProgram) -> u64 {
+        program.serial_cycles(self.machine.dram_bytes_per_cycle, self.machine.costs.serial_call_overhead)
+    }
+}
+
+impl Default for TisSystem {
+    fn default() -> Self {
+        TisSystem::eight_core()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tis_taskmodel::{Dependence, Payload, ProgramBuilder};
+
+    fn sample_program(tasks: u64, cycles: u64) -> TaskProgram {
+        let mut b = ProgramBuilder::new("facade");
+        for i in 0..tasks {
+            b.spawn(Payload::compute(cycles), vec![Dependence::write(0x10_000 + i * 64)]);
+        }
+        b.taskwait();
+        b.build()
+    }
+
+    #[test]
+    fn facade_runs_and_reports_speedup() {
+        let sys = TisSystem::with_cores(4);
+        let p = sample_program(32, 20_000);
+        let report = sys.run_phentos(&p).unwrap();
+        assert_eq!(report.tasks_retired, 32);
+        let speedup = report.speedup_over(sys.serial_cycles(&p));
+        assert!(speedup > 2.0, "4 cores on coarse tasks must beat serial, got {speedup:.2}");
+        report.validate_against(&p).unwrap();
+    }
+
+    #[test]
+    fn builder_setters_apply() {
+        let sys = TisSystem::eight_core()
+            .machine(MachineConfig::small_test())
+            .phentos_config(PhentosConfig { worker_backoff: 10, ..PhentosConfig::default() });
+        assert_eq!(sys.machine_config().cores, 2);
+        let p = sample_program(4, 1_000);
+        assert_eq!(sys.run_phentos(&p).unwrap().tasks_retired, 4);
+    }
+
+    #[test]
+    fn default_is_eight_cores() {
+        assert_eq!(TisSystem::default().machine_config().cores, 8);
+    }
+}

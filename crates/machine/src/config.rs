@@ -1,0 +1,110 @@
+//! Machine configuration.
+
+use tis_mem::{CacheConfig, MemLatencies};
+use tis_sim::Frequency;
+
+use crate::cost::CostModel;
+
+/// Configuration of the simulated multi-core machine.
+///
+/// The default reproduces the paper's prototype (Section VI-A1): eight in-order cores at 80 MHz,
+/// eight-way 32 KB private L1 data caches with MESI coherence, no shared L2, and 667 MHz DRAM.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MachineConfig {
+    /// Number of cores (and hardware threads; one runtime thread is pinned per core).
+    pub cores: usize,
+    /// Core clock frequency.
+    pub core_clock: Frequency,
+    /// DRAM clock frequency (used for documentation and latency conversions).
+    pub memory_clock: Frequency,
+    /// Geometry of each core's private L1 data cache.
+    pub l1: CacheConfig,
+    /// Latency parameters of the coherent memory system.
+    pub mem_latencies: MemLatencies,
+    /// Effective shared DRAM bandwidth available to task payloads, in bytes per core cycle.
+    pub dram_bytes_per_cycle: f64,
+    /// Cycle costs of software-level operations (calls, locks, syscalls, MMIO…).
+    pub costs: CostModel,
+    /// Safety cap on simulated cycles; runs exceeding it abort with an error instead of hanging.
+    pub max_cycles: u64,
+}
+
+impl MachineConfig {
+    /// The paper's eight-core Rocket Chip FPGA prototype.
+    pub fn rocket_octacore() -> Self {
+        MachineConfig {
+            cores: 8,
+            core_clock: Frequency::ROCKET_FPGA,
+            memory_clock: Frequency::ZCU102_DDR,
+            l1: CacheConfig::rocket_l1d(),
+            mem_latencies: MemLatencies::default(),
+            dram_bytes_per_cycle: 16.0,
+            costs: CostModel::default(),
+            max_cycles: 20_000_000_000,
+        }
+    }
+
+    /// Same machine with a different core count (the paper also discusses how scheduling
+    /// throughput requirements grow with the number of cores).
+    pub fn rocket_with_cores(cores: usize) -> Self {
+        MachineConfig { cores, ..Self::rocket_octacore() }
+    }
+
+    /// A small two-core configuration handy for fast unit tests.
+    pub fn small_test() -> Self {
+        MachineConfig {
+            cores: 2,
+            max_cycles: 50_000_000,
+            ..Self::rocket_octacore()
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is degenerate (zero cores, non-positive bandwidth, zero
+    /// cycle cap).
+    pub fn validate(&self) {
+        assert!(self.cores > 0, "machine needs at least one core");
+        assert!(self.dram_bytes_per_cycle > 0.0, "DRAM bandwidth must be positive");
+        assert!(self.max_cycles > 0, "cycle cap must be positive");
+    }
+}
+
+impl Default for MachineConfig {
+    fn default() -> Self {
+        MachineConfig::rocket_octacore()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_prototype() {
+        let c = MachineConfig::default();
+        assert_eq!(c.cores, 8);
+        assert_eq!(c.core_clock.mhz(), 80);
+        assert_eq!(c.memory_clock.mhz(), 667);
+        assert_eq!(c.l1, CacheConfig::rocket_l1d());
+        c.validate();
+    }
+
+    #[test]
+    fn core_count_override() {
+        let c = MachineConfig::rocket_with_cores(4);
+        assert_eq!(c.cores, 4);
+        assert_eq!(c.core_clock.mhz(), 80);
+        MachineConfig::small_test().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_cores_invalid() {
+        let mut c = MachineConfig::default();
+        c.cores = 0;
+        c.validate();
+    }
+}

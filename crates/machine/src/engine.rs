@@ -1,0 +1,317 @@
+//! The deterministic execution engine.
+//!
+//! One runtime *agent* runs per core (the paper pins one runtime thread per hardware core). The
+//! engine repeatedly advances the agent whose local clock is furthest behind, handing it a
+//! [`CoreCtx`] to spend cycles through and the machine's [`SchedulerFabric`] to issue Table-I
+//! operations against. The run ends when the [`RuntimeSystem`] declares the program finished, or
+//! with an error if no agent makes progress (a genuine deadlock, e.g. when the blocking-
+//! instruction ablation of Section IV-C is enabled) or the configured cycle cap is exceeded.
+
+use tis_mem::{BandwidthModel, MemorySystem};
+use tis_sim::Cycle;
+
+use crate::config::MachineConfig;
+use crate::context::{CoreCtx, CoreStats};
+use crate::fabric::SchedulerFabric;
+use crate::report::ExecutionReport;
+use tis_taskmodel::ExecRecord;
+
+/// What a runtime agent reports after one step on its core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoreStatus {
+    /// The agent did useful work and should be stepped again.
+    Progressed,
+    /// The agent has nothing to do before (approximately) the given cycle.
+    Waiting {
+        /// Cycle at which the agent wants to be polled again.
+        until: Cycle,
+    },
+    /// The agent has terminated and must not be stepped again.
+    Finished,
+}
+
+/// A runtime plugged into the machine: it owns the program being executed and the per-core agent
+/// state, and spends cycles exclusively through the [`CoreCtx`] it is handed.
+pub trait RuntimeSystem {
+    /// Human-readable runtime name (e.g. `"phentos"`, `"nanos-sw"`).
+    fn name(&self) -> &'static str;
+
+    /// Advances the agent pinned to `ctx.core()` by one step.
+    fn step_core(&mut self, ctx: &mut CoreCtx<'_>, fabric: &mut dyn SchedulerFabric) -> CoreStatus;
+
+    /// Whether the whole program has completed (every task submitted, executed and retired, and
+    /// the main thread has passed its final barrier).
+    fn is_finished(&self) -> bool;
+
+    /// Per-task execution records for validation against the reference dependence graph.
+    fn exec_records(&self) -> Vec<ExecRecord>;
+
+    /// Number of tasks the runtime has retired so far.
+    fn tasks_retired(&self) -> u64;
+}
+
+/// Errors terminating a simulation without a result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// No agent made progress for a long stretch of simulated time while the program was still
+    /// unfinished — the system is deadlocked or livelocked.
+    NoProgress {
+        /// Simulated cycle at which the engine gave up.
+        cycle: Cycle,
+        /// Runtime that was executing.
+        runtime: String,
+    },
+    /// The configured `max_cycles` cap was exceeded.
+    CycleLimitExceeded {
+        /// The configured limit.
+        limit: Cycle,
+        /// Runtime that was executing.
+        runtime: String,
+    },
+    /// Every agent terminated but the runtime still reports unfinished work.
+    AllAgentsFinishedEarly {
+        /// Runtime that was executing.
+        runtime: String,
+    },
+}
+
+impl core::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            EngineError::NoProgress { cycle, runtime } => {
+                write!(f, "no progress by any core of runtime '{runtime}' around cycle {cycle} (deadlock)")
+            }
+            EngineError::CycleLimitExceeded { limit, runtime } => {
+                write!(f, "runtime '{runtime}' exceeded the {limit}-cycle simulation cap")
+            }
+            EngineError::AllAgentsFinishedEarly { runtime } => {
+                write!(f, "all agents of runtime '{runtime}' terminated before the program completed")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// How long (in simulated cycles) the engine tolerates a complete absence of progress before
+/// declaring a deadlock.
+const NO_PROGRESS_WINDOW: Cycle = 50_000_000;
+
+/// Runs `runtime` on a machine described by `cfg`, using `fabric` as the task-scheduling
+/// hardware, and returns the execution report.
+///
+/// # Errors
+///
+/// Returns an [`EngineError`] if the simulation deadlocks, exceeds the configured cycle cap, or
+/// every agent terminates with work outstanding.
+pub fn run_machine(
+    cfg: &MachineConfig,
+    runtime: &mut dyn RuntimeSystem,
+    fabric: &mut dyn SchedulerFabric,
+) -> Result<ExecutionReport, EngineError> {
+    cfg.validate();
+    let cores = cfg.cores;
+    let mut mem = MemorySystem::new(cores, cfg.l1, cfg.mem_latencies);
+    let mut dram = BandwidthModel::new(cfg.dram_bytes_per_cycle);
+    let mut core_time: Vec<Cycle> = vec![0; cores];
+    let mut core_stats: Vec<CoreStats> = vec![CoreStats::default(); cores];
+    let mut finished: Vec<bool> = vec![false; cores];
+    let mut last_progress: Cycle = 0;
+
+    loop {
+        if runtime.is_finished() {
+            break;
+        }
+        // Pick the live core that is furthest behind in time.
+        let Some(core) = (0..cores).filter(|&c| !finished[c]).min_by_key(|&c| core_time[c]) else {
+            return Err(EngineError::AllAgentsFinishedEarly { runtime: runtime.name().to_string() });
+        };
+        let now = core_time[core];
+        if now > cfg.max_cycles {
+            return Err(EngineError::CycleLimitExceeded {
+                limit: cfg.max_cycles,
+                runtime: runtime.name().to_string(),
+            });
+        }
+        if now.saturating_sub(last_progress) > NO_PROGRESS_WINDOW {
+            return Err(EngineError::NoProgress { cycle: now, runtime: runtime.name().to_string() });
+        }
+
+        let status;
+        let end_time;
+        {
+            fabric.set_time_horizon(now);
+            let mut ctx = CoreCtx::new(core, now, &mut mem, &mut dram, &cfg.costs, &mut core_stats[core]);
+            status = runtime.step_core(&mut ctx, fabric);
+            end_time = ctx.finish();
+        }
+        match status {
+            CoreStatus::Progressed => {
+                // Guarantee forward motion even if the agent forgot to spend cycles.
+                core_time[core] = end_time.max(now + 1);
+                last_progress = last_progress.max(core_time[core]);
+            }
+            CoreStatus::Waiting { until } => {
+                let resume = until.max(end_time).max(now + 1);
+                core_stats[core].idle_cycles += resume - end_time;
+                core_time[core] = resume;
+            }
+            CoreStatus::Finished => {
+                core_time[core] = end_time.max(now);
+                finished[core] = true;
+                last_progress = last_progress.max(core_time[core]);
+            }
+        }
+    }
+
+    // The program's makespan is the time of the latest agent that actually did something; idle
+    // workers parked far in the future (waiting for work that never came) do not extend it.
+    let total_cycles = core_time
+        .iter()
+        .zip(core_stats.iter())
+        .filter(|(_, s)| s.total_cycles() > 0 || false)
+        .map(|(&t, _)| t)
+        .max()
+        .unwrap_or_else(|| core_time.iter().copied().max().unwrap_or(0));
+
+    Ok(ExecutionReport {
+        runtime: runtime.name().to_string(),
+        fabric: fabric.name().to_string(),
+        cores,
+        total_cycles,
+        core_stats,
+        records: runtime.exec_records(),
+        fabric_stats: fabric.stats(),
+        memory_stats: mem.stats(),
+        tasks_retired: runtime.tasks_retired(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fabric::NullFabric;
+    use tis_taskmodel::TaskId;
+
+    /// A toy runtime: each core executes `per_core` dummy "tasks" of 100 cycles each.
+    struct ToyRuntime {
+        per_core: u64,
+        done: Vec<u64>,
+        records: Vec<ExecRecord>,
+    }
+
+    impl ToyRuntime {
+        fn new(cores: usize, per_core: u64) -> Self {
+            ToyRuntime { per_core, done: vec![0; cores], records: Vec::new() }
+        }
+    }
+
+    impl RuntimeSystem for ToyRuntime {
+        fn name(&self) -> &'static str {
+            "toy"
+        }
+        fn step_core(&mut self, ctx: &mut CoreCtx<'_>, _fabric: &mut dyn SchedulerFabric) -> CoreStatus {
+            let core = ctx.core();
+            if self.done[core] >= self.per_core {
+                return CoreStatus::Finished;
+            }
+            let start = ctx.now();
+            ctx.spend(100);
+            let id = (core as u64) * self.per_core + self.done[core];
+            self.records.push(ExecRecord { task: TaskId(id), core, start, end: ctx.now() });
+            self.done[core] += 1;
+            CoreStatus::Progressed
+        }
+        fn is_finished(&self) -> bool {
+            self.done.iter().all(|&d| d >= self.per_core)
+        }
+        fn exec_records(&self) -> Vec<ExecRecord> {
+            self.records.clone()
+        }
+        fn tasks_retired(&self) -> u64 {
+            self.done.iter().sum()
+        }
+    }
+
+    /// A runtime that never progresses: every core waits forever.
+    struct StuckRuntime;
+    impl RuntimeSystem for StuckRuntime {
+        fn name(&self) -> &'static str {
+            "stuck"
+        }
+        fn step_core(&mut self, ctx: &mut CoreCtx<'_>, _f: &mut dyn SchedulerFabric) -> CoreStatus {
+            CoreStatus::Waiting { until: ctx.now() + 1_000 }
+        }
+        fn is_finished(&self) -> bool {
+            false
+        }
+        fn exec_records(&self) -> Vec<ExecRecord> {
+            Vec::new()
+        }
+        fn tasks_retired(&self) -> u64 {
+            0
+        }
+    }
+
+    #[test]
+    fn toy_runtime_runs_to_completion() {
+        let cfg = MachineConfig::small_test();
+        let mut rt = ToyRuntime::new(cfg.cores, 5);
+        let mut fabric = NullFabric::new();
+        let report = run_machine(&cfg, &mut rt, &mut fabric).unwrap();
+        assert_eq!(report.tasks_retired, 10);
+        assert_eq!(report.records.len(), 10);
+        assert_eq!(report.total_cycles, 500, "each core runs 5 x 100 cycles in parallel");
+        assert_eq!(report.cores, 2);
+        assert_eq!(report.runtime, "toy");
+        assert!(report.core_stats.iter().all(|s| s.runtime_cycles == 500));
+    }
+
+    #[test]
+    fn stuck_runtime_is_detected() {
+        let mut cfg = MachineConfig::small_test();
+        cfg.max_cycles = 1_000_000;
+        let mut rt = StuckRuntime;
+        let mut fabric = NullFabric::new();
+        let err = run_machine(&cfg, &mut rt, &mut fabric).unwrap_err();
+        match err {
+            EngineError::CycleLimitExceeded { limit, .. } => assert_eq!(limit, 1_000_000),
+            EngineError::NoProgress { .. } => {}
+            other => panic!("expected a progress error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn all_agents_finished_early_is_an_error() {
+        struct QuitRuntime;
+        impl RuntimeSystem for QuitRuntime {
+            fn name(&self) -> &'static str {
+                "quit"
+            }
+            fn step_core(&mut self, _ctx: &mut CoreCtx<'_>, _f: &mut dyn SchedulerFabric) -> CoreStatus {
+                CoreStatus::Finished
+            }
+            fn is_finished(&self) -> bool {
+                false
+            }
+            fn exec_records(&self) -> Vec<ExecRecord> {
+                Vec::new()
+            }
+            fn tasks_retired(&self) -> u64 {
+                0
+            }
+        }
+        let cfg = MachineConfig::small_test();
+        let err = run_machine(&cfg, &mut QuitRuntime, &mut NullFabric::new()).unwrap_err();
+        assert!(matches!(err, EngineError::AllAgentsFinishedEarly { .. }));
+        assert!(err.to_string().contains("quit"));
+    }
+
+    #[test]
+    fn engine_error_display() {
+        let e = EngineError::NoProgress { cycle: 123, runtime: "x".into() };
+        assert!(e.to_string().contains("deadlock"));
+        let e = EngineError::CycleLimitExceeded { limit: 7, runtime: "x".into() };
+        assert!(e.to_string().contains('7'));
+    }
+}

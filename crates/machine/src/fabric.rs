@@ -1,0 +1,195 @@
+//! The scheduler fabric: Table I as a trait.
+//!
+//! A [`SchedulerFabric`] is what a core "sees" when it asks for task-scheduling services. The
+//! seven operations correspond one-to-one to the custom instructions of Table I of the paper.
+//! Three implementations exist in the workspace:
+//!
+//! * `tis-core::TisFabric` — the paper's contribution: RoCC instructions served by the per-core
+//!   Picos Delegates and the shared Picos Manager, each a couple of cycles;
+//! * `tis-nanos::AxiFabric` — the Picos++ baseline: the same Picos accelerator behind an
+//!   AXI/MMIO driver, hundreds-to-thousands of cycles per interaction;
+//! * [`NullFabric`] — used by the software-only Nanos-SW runtime, which never touches scheduling
+//!   hardware (every operation fails).
+//!
+//! Every operation is **non-blocking** in the sense of Section IV-B: it returns a latency (the
+//! cycles the issuing core is stalled) plus a success/failure outcome; only `Retire Task` has no
+//! failure outcome because the hardware always accepts retirements.
+
+use tis_sim::Cycle;
+
+/// Identifier of a core issuing fabric operations.
+pub type CoreId = usize;
+
+/// Outcome of a fabric operation that can fail (the failure-flag value of the non-blocking
+/// custom instructions).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FabricOutcome<T> {
+    /// The operation succeeded and produced a value.
+    Success(T),
+    /// The operation could not complete; the runtime is free to retry, do other work, or yield.
+    Failure,
+}
+
+impl<T> FabricOutcome<T> {
+    /// Whether the operation succeeded.
+    pub fn is_success(&self) -> bool {
+        matches!(self, FabricOutcome::Success(_))
+    }
+
+    /// Converts to an `Option`, discarding the failure case.
+    pub fn success(self) -> Option<T> {
+        match self {
+            FabricOutcome::Success(v) => Some(v),
+            FabricOutcome::Failure => None,
+        }
+    }
+}
+
+/// Aggregate statistics of a fabric implementation.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FabricStats {
+    /// Successful task submissions (complete descriptors accepted).
+    pub tasks_submitted: u64,
+    /// Submission requests that returned the failure flag.
+    pub submission_failures: u64,
+    /// Ready-task descriptors handed to cores.
+    pub tasks_dispatched: u64,
+    /// Fetch operations that returned the failure flag (empty ready queue).
+    pub fetch_failures: u64,
+    /// Retirements processed.
+    pub tasks_retired: u64,
+    /// Total fabric operations issued.
+    pub operations: u64,
+}
+
+/// The per-core task-scheduling interface (Table I of the paper).
+///
+/// All operations take the issuing core and the current cycle, and return the number of cycles
+/// the core is occupied by the operation together with its outcome.
+pub trait SchedulerFabric {
+    /// Human-readable name of the fabric (used in reports).
+    fn name(&self) -> &'static str;
+
+    /// Informs the fabric that no future agent step will begin before `safe_now`. Implementations
+    /// use this to release internal state changes (retirement processing) no earlier than the
+    /// simulated instant every core has reached, preserving causality under the engine's relaxed
+    /// step ordering. The default implementation ignores the hint.
+    fn set_time_horizon(&mut self, _safe_now: Cycle) {}
+
+    /// *Submission Request*: announce that `packet_count` non-zero submission packets follow.
+    /// Fails when the scheduler cannot currently accept a new task.
+    fn submission_request(&mut self, core: CoreId, packet_count: u32, now: Cycle) -> (Cycle, FabricOutcome<()>);
+
+    /// *Submit Packet* / *Submit Three Packets*: transfer up to three 32-bit submission packets.
+    /// Fails if the per-core submission buffer cannot accept them (the runtime retries).
+    fn submit_packets(&mut self, core: CoreId, packets: &[u32], now: Cycle) -> (Cycle, FabricOutcome<()>);
+
+    /// *Ready Task Request*: ask the scheduler to route one ready descriptor to this core's
+    /// private ready queue. Fails if the routing queue is full.
+    fn ready_task_request(&mut self, core: CoreId, now: Cycle) -> (Cycle, FabricOutcome<()>);
+
+    /// *Fetch SW ID*: peek the software ID at the front of this core's private ready queue.
+    /// Fails if the queue is empty.
+    fn fetch_sw_id(&mut self, core: CoreId, now: Cycle) -> (Cycle, FabricOutcome<u64>);
+
+    /// *Fetch Picos ID*: pop the front of this core's private ready queue, returning the Picos
+    /// ID; only succeeds after a matching successful *Fetch SW ID*.
+    fn fetch_picos_id(&mut self, core: CoreId, now: Cycle) -> (Cycle, FabricOutcome<u32>);
+
+    /// *Retire Task*: report that the task with the given Picos ID finished. Blocking in the
+    /// paper (always succeeds), so only a latency is returned.
+    fn retire_task(&mut self, core: CoreId, picos_id: u32, now: Cycle) -> Cycle;
+
+    /// Statistics snapshot.
+    fn stats(&self) -> FabricStats;
+}
+
+/// A fabric with no hardware behind it: every operation fails immediately.
+///
+/// Used by the pure-software Nanos-SW runtime (which performs dependence management in memory)
+/// and by tests that need a stand-in fabric.
+#[derive(Debug, Clone, Default)]
+pub struct NullFabric {
+    stats: FabricStats,
+}
+
+impl NullFabric {
+    /// Creates a null fabric.
+    pub fn new() -> Self {
+        NullFabric::default()
+    }
+}
+
+impl SchedulerFabric for NullFabric {
+    fn name(&self) -> &'static str {
+        "null"
+    }
+
+    fn submission_request(&mut self, _core: CoreId, _n: u32, _now: Cycle) -> (Cycle, FabricOutcome<()>) {
+        self.stats.operations += 1;
+        self.stats.submission_failures += 1;
+        (1, FabricOutcome::Failure)
+    }
+
+    fn submit_packets(&mut self, _core: CoreId, _p: &[u32], _now: Cycle) -> (Cycle, FabricOutcome<()>) {
+        self.stats.operations += 1;
+        (1, FabricOutcome::Failure)
+    }
+
+    fn ready_task_request(&mut self, _core: CoreId, _now: Cycle) -> (Cycle, FabricOutcome<()>) {
+        self.stats.operations += 1;
+        (1, FabricOutcome::Failure)
+    }
+
+    fn fetch_sw_id(&mut self, _core: CoreId, _now: Cycle) -> (Cycle, FabricOutcome<u64>) {
+        self.stats.operations += 1;
+        self.stats.fetch_failures += 1;
+        (1, FabricOutcome::Failure)
+    }
+
+    fn fetch_picos_id(&mut self, _core: CoreId, _now: Cycle) -> (Cycle, FabricOutcome<u32>) {
+        self.stats.operations += 1;
+        self.stats.fetch_failures += 1;
+        (1, FabricOutcome::Failure)
+    }
+
+    fn retire_task(&mut self, _core: CoreId, _picos_id: u32, _now: Cycle) -> Cycle {
+        self.stats.operations += 1;
+        1
+    }
+
+    fn stats(&self) -> FabricStats {
+        self.stats.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_helpers() {
+        let s: FabricOutcome<u32> = FabricOutcome::Success(7);
+        let f: FabricOutcome<u32> = FabricOutcome::Failure;
+        assert!(s.is_success() && !f.is_success());
+        assert_eq!(s.success(), Some(7));
+        assert_eq!(f.success(), None);
+    }
+
+    #[test]
+    fn null_fabric_always_fails_cheaply() {
+        let mut f = NullFabric::new();
+        assert_eq!(f.name(), "null");
+        let (lat, out) = f.submission_request(0, 6, 0);
+        assert_eq!(lat, 1);
+        assert!(!out.is_success());
+        let (_, out) = f.fetch_sw_id(1, 5);
+        assert!(!out.is_success());
+        let lat = f.retire_task(0, 3, 10);
+        assert_eq!(lat, 1);
+        let stats = f.stats();
+        assert_eq!(stats.operations, 3);
+        assert_eq!(stats.submission_failures, 1);
+        assert_eq!(stats.fetch_failures, 1);
+    }
+}

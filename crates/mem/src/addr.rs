@@ -1,0 +1,58 @@
+//! Addresses and cache-line geometry.
+
+/// A physical byte address in the simulated machine.
+pub type Addr = u64;
+
+/// Cache line size in bytes. Rocket Chip's L1 data cache uses 64-byte lines, and the paper's
+/// Phentos runtime sizes its task-metadata elements to exactly one or two such lines.
+pub const LINE_SIZE: u64 = 64;
+
+/// Returns the cache-line index containing `addr`.
+pub fn line_of(addr: Addr) -> u64 {
+    addr / LINE_SIZE
+}
+
+/// Returns the first byte address of the line containing `addr`.
+pub fn line_base(addr: Addr) -> Addr {
+    addr & !(LINE_SIZE - 1)
+}
+
+/// Returns the set of distinct cache lines touched by an access of `bytes` bytes at `addr`.
+pub fn lines_touched(addr: Addr, bytes: u64) -> Vec<u64> {
+    if bytes == 0 {
+        return vec![line_of(addr)];
+    }
+    let first = line_of(addr);
+    let last = line_of(addr + bytes - 1);
+    (first..=last).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_size_is_power_of_two() {
+        assert!(LINE_SIZE.is_power_of_two());
+        assert_eq!(LINE_SIZE, 64);
+    }
+
+    #[test]
+    fn line_of_and_base() {
+        assert_eq!(line_of(0), 0);
+        assert_eq!(line_of(63), 0);
+        assert_eq!(line_of(64), 1);
+        assert_eq!(line_base(0x1234), 0x1200 + 0x30 - 0x30 & !(LINE_SIZE - 1));
+        assert_eq!(line_base(127), 64);
+    }
+
+    #[test]
+    fn lines_touched_spans() {
+        assert_eq!(lines_touched(0, 1), vec![0]);
+        assert_eq!(lines_touched(0, 64), vec![0]);
+        assert_eq!(lines_touched(0, 65), vec![0, 1]);
+        assert_eq!(lines_touched(60, 8), vec![0, 1]);
+        assert_eq!(lines_touched(128, 0), vec![2]);
+        assert_eq!(lines_touched(0, 256), vec![0, 1, 2, 3]);
+    }
+}

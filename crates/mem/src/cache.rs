@@ -1,0 +1,370 @@
+//! Set-associative L1 cache with per-line MESI state and LRU replacement.
+//!
+//! The structure matches the paper's prototype: each Rocket core has an eight-way, 32 KB,
+//! 64-byte-line data cache ([`CacheConfig::rocket_l1d`]). The cache tracks *which* lines are
+//! present and in what coherence state; data values are never simulated because only timing and
+//! traffic matter for the reproduction.
+
+use crate::addr::{line_of, Addr, LINE_SIZE};
+use crate::mesi::MesiState;
+
+/// Geometry of an L1 cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Associativity (ways per set).
+    pub ways: usize,
+}
+
+impl CacheConfig {
+    /// The eight-way 32 KB Rocket Chip L1 data cache used by the paper's prototype.
+    pub fn rocket_l1d() -> Self {
+        CacheConfig { capacity_bytes: 32 * 1024, ways: 8 }
+    }
+
+    /// A tiny cache useful in tests that want to exercise evictions quickly.
+    pub fn tiny() -> Self {
+        CacheConfig { capacity_bytes: 4 * LINE_SIZE, ways: 2 }
+    }
+
+    /// Number of sets implied by the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate (zero ways, capacity not a multiple of
+    /// `ways * LINE_SIZE`, or a non-power-of-two set count).
+    pub fn sets(&self) -> usize {
+        assert!(self.ways > 0, "cache must have at least one way");
+        let per_way = self.capacity_bytes / self.ways as u64;
+        assert!(
+            per_way % LINE_SIZE == 0,
+            "capacity must be a whole number of lines per way"
+        );
+        let sets = (per_way / LINE_SIZE) as usize;
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        sets
+    }
+
+    /// Total number of lines the cache can hold.
+    pub fn total_lines(&self) -> usize {
+        self.sets() * self.ways
+    }
+}
+
+/// Lifetime statistics of one L1 cache.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Accesses that hit in a usable state.
+    pub hits: u64,
+    /// Accesses that required a line fill from memory.
+    pub misses: u64,
+    /// Write accesses that hit a Shared line and required an upgrade (invalidation of peers).
+    pub upgrades: u64,
+    /// Lines evicted to make room for a fill.
+    pub evictions: u64,
+    /// Evicted or snooped-out lines that were dirty and had to be written back.
+    pub writebacks: u64,
+    /// Lines invalidated by remote cores' ownership requests.
+    pub snoop_invalidations: u64,
+}
+
+impl CacheStats {
+    /// Total number of processor accesses observed.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses + self.upgrades
+    }
+
+    /// Hit rate over all accesses, or 1.0 when idle.
+    pub fn hit_rate(&self) -> f64 {
+        let a = self.accesses();
+        if a == 0 {
+            1.0
+        } else {
+            self.hits as f64 / a as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct LineEntry {
+    line: u64,
+    state: MesiState,
+    last_use: u64,
+}
+
+/// A single core's L1 cache directory.
+#[derive(Debug, Clone)]
+pub struct L1Cache {
+    config: CacheConfig,
+    sets: Vec<Vec<LineEntry>>,
+    use_clock: u64,
+    stats: CacheStats,
+    /// Fast lookup from line number to set index cache (lines map to sets by modulo).
+    set_mask: u64,
+}
+
+/// The result of installing a line: which victim (line number, dirty?) was evicted, if any.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Eviction {
+    /// Line number of the evicted victim.
+    pub line: u64,
+    /// Whether the victim was dirty and requires a writeback to memory.
+    pub dirty: bool,
+}
+
+impl L1Cache {
+    /// Creates an empty cache with the given geometry.
+    pub fn new(config: CacheConfig) -> Self {
+        let sets = config.sets();
+        L1Cache {
+            config,
+            sets: vec![Vec::new(); sets],
+            use_clock: 0,
+            stats: CacheStats::default(),
+            set_mask: sets as u64 - 1,
+        }
+    }
+
+    /// Cache geometry.
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    /// Lifetime statistics.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    fn set_index(&self, line: u64) -> usize {
+        (line & self.set_mask) as usize
+    }
+
+    /// Current MESI state of the line containing `addr`.
+    pub fn state_of(&self, addr: Addr) -> MesiState {
+        let line = line_of(addr);
+        let set = &self.sets[self.set_index(line)];
+        set.iter()
+            .find(|e| e.line == line)
+            .map(|e| e.state)
+            .unwrap_or(MesiState::Invalid)
+    }
+
+    /// Records a processor access outcome for statistics purposes.
+    pub(crate) fn note_hit(&mut self) {
+        self.stats.hits += 1;
+    }
+
+    /// Records a miss for statistics purposes.
+    pub(crate) fn note_miss(&mut self) {
+        self.stats.misses += 1;
+    }
+
+    /// Records an upgrade (S->M ownership acquisition) for statistics purposes.
+    pub(crate) fn note_upgrade(&mut self) {
+        self.stats.upgrades += 1;
+    }
+
+    /// Marks the line as recently used and sets its state (used on hits and upgrades).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the line is not present; callers must only touch resident lines.
+    pub fn touch(&mut self, addr: Addr, state: MesiState) {
+        self.use_clock += 1;
+        let line = line_of(addr);
+        let idx = self.set_index(line);
+        let clock = self.use_clock;
+        let entry = self.sets[idx]
+            .iter_mut()
+            .find(|e| e.line == line)
+            .expect("touch() requires the line to be resident");
+        entry.state = state;
+        entry.last_use = clock;
+    }
+
+    /// Installs (fills) the line containing `addr` in the given state, evicting the LRU way of
+    /// its set if the set is full. Returns the eviction, if one happened.
+    pub fn install(&mut self, addr: Addr, state: MesiState) -> Option<Eviction> {
+        self.use_clock += 1;
+        let line = line_of(addr);
+        let idx = self.set_index(line);
+        let clock = self.use_clock;
+        if let Some(entry) = self.sets[idx].iter_mut().find(|e| e.line == line) {
+            entry.state = state;
+            entry.last_use = clock;
+            return None;
+        }
+        let mut eviction = None;
+        if self.sets[idx].len() >= self.config.ways {
+            let lru_pos = self.sets[idx]
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, e)| e.last_use)
+                .map(|(i, _)| i)
+                .expect("set is non-empty");
+            let victim = self.sets[idx].swap_remove(lru_pos);
+            self.stats.evictions += 1;
+            let dirty = victim.state.is_dirty();
+            if dirty {
+                self.stats.writebacks += 1;
+            }
+            eviction = Some(Eviction { line: victim.line, dirty });
+        }
+        self.sets[idx].push(LineEntry { line, state, last_use: clock });
+        eviction
+    }
+
+    /// Applies a snoop result: sets the line's state (possibly Invalid), recording writeback and
+    /// invalidation statistics. Does nothing if the line is not resident.
+    pub fn apply_snoop(&mut self, addr: Addr, new_state: MesiState, wrote_back: bool) {
+        let line = line_of(addr);
+        let idx = self.set_index(line);
+        if let Some(pos) = self.sets[idx].iter().position(|e| e.line == line) {
+            if wrote_back {
+                self.stats.writebacks += 1;
+            }
+            if new_state == MesiState::Invalid {
+                self.sets[idx].swap_remove(pos);
+                self.stats.snoop_invalidations += 1;
+            } else {
+                self.sets[idx][pos].state = new_state;
+            }
+        }
+    }
+
+    /// Number of currently resident lines.
+    pub fn resident_lines(&self) -> usize {
+        self.sets.iter().map(|s| s.len()).sum()
+    }
+
+    /// Iterates over `(line, state)` of resident lines (test helper).
+    pub fn resident(&self) -> impl Iterator<Item = (u64, MesiState)> + '_ {
+        self.sets.iter().flatten().map(|e| (e.line, e.state))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rocket_geometry() {
+        let c = CacheConfig::rocket_l1d();
+        assert_eq!(c.sets(), 64);
+        assert_eq!(c.total_lines(), 512);
+        assert_eq!(CacheConfig::tiny().sets(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one way")]
+    fn zero_ways_panics() {
+        CacheConfig { capacity_bytes: 1024, ways: 0 }.sets();
+    }
+
+    #[test]
+    fn install_and_state() {
+        let mut c = L1Cache::new(CacheConfig::rocket_l1d());
+        assert_eq!(c.state_of(0x1000), MesiState::Invalid);
+        assert_eq!(c.install(0x1000, MesiState::Exclusive), None);
+        assert_eq!(c.state_of(0x1000), MesiState::Exclusive);
+        assert_eq!(c.state_of(0x1004), MesiState::Exclusive, "same line");
+        assert_eq!(c.state_of(0x1040), MesiState::Invalid, "next line");
+        assert_eq!(c.resident_lines(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_of_dirty_line_reports_writeback() {
+        let mut c = L1Cache::new(CacheConfig::tiny()); // 2 sets x 2 ways
+        // Three lines mapping to set 0: lines 0, 2, 4 (stride of 2 lines = 128 bytes).
+        assert!(c.install(0, MesiState::Modified).is_none());
+        assert!(c.install(128, MesiState::Exclusive).is_none());
+        // Touch line 0 so line 2 (addr 128) becomes LRU.
+        c.touch(0, MesiState::Modified);
+        let ev = c.install(256, MesiState::Shared).expect("set is full, someone must go");
+        assert_eq!(ev.line, 2);
+        assert!(!ev.dirty);
+        // Now evict the dirty line 0 by filling another conflicting line.
+        let ev = c.install(384, MesiState::Shared).expect("eviction");
+        assert_eq!(ev.line, 0);
+        assert!(ev.dirty);
+        assert_eq!(c.stats().writebacks, 1);
+        assert_eq!(c.stats().evictions, 2);
+    }
+
+    #[test]
+    fn snoop_invalidation_removes_line() {
+        let mut c = L1Cache::new(CacheConfig::rocket_l1d());
+        c.install(0x2000, MesiState::Modified);
+        c.apply_snoop(0x2000, MesiState::Invalid, true);
+        assert_eq!(c.state_of(0x2000), MesiState::Invalid);
+        assert_eq!(c.stats().snoop_invalidations, 1);
+        assert_eq!(c.stats().writebacks, 1);
+        // Snooping an absent line is a no-op.
+        c.apply_snoop(0x9999, MesiState::Invalid, false);
+        assert_eq!(c.stats().snoop_invalidations, 1);
+    }
+
+    #[test]
+    fn snoop_downgrade_keeps_line_shared() {
+        let mut c = L1Cache::new(CacheConfig::rocket_l1d());
+        c.install(0x3000, MesiState::Modified);
+        c.apply_snoop(0x3000, MesiState::Shared, true);
+        assert_eq!(c.state_of(0x3000), MesiState::Shared);
+        assert_eq!(c.resident_lines(), 1);
+    }
+
+    #[test]
+    fn stats_hit_rate() {
+        let mut s = CacheStats::default();
+        assert_eq!(s.hit_rate(), 1.0);
+        s.hits = 3;
+        s.misses = 1;
+        assert_eq!(s.accesses(), 4);
+        assert!((s.hit_rate() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reinstall_same_line_updates_state_without_eviction() {
+        let mut c = L1Cache::new(CacheConfig::tiny());
+        c.install(0, MesiState::Shared);
+        assert!(c.install(0, MesiState::Modified).is_none());
+        assert_eq!(c.state_of(0), MesiState::Modified);
+        assert_eq!(c.resident_lines(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "resident")]
+    fn touch_missing_line_panics() {
+        let mut c = L1Cache::new(CacheConfig::tiny());
+        c.touch(0x500, MesiState::Shared);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The cache never holds more lines than its capacity allows, and every set respects its
+        /// associativity, under arbitrary interleavings of installs and snoops.
+        #[test]
+        fn capacity_never_exceeded(ops in proptest::collection::vec((0u64..64, 0u8..3), 1..300)) {
+            let cfg = CacheConfig::tiny();
+            let mut c = L1Cache::new(cfg);
+            for (line, op) in ops {
+                let addr = line * LINE_SIZE;
+                match op {
+                    0 => { c.install(addr, MesiState::Shared); }
+                    1 => { c.install(addr, MesiState::Modified); }
+                    _ => { c.apply_snoop(addr, MesiState::Invalid, false); }
+                }
+                prop_assert!(c.resident_lines() <= cfg.total_lines());
+                for set in &c.sets {
+                    prop_assert!(set.len() <= cfg.ways);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Memory hierarchy substrate: per-core MESI L1 caches, a snooping interconnect without a shared
+//! L2, and a DRAM latency/bandwidth model.
+//!
+//! The paper's prototype (Section VI-A1) is an eight-core Rocket Chip with eight-way 32 KB
+//! core-private L1 caches kept coherent with the MESI protocol and **no shared L2**: dirty lines
+//! can only move between cores through main memory. The cores run at 80 MHz while DRAM runs at
+//! 667 MHz, so misses are comparatively cheap — but coherence *bouncing* of shared runtime data
+//! structures (Nanos' central scheduler queue, naive shared retirement counters) is still the
+//! dominant overhead the Phentos design works to avoid (Section V-B). This crate models exactly
+//! those mechanisms:
+//!
+//! * [`addr`] — addresses, cache-line geometry;
+//! * [`mesi`] — the MESI state machine as a pure transition table (unit- and property-tested);
+//! * [`cache`] — a set-associative L1 with LRU replacement and per-line MESI state;
+//! * [`system`] — the multi-core [`MemorySystem`](system::MemorySystem): snooping, writebacks
+//!   through memory, per-access latency accounting;
+//! * [`bandwidth`] — the shared DRAM channel used to charge task *payload* traffic, so that
+//!   memory-bound workloads stop scaling before compute-bound ones.
+//!
+//! # Example
+//!
+//! ```
+//! use tis_mem::{MemorySystem, MemLatencies, CacheConfig, AccessKind};
+//!
+//! let mut mem = MemorySystem::new(2, CacheConfig::rocket_l1d(), MemLatencies::default());
+//! // Core 0 writes a line, core 1 then reads it: the dirty line travels through memory.
+//! let w = mem.access(0, 0x1000, AccessKind::Write, 8, 0);
+//! let r = mem.access(1, 0x1000, AccessKind::Read, 8, w.latency);
+//! assert!(r.remote_dirty && r.latency > w.latency);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod addr;
+pub mod bandwidth;
+pub mod cache;
+pub mod mesi;
+pub mod system;
+
+pub use addr::{line_of, Addr, LINE_SIZE};
+pub use bandwidth::BandwidthModel;
+pub use cache::{CacheConfig, CacheStats, L1Cache};
+pub use mesi::{AccessKind, MesiState};
+pub use system::{MemLatencies, MemoryAccessOutcome, MemoryStats, MemorySystem};

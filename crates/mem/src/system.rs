@@ -1,0 +1,506 @@
+//! The multi-core coherent memory system.
+//!
+//! [`MemorySystem`] glues the per-core [`L1Cache`]s together with a snooping bus and a DRAM
+//! backend, reproducing the coherence behaviour the paper leans on (Section V-B):
+//!
+//! * there is **no shared L2**, so a line that is dirty in one core's cache can only reach
+//!   another core by being written back to main memory and re-fetched — this is why cache-line
+//!   bouncing on shared runtime data is so expensive on the prototype;
+//! * the memory clock (667 MHz) is much faster than the 80 MHz core clock, so plain DRAM misses
+//!   are comparatively cheap;
+//! * upgrades (a core writing a Shared line) cost a bus transaction that invalidates every other
+//!   copy.
+//!
+//! Every runtime in the workspace performs its metadata accesses through this model, so the
+//! difference between, say, Phentos' per-core metadata layout and Nanos' centralised queues shows
+//! up as genuine simulated coherence traffic rather than as a hand-tuned constant.
+
+use tis_sim::Cycle;
+
+use crate::addr::{lines_touched, Addr, LINE_SIZE};
+use crate::cache::{CacheConfig, CacheStats, L1Cache};
+use crate::mesi::{local_transition, snoop_transition, AccessKind, BusOp, LocalAction, MesiState, SnoopAction};
+
+/// Latency parameters of the memory system, in core cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemLatencies {
+    /// An access that hits in the local L1.
+    pub l1_hit: Cycle,
+    /// Fetching a line from DRAM (includes the miss handling overhead of the in-order core).
+    pub dram_fetch: Cycle,
+    /// Writing a dirty line back to DRAM.
+    pub writeback: Cycle,
+    /// An ownership upgrade (invalidating remote copies) that does not need a data fetch.
+    pub upgrade: Cycle,
+    /// Occupancy of the snoop bus per transaction; concurrent misses queue behind each other.
+    pub bus_occupancy: Cycle,
+    /// Extra serialization cycles of an atomic read-modify-write beyond the plain store cost.
+    pub atomic_extra: Cycle,
+}
+
+impl Default for MemLatencies {
+    fn default() -> Self {
+        // Calibrated for the 80 MHz Rocket / 667 MHz DDR prototype: a DRAM round trip of a few
+        // hundred nanoseconds is only a couple dozen 12.5 ns core cycles.
+        MemLatencies {
+            l1_hit: 1,
+            dram_fetch: 24,
+            writeback: 12,
+            upgrade: 8,
+            bus_occupancy: 4,
+            atomic_extra: 6,
+        }
+    }
+}
+
+/// Outcome of one memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoryAccessOutcome {
+    /// Total stall cycles charged to the requesting core.
+    pub latency: Cycle,
+    /// Whether every touched line hit in the local L1 in a sufficient state.
+    pub l1_hit: bool,
+    /// Whether a remote cache held one of the lines in Modified state (dirty bounce).
+    pub remote_dirty: bool,
+    /// Number of cache lines the access touched.
+    pub lines: usize,
+}
+
+/// Aggregate statistics of the memory system.
+#[derive(Debug, Clone, Default)]
+pub struct MemoryStats {
+    /// Per-core L1 statistics.
+    pub per_core: Vec<CacheStats>,
+    /// Number of lines fetched from DRAM.
+    pub dram_fetches: u64,
+    /// Number of dirty lines written back to DRAM.
+    pub dram_writebacks: u64,
+    /// Number of snoop-bus transactions.
+    pub bus_transactions: u64,
+    /// Number of accesses that found the line dirty in a remote cache.
+    pub dirty_bounces: u64,
+}
+
+/// The coherent multi-core memory system.
+#[derive(Debug, Clone)]
+pub struct MemorySystem {
+    caches: Vec<L1Cache>,
+    latencies: MemLatencies,
+    bus_free_at: Cycle,
+    dram_fetches: u64,
+    dram_writebacks: u64,
+    bus_transactions: u64,
+    dirty_bounces: u64,
+}
+
+impl MemorySystem {
+    /// Creates a memory system with `cores` private L1 caches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero.
+    pub fn new(cores: usize, cache: CacheConfig, latencies: MemLatencies) -> Self {
+        assert!(cores > 0, "a machine needs at least one core");
+        MemorySystem {
+            caches: (0..cores).map(|_| L1Cache::new(cache)).collect(),
+            latencies,
+            bus_free_at: 0,
+            dram_fetches: 0,
+            dram_writebacks: 0,
+            bus_transactions: 0,
+            dirty_bounces: 0,
+        }
+    }
+
+    /// Number of cores / caches.
+    pub fn cores(&self) -> usize {
+        self.caches.len()
+    }
+
+    /// The latency parameters in use.
+    pub fn latencies(&self) -> MemLatencies {
+        self.latencies
+    }
+
+    /// Immutable view of one core's cache (for tests and statistics).
+    pub fn cache(&self, core: usize) -> &L1Cache {
+        &self.caches[core]
+    }
+
+    /// Performs a memory access of `bytes` bytes at `addr` from `core` at time `now`, returning
+    /// the latency to charge to that core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn access(
+        &mut self,
+        core: usize,
+        addr: Addr,
+        kind: AccessKind,
+        bytes: u64,
+        now: Cycle,
+    ) -> MemoryAccessOutcome {
+        assert!(core < self.caches.len(), "core index out of range");
+        let lines = lines_touched(addr, bytes.max(1));
+        let mut latency = 0;
+        let mut all_hit = true;
+        let mut any_remote_dirty = false;
+        for (i, line) in lines.iter().enumerate() {
+            let line_addr = line * LINE_SIZE;
+            let (l, hit, dirty) = self.access_line(core, line_addr, kind, now + latency);
+            // The first line's latency is fully exposed; subsequent lines of a multi-line access
+            // overlap with the consumption of the previous one, so only their miss portion adds.
+            if i == 0 {
+                latency += l;
+            } else {
+                latency += l.saturating_sub(self.latencies.l1_hit);
+            }
+            all_hit &= hit;
+            any_remote_dirty |= dirty;
+        }
+        if kind == AccessKind::Atomic {
+            latency += self.latencies.atomic_extra;
+        }
+        MemoryAccessOutcome {
+            latency,
+            l1_hit: all_hit,
+            remote_dirty: any_remote_dirty,
+            lines: lines.len(),
+        }
+    }
+
+    /// Access of a single line; returns (latency, was_hit, remote_was_dirty).
+    fn access_line(
+        &mut self,
+        core: usize,
+        line_addr: Addr,
+        kind: AccessKind,
+        now: Cycle,
+    ) -> (Cycle, bool, bool) {
+        let state = self.caches[core].state_of(line_addr);
+        let (action, new_state) = local_transition(state, kind);
+        match action {
+            LocalAction::Hit => {
+                self.caches[core].note_hit();
+                self.caches[core].touch(line_addr, new_state);
+                (self.latencies.l1_hit, true, false)
+            }
+            LocalAction::IssueBusRead => {
+                let (lat, dirty, sharers) = self.bus_transaction(core, line_addr, BusOp::BusRead, now);
+                self.caches[core].note_miss();
+                // If no other cache holds the line we may install it Exclusive (the E state).
+                let install_state = if sharers == 0 { MesiState::Exclusive } else { MesiState::Shared };
+                let final_state = if new_state == MesiState::Shared { install_state } else { new_state };
+                self.install_with_eviction(core, line_addr, final_state);
+                (lat, false, dirty)
+            }
+            LocalAction::IssueBusReadExclusive => {
+                let had_line = state == MesiState::Shared;
+                let (mut lat, dirty, _) =
+                    self.bus_transaction(core, line_addr, BusOp::BusReadExclusive, now);
+                if had_line {
+                    // Upgrade: the data is already local, only the invalidation round trip counts.
+                    self.caches[core].note_upgrade();
+                    lat = lat.min(self.latencies.upgrade + self.wait_for_bus(now));
+                    self.caches[core].touch(line_addr, MesiState::Modified);
+                } else {
+                    self.caches[core].note_miss();
+                    self.install_with_eviction(core, line_addr, MesiState::Modified);
+                }
+                (lat, false, dirty)
+            }
+        }
+    }
+
+    fn wait_for_bus(&mut self, now: Cycle) -> Cycle {
+        // Cores are stepped in a relaxed time order (a core executing a long task payload can
+        // reserve the bus far in the future before a slower core issues an earlier access), so
+        // queueing delay is capped at a small number of back-to-back transactions. This keeps
+        // the model meaningful — bursts of misses still queue — without letting out-of-order
+        // stepping manufacture absurd waits.
+        let max_queue = self.latencies.bus_occupancy * 4;
+        let wait = self.bus_free_at.saturating_sub(now).min(max_queue);
+        self.bus_free_at = now.max(self.bus_free_at.min(now + max_queue)) + self.latencies.bus_occupancy;
+        self.bus_transactions += 1;
+        wait
+    }
+
+    /// Performs the bus side of a miss/upgrade: snoops every remote cache, forces writebacks of
+    /// dirty copies through memory, fetches the line from DRAM. Returns (latency, remote_dirty,
+    /// remaining_sharers).
+    fn bus_transaction(
+        &mut self,
+        requester: usize,
+        line_addr: Addr,
+        op: BusOp,
+        now: Cycle,
+    ) -> (Cycle, bool, usize) {
+        let mut latency = self.wait_for_bus(now);
+        let mut remote_dirty = false;
+        let mut sharers = 0usize;
+        for other in 0..self.caches.len() {
+            if other == requester {
+                continue;
+            }
+            let remote_state = self.caches[other].state_of(line_addr);
+            if remote_state == MesiState::Invalid {
+                continue;
+            }
+            let (action, next) = snoop_transition(remote_state, op);
+            let wrote_back = matches!(action, SnoopAction::WritebackAndShare | SnoopAction::WritebackAndInvalidate)
+                && remote_state.is_dirty();
+            if wrote_back {
+                remote_dirty = true;
+                self.dram_writebacks += 1;
+                // Without an L2, the dirty data goes to DRAM before the requester can fetch it.
+                latency += self.latencies.writeback;
+            }
+            self.caches[other].apply_snoop(line_addr, next, wrote_back);
+            if next != MesiState::Invalid {
+                sharers += 1;
+            }
+        }
+        // Data always comes from DRAM in this no-L2 hierarchy (clean sharers do not forward).
+        if op == BusOp::BusRead || op == BusOp::BusReadExclusive {
+            latency += self.latencies.dram_fetch;
+            self.dram_fetches += 1;
+        }
+        if remote_dirty {
+            self.dirty_bounces += 1;
+        }
+        (latency, remote_dirty, sharers)
+    }
+
+    fn install_with_eviction(&mut self, core: usize, line_addr: Addr, state: MesiState) {
+        if let Some(ev) = self.caches[core].install(line_addr, state) {
+            if ev.dirty {
+                self.dram_writebacks += 1;
+            }
+        }
+    }
+
+    /// Snapshot of the aggregate statistics.
+    pub fn stats(&self) -> MemoryStats {
+        MemoryStats {
+            per_core: self.caches.iter().map(|c| c.stats().clone()).collect(),
+            dram_fetches: self.dram_fetches,
+            dram_writebacks: self.dram_writebacks,
+            bus_transactions: self.bus_transactions,
+            dirty_bounces: self.dirty_bounces,
+        }
+    }
+
+    /// Checks the fundamental MESI coherence invariants across all caches and returns an error
+    /// message describing the first violation found, if any. Used by property tests.
+    pub fn check_coherence_invariants(&self) -> Result<(), String> {
+        use std::collections::HashMap;
+        let mut owners: HashMap<u64, Vec<(usize, MesiState)>> = HashMap::new();
+        for (i, c) in self.caches.iter().enumerate() {
+            for (line, state) in c.resident() {
+                owners.entry(line).or_default().push((i, state));
+            }
+        }
+        for (line, holders) in owners {
+            let exclusive_like = holders
+                .iter()
+                .filter(|(_, s)| matches!(s, MesiState::Modified | MesiState::Exclusive))
+                .count();
+            if exclusive_like > 1 {
+                return Err(format!("line {line:#x} is owned exclusively by {exclusive_like} caches"));
+            }
+            if exclusive_like == 1 && holders.len() > 1 {
+                return Err(format!(
+                    "line {line:#x} is both exclusively owned and shared ({} holders)",
+                    holders.len()
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sys(cores: usize) -> MemorySystem {
+        MemorySystem::new(cores, CacheConfig::rocket_l1d(), MemLatencies::default())
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut m = sys(2);
+        let lat = MemLatencies::default();
+        let first = m.access(0, 0x1000, AccessKind::Read, 8, 0);
+        assert!(!first.l1_hit);
+        assert!(first.latency >= lat.dram_fetch);
+        let second = m.access(0, 0x1000, AccessKind::Read, 8, first.latency as u64);
+        assert!(second.l1_hit);
+        assert_eq!(second.latency, lat.l1_hit);
+        // Reading an uncached line when no one else has it installs Exclusive, so a subsequent
+        // local write is a silent hit.
+        let w = m.access(0, 0x1000, AccessKind::Write, 8, 100);
+        assert!(w.l1_hit);
+    }
+
+    #[test]
+    fn dirty_line_bounces_through_memory() {
+        let mut m = sys(2);
+        let lat = MemLatencies::default();
+        m.access(0, 0x2000, AccessKind::Write, 8, 0);
+        let r = m.access(1, 0x2000, AccessKind::Read, 8, 50);
+        assert!(r.remote_dirty, "core 1 must observe the dirty copy in core 0");
+        assert!(
+            r.latency >= lat.writeback + lat.dram_fetch,
+            "no-L2 MESI forces writeback + refetch, got {}",
+            r.latency
+        );
+        let stats = m.stats();
+        assert_eq!(stats.dirty_bounces, 1);
+        assert!(stats.dram_writebacks >= 1);
+    }
+
+    #[test]
+    fn write_to_shared_line_is_an_upgrade() {
+        let mut m = sys(2);
+        // Both cores read the line -> Shared everywhere.
+        m.access(0, 0x3000, AccessKind::Read, 8, 0);
+        m.access(1, 0x3000, AccessKind::Read, 8, 10);
+        // Core 0 writes: upgrade, and core 1 loses its copy.
+        let w = m.access(0, 0x3000, AccessKind::Write, 8, 20);
+        assert!(w.latency < MemLatencies::default().dram_fetch, "upgrade should not refetch data");
+        assert_eq!(m.cache(1).state_of(0x3000), MesiState::Invalid);
+        assert_eq!(m.cache(0).state_of(0x3000), MesiState::Modified);
+        assert!(m.cache(0).stats().upgrades >= 1);
+    }
+
+    #[test]
+    fn atomic_charges_extra_and_owns_line() {
+        let mut m = sys(2);
+        let plain = m.access(0, 0x4000, AccessKind::Write, 8, 0);
+        let mut m2 = sys(2);
+        let atomic = m2.access(0, 0x4000, AccessKind::Atomic, 8, 0);
+        assert_eq!(atomic.latency, plain.latency + MemLatencies::default().atomic_extra);
+        assert_eq!(m2.cache(0).state_of(0x4000), MesiState::Modified);
+    }
+
+    #[test]
+    fn ping_pong_is_much_more_expensive_than_private_access() {
+        // The cache-line bouncing scenario of Section V-B: two cores alternately updating the
+        // same line pay the writeback+fetch round trip every time, while a core updating its own
+        // private line pays one cold miss and then hits.
+        let mut shared = sys(2);
+        let mut bounce_cycles = 0;
+        for i in 0..20 {
+            let core = i % 2;
+            bounce_cycles += shared.access(core, 0x8000, AccessKind::Atomic, 8, (i * 100) as u64).latency;
+        }
+        let mut private = sys(2);
+        let mut private_cycles = 0;
+        for i in 0..20 {
+            private_cycles += private.access(0, 0x8000, AccessKind::Atomic, 8, (i * 100) as u64).latency;
+        }
+        assert!(
+            bounce_cycles > 3 * private_cycles,
+            "bouncing ({bounce_cycles}) should dwarf private access ({private_cycles})"
+        );
+    }
+
+    #[test]
+    fn multi_line_access_touches_every_line() {
+        let mut m = sys(1);
+        let out = m.access(0, 0x5000, AccessKind::Read, 256, 0);
+        assert_eq!(out.lines, 4);
+        assert!(!out.l1_hit);
+        let again = m.access(0, 0x5000, AccessKind::Read, 256, 1000);
+        assert!(again.l1_hit);
+        assert_eq!(again.latency, MemLatencies::default().l1_hit);
+    }
+
+    #[test]
+    fn bus_contention_adds_wait() {
+        let mut m = sys(2);
+        // Two misses at the same instant: the second pays bus occupancy of the first.
+        let a = m.access(0, 0x6000, AccessKind::Read, 8, 0);
+        let b = m.access(1, 0x7000, AccessKind::Read, 8, 0);
+        assert!(b.latency >= a.latency, "second miss at same cycle waits for the bus");
+    }
+
+    #[test]
+    fn coherence_invariants_hold_after_random_traffic() {
+        let mut m = sys(4);
+        let mut rng = tis_sim::SimRng::new(1234);
+        for i in 0..5000u64 {
+            let core = (rng.next_u64() % 4) as usize;
+            let addr = 0x1_0000 + (rng.next_u64() % 64) * 8;
+            let kind = match rng.next_u64() % 3 {
+                0 => AccessKind::Read,
+                1 => AccessKind::Write,
+                _ => AccessKind::Atomic,
+            };
+            m.access(core, addr, kind, 8, i * 3);
+        }
+        m.check_coherence_invariants().expect("MESI invariants must hold");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_core_panics() {
+        let mut m = sys(2);
+        m.access(5, 0x0, AccessKind::Read, 8, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_core_system_panics() {
+        MemorySystem::new(0, CacheConfig::rocket_l1d(), MemLatencies::default());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+        /// MESI single-writer / no-dirty-sharing invariants hold under arbitrary access traces,
+        /// and latency is always at least the L1 hit latency.
+        #[test]
+        fn coherence_invariants(
+            ops in proptest::collection::vec((0usize..4, 0u64..32, 0u8..3), 1..400)
+        ) {
+            let mut m = MemorySystem::new(4, CacheConfig::tiny(), MemLatencies::default());
+            let mut now = 0u64;
+            for (core, line, kindsel) in ops {
+                let kind = match kindsel {
+                    0 => AccessKind::Read,
+                    1 => AccessKind::Write,
+                    _ => AccessKind::Atomic,
+                };
+                let out = m.access(core, line * LINE_SIZE, kind, 8, now);
+                prop_assert!(out.latency >= MemLatencies::default().l1_hit);
+                now += out.latency.max(1);
+                prop_assert!(m.check_coherence_invariants().is_ok());
+            }
+        }
+
+        /// After any trace, a core that just wrote a line can read it back as a hit.
+        #[test]
+        fn write_then_read_hits(
+            ops in proptest::collection::vec((0usize..3, 0u64..16), 0..100),
+            final_core in 0usize..3,
+            final_line in 0u64..16,
+        ) {
+            let mut m = MemorySystem::new(3, CacheConfig::rocket_l1d(), MemLatencies::default());
+            let mut now = 0u64;
+            for (core, line) in ops {
+                now += m.access(core, line * LINE_SIZE, AccessKind::Write, 8, now).latency;
+            }
+            now += m.access(final_core, final_line * LINE_SIZE, AccessKind::Write, 8, now).latency;
+            let read = m.access(final_core, final_line * LINE_SIZE, AccessKind::Read, 8, now);
+            prop_assert!(read.l1_hit);
+        }
+    }
+}

@@ -1,0 +1,556 @@
+//! The Nanos runtime model: one implementation, three variants.
+//!
+//! [`Nanos`] reproduces the structure the paper describes in Section V-A: WorkDescriptors are
+//! heap-allocated, every phase goes through plugin (virtual) dispatch, all ready tasks funnel
+//! through the Scheduler singleton's central queue under a mutex, idle workers and `taskwait`
+//! park on condition variables, and — crucially for Nanos-RV — even tasks identified as ready by
+//! the hardware are first pushed into that central queue and popped back out of it instead of
+//! being run directly by the fetching core.
+//!
+//! The three [`NanosVariant`]s differ only in who tracks dependences and how the hardware is
+//! reached:
+//!
+//! * [`NanosVariant::Software`] (Nanos-SW) — a lock-protected software dependence domain (the
+//!   functional tracker is shared with the Picos model, so semantics are identical; only the
+//!   cost differs);
+//! * [`NanosVariant::PicosRocc`] (Nanos-RV) — dependences tracked by the hardware through the
+//!   RoCC fabric of `tis-core`;
+//! * [`NanosVariant::PicosAxi`] (Nanos-AXI) — the same, but the caller supplies an
+//!   [`AxiFabric`](crate::axi::AxiFabric), reproducing the Picos++ baseline.
+
+use std::collections::HashMap;
+
+use tis_machine::fabric::{FabricOutcome, SchedulerFabric};
+use tis_machine::{CoreCtx, CoreStatus, RuntimeSystem};
+use tis_picos::{encode_nonzero_prefix, DependenceTracker, PicosId, SubmittedTask, TrackerConfig};
+use tis_taskmodel::{ExecRecord, ProgramOp, TaskProgram, TaskSpec};
+
+use crate::shared::{addrs, CentralEntry, CentralReadyQueue, NanosLock};
+use crate::tuning::NanosTuning;
+
+/// Base address of the simulated WorkDescriptor heap.
+const WD_BASE: u64 = 0xB000_0000;
+/// Size of one WorkDescriptor (two cache lines).
+const WD_BYTES: u64 = 128;
+
+/// Which Nanos flavour is being modelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NanosVariant {
+    /// Nanos-SW: software dependence inference, no scheduling hardware.
+    Software,
+    /// Nanos-RV: dependence inference offloaded through the RoCC fabric.
+    PicosRocc,
+    /// Nanos-AXI: dependence inference offloaded through the AXI/MMIO fabric (Picos++ baseline).
+    PicosAxi,
+}
+
+impl NanosVariant {
+    /// Whether the variant drives scheduling hardware through the fabric.
+    pub fn uses_hardware(self) -> bool {
+        !matches!(self, NanosVariant::Software)
+    }
+
+    /// Runtime name used in reports ("nanos-sw", "nanos-rv", "nanos-axi").
+    pub fn name(self) -> &'static str {
+        match self {
+            NanosVariant::Software => "nanos-sw",
+            NanosVariant::PicosRocc => "nanos-rv",
+            NanosVariant::PicosAxi => "nanos-axi",
+        }
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct NanosWorker {
+    outstanding_requests: u32,
+    finished: bool,
+}
+
+/// The Nanos runtime plugged into the machine engine.
+#[derive(Debug, Clone)]
+pub struct Nanos {
+    variant: NanosVariant,
+    tuning: NanosTuning,
+    ops: Vec<ProgramOp>,
+    specs: Vec<TaskSpec>,
+    cursor: usize,
+    submitted: u64,
+    /// Simulated cycle of every retirement, in the order they were performed. Kept as a log so
+    /// that a `taskwait` polling at simulated time `t` only observes retirements that had
+    /// completed by `t` (cores are stepped in relaxed time order).
+    retire_log: Vec<u64>,
+    /// Software-variant retirements accepted but not yet applied to the dependence domain
+    /// (completion cycle, tracker id) — applied once simulated time catches up, mirroring the
+    /// deferral inside the Picos device.
+    sw_pending: Vec<(u64, PicosId)>,
+    done: bool,
+    main_in_taskwait: bool,
+    sched_lock: NanosLock,
+    dep_lock: NanosLock,
+    ready_queue: CentralReadyQueue,
+    sw_tracker: DependenceTracker,
+    sw_ids: HashMap<u64, PicosId>,
+    workers: Vec<NanosWorker>,
+    records: Vec<ExecRecord>,
+}
+
+impl Nanos {
+    /// Instantiates a Nanos variant for a program on a machine with `cores` cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program fails validation.
+    pub fn new(program: &TaskProgram, cores: usize, variant: NanosVariant, tuning: NanosTuning) -> Self {
+        program.validate().expect("program must satisfy the descriptor constraints");
+        Nanos {
+            variant,
+            tuning,
+            ops: program.ops().to_vec(),
+            specs: program.tasks().cloned().collect(),
+            cursor: 0,
+            submitted: 0,
+            retire_log: Vec::new(),
+            sw_pending: Vec::new(),
+            done: false,
+            main_in_taskwait: false,
+            sched_lock: NanosLock::new(addrs::SCHED_LOCK, tuning.lock_contention_window),
+            dep_lock: NanosLock::new(addrs::DEP_DOMAIN_LOCK, tuning.lock_contention_window),
+            ready_queue: CentralReadyQueue::new(),
+            sw_tracker: DependenceTracker::new(TrackerConfig {
+                task_memory_entries: 1 << 16,
+                address_table_entries: 1 << 16,
+            }),
+            sw_ids: HashMap::new(),
+            workers: vec![NanosWorker::default(); cores],
+            records: Vec::new(),
+        }
+    }
+
+    /// Convenience constructor with default tuning.
+    pub fn with_defaults(program: &TaskProgram, cores: usize, variant: NanosVariant) -> Self {
+        Nanos::new(program, cores, variant, NanosTuning::default())
+    }
+
+    /// The variant being modelled.
+    pub fn variant(&self) -> NanosVariant {
+        self.variant
+    }
+
+    fn wd_addr(sw_id: u64) -> u64 {
+        WD_BASE + (sw_id % 4096) * WD_BYTES
+    }
+
+    /// Number of retirements visible at simulated cycle `now`.
+    fn retired_at(&self, now: u64) -> u64 {
+        self.retire_log.iter().filter(|&&t| t <= now).count() as u64
+    }
+
+    /// Applies software-variant retirements whose completion time has been reached, waking their
+    /// successors into the central ready queue.
+    fn process_sw_pending(&mut self, ctx: &mut CoreCtx<'_>) {
+        if self.variant.uses_hardware() || self.sw_pending.is_empty() {
+            return;
+        }
+        // Gate on the step's start time: no later step can begin before it, so a retirement due
+        // by then is visible to everyone without violating causality.
+        let now = ctx.step_start();
+        self.sw_pending.sort_by_key(|&(t, _)| t);
+        let mut woken_entries = Vec::new();
+        while let Some(&(t, pid)) = self.sw_pending.first() {
+            if t > now {
+                break;
+            }
+            let woken = self
+                .sw_tracker
+                .retire(pid)
+                .expect("pending software retirement refers to an in-flight task");
+            for w in woken {
+                let sw = self.sw_tracker.sw_id(w).expect("woken task is in flight");
+                woken_entries.push(CentralEntry { sw_id: sw, picos_id: None, available_at: t });
+            }
+            self.sw_pending.remove(0);
+        }
+        if !woken_entries.is_empty() {
+            self.sched_lock.acquire(ctx);
+            for e in woken_entries {
+                self.ready_queue.push(ctx, e);
+            }
+            self.sched_lock.release(ctx);
+        }
+    }
+
+    /// Plugin-layer virtual dispatch charged on every scheduling phase.
+    fn charge_plugin_calls(&self, ctx: &mut CoreCtx<'_>) {
+        for _ in 0..self.tuning.virtual_calls_per_phase {
+            ctx.virtual_call();
+        }
+    }
+
+    /// Software dependence inference at submission (Nanos-SW): hash probes and dependency-object
+    /// maintenance under the domain lock. Returns whether the task starts ready.
+    fn sw_submit(&mut self, ctx: &mut CoreCtx<'_>, spec: &TaskSpec) -> bool {
+        self.process_sw_pending(ctx);
+        self.dep_lock.acquire(ctx);
+        ctx.spend(self.tuning.sw_dependence_cycles(spec.dep_count()));
+        for d in &spec.deps {
+            ctx.spend(ctx.costs().hash_probe);
+            let bucket = addrs::DEP_MAP + (d.addr % 1024) * 64;
+            ctx.read(bucket, 64);
+            ctx.write(bucket, 16);
+            ctx.spend(ctx.costs().heap_alloc); // dependency object
+        }
+        let (pid, ready) = self
+            .sw_tracker
+            .insert(&SubmittedTask::new(spec.id.raw(), spec.deps.clone()))
+            .expect("software dependence domain has effectively unbounded capacity");
+        self.sw_ids.insert(spec.id.raw(), pid);
+        self.dep_lock.release(ctx);
+        ready
+    }
+
+    /// Hardware submission through the fabric (Nanos-RV / Nanos-AXI). Returns `false` when the
+    /// hardware refused the submission and it must be retried.
+    fn hw_submit(&mut self, ctx: &mut CoreCtx<'_>, fabric: &mut dyn SchedulerFabric, spec: &TaskSpec) -> bool {
+        let packets = encode_nonzero_prefix(&SubmittedTask::new(spec.id.raw(), spec.deps.clone()));
+        let (lat, out) = fabric.submission_request(ctx.core(), packets.len() as u32, ctx.now());
+        ctx.spend(lat);
+        if !out.is_success() {
+            return false;
+        }
+        for chunk in packets.chunks(3) {
+            let (lat, out) = fabric.submit_packets(ctx.core(), chunk, ctx.now());
+            ctx.spend(lat);
+            debug_assert!(out.is_success());
+        }
+        true
+    }
+
+    /// Pops one entry from the Scheduler singleton, refilling it from the hardware if necessary.
+    fn acquire_work(&mut self, ctx: &mut CoreCtx<'_>, fabric: &mut dyn SchedulerFabric) -> Option<CentralEntry> {
+        self.process_sw_pending(ctx);
+        // First look at the central queue.
+        self.sched_lock.acquire(ctx);
+        let entry = self.ready_queue.pop(ctx);
+        self.sched_lock.release(ctx);
+        if entry.is_some() {
+            return entry;
+        }
+        if !self.variant.uses_hardware() {
+            return None;
+        }
+        // Poll the hardware for a ready descriptor...
+        let core = ctx.core();
+        if self.workers[core].outstanding_requests == 0 {
+            let (lat, out) = fabric.ready_task_request(core, ctx.now());
+            ctx.spend(lat);
+            if out.is_success() {
+                self.workers[core].outstanding_requests += 1;
+            }
+        }
+        // The plugin polls the ready queue a few times before giving up: with the RoCC path the
+        // instructions are so fast that a descriptor routed a handful of cycles ago may not be
+        // visible yet on the very first try.
+        let mut sw = None;
+        for attempt in 0..4 {
+            let (lat, out) = fabric.fetch_sw_id(core, ctx.now());
+            ctx.spend(lat);
+            if let FabricOutcome::Success(id) = out {
+                sw = Some(id);
+                break;
+            }
+            if attempt + 1 < 4 {
+                ctx.spend(ctx.costs().spin_backoff);
+            }
+        }
+        let Some(sw_id) = sw else { return None };
+        let (lat, out) = fabric.fetch_picos_id(core, ctx.now());
+        ctx.spend(lat);
+        let FabricOutcome::Success(picos_id) = out else { return None };
+        self.workers[core].outstanding_requests = self.workers[core].outstanding_requests.saturating_sub(1);
+        // ...and, as Nanos does, route it through the Scheduler singleton instead of running it
+        // directly: push under the lock, then pop it back out (Section V-A).
+        self.charge_plugin_calls(ctx);
+        self.sched_lock.acquire(ctx);
+        self.ready_queue.push(ctx, CentralEntry { sw_id, picos_id: Some(picos_id), available_at: ctx.now() });
+        self.sched_lock.release(ctx);
+        self.sched_lock.acquire(ctx);
+        let entry = self.ready_queue.pop(ctx);
+        self.sched_lock.release(ctx);
+        entry
+    }
+
+    /// Executes one ready task if any can be acquired. Returns `true` if a task ran.
+    fn try_execute_one(&mut self, ctx: &mut CoreCtx<'_>, fabric: &mut dyn SchedulerFabric) -> bool {
+        let Some(entry) = self.acquire_work(ctx, fabric) else { return false };
+        let core = ctx.core();
+        // Scheduler policy code + WorkDescriptor load.
+        ctx.spend(self.tuning.fetch_bookkeeping);
+        self.charge_plugin_calls(ctx);
+        ctx.read(Self::wd_addr(entry.sw_id), WD_BYTES);
+
+        let spec = self.specs[entry.sw_id as usize].clone();
+        let start = ctx.now();
+        ctx.execute_payload(spec.payload);
+        let end = ctx.now();
+        self.records.push(ExecRecord { task: spec.id, core, start, end });
+
+        // Retirement.
+        ctx.spend(self.tuning.retire_bookkeeping);
+        self.charge_plugin_calls(ctx);
+        match entry.picos_id {
+            Some(pid) => {
+                let lat = fabric.retire_task(core, pid, ctx.now());
+                ctx.spend(lat);
+            }
+            None => {
+                // Software release: walk the dependence domain under its lock. The actual
+                // removal from the tracker is deferred to `process_sw_pending` so that a core
+                // whose clock still lags this instant keeps seeing the task as in flight.
+                self.dep_lock.acquire(ctx);
+                ctx.spend(ctx.costs().hash_probe * spec.dep_count().max(1) as u64);
+                self.dep_lock.release(ctx);
+                let pid = self.sw_ids[&entry.sw_id];
+                self.sw_pending.push((ctx.now(), pid));
+                self.process_sw_pending(ctx);
+            }
+        }
+        ctx.spend(ctx.costs().heap_free);
+        ctx.atomic(addrs::TASKWAIT_COUNTER);
+        self.retire_log.push(ctx.now());
+        if self.main_in_taskwait && core != 0 {
+            // Signal the condition variable the taskwait is parked on (the waiter itself does
+            // not need to wake anyone).
+            let wake = ctx.costs().futex_wake;
+            ctx.syscall(wake.saturating_sub(ctx.costs().syscall_base));
+        }
+        true
+    }
+
+    fn step_main(&mut self, ctx: &mut CoreCtx<'_>, fabric: &mut dyn SchedulerFabric) -> CoreStatus {
+        if self.done {
+            return CoreStatus::Finished;
+        }
+        match self.ops.get(self.cursor).cloned() {
+            Some(ProgramOp::Spawn(spec)) => {
+                self.main_in_taskwait = false;
+                // WorkDescriptor construction and plugin hooks.
+                ctx.spend(self.tuning.submit_bookkeeping);
+                self.charge_plugin_calls(ctx);
+                ctx.spend(ctx.costs().heap_alloc);
+                ctx.write(Self::wd_addr(spec.id.raw()), WD_BYTES);
+                let submitted = if self.variant.uses_hardware() {
+                    self.hw_submit(ctx, fabric, &spec)
+                } else {
+                    let ready = self.sw_submit(ctx, &spec);
+                    if ready {
+                        self.sched_lock.acquire(ctx);
+                        self.ready_queue.push(
+                            ctx,
+                            CentralEntry { sw_id: spec.id.raw(), picos_id: None, available_at: ctx.now() },
+                        );
+                        self.sched_lock.release(ctx);
+                    }
+                    true
+                };
+                if submitted {
+                    self.submitted += 1;
+                    self.cursor += 1;
+                } else if !self.try_execute_one(ctx, fabric) {
+                    ctx.spend(ctx.costs().mutex_uncontended);
+                }
+                CoreStatus::Progressed
+            }
+            Some(ProgramOp::TaskWait) | None => {
+                let final_barrier = self.cursor >= self.ops.len();
+                let target = self.submitted;
+                self.process_sw_pending(ctx);
+                ctx.read(addrs::TASKWAIT_COUNTER, 8);
+                if self.retired_at(ctx.now()) >= target {
+                    self.main_in_taskwait = false;
+                    if final_barrier {
+                        ctx.write(addrs::SHUTDOWN_FLAG, 8);
+                        self.done = true;
+                        self.workers[ctx.core()].finished = true;
+                    } else {
+                        self.cursor += 1;
+                    }
+                    return CoreStatus::Progressed;
+                }
+                self.main_in_taskwait = true;
+                if self.try_execute_one(ctx, fabric) {
+                    return CoreStatus::Progressed;
+                }
+                // Park on the taskwait condition variable.
+                let wait = ctx.costs().futex_wait;
+                ctx.syscall(wait.saturating_sub(ctx.costs().syscall_base));
+                CoreStatus::Waiting { until: ctx.now() + self.tuning.idle_sleep_quantum }
+            }
+        }
+    }
+
+    fn step_worker(&mut self, ctx: &mut CoreCtx<'_>, fabric: &mut dyn SchedulerFabric) -> CoreStatus {
+        let core = ctx.core();
+        if self.workers[core].finished {
+            return CoreStatus::Finished;
+        }
+        if self.try_execute_one(ctx, fabric) {
+            return CoreStatus::Progressed;
+        }
+        if self.done {
+            ctx.read(addrs::SHUTDOWN_FLAG, 8);
+            self.workers[core].finished = true;
+            return CoreStatus::Finished;
+        }
+        // Idle worker: park on the team condition variable.
+        let wait = ctx.costs().futex_wait;
+        ctx.syscall(wait.saturating_sub(ctx.costs().syscall_base));
+        CoreStatus::Waiting { until: ctx.now() + self.tuning.idle_sleep_quantum }
+    }
+}
+
+impl RuntimeSystem for Nanos {
+    fn name(&self) -> &'static str {
+        self.variant.name()
+    }
+
+    fn step_core(&mut self, ctx: &mut CoreCtx<'_>, fabric: &mut dyn SchedulerFabric) -> CoreStatus {
+        if ctx.core() == 0 {
+            self.step_main(ctx, fabric)
+        } else {
+            self.step_worker(ctx, fabric)
+        }
+    }
+
+    fn is_finished(&self) -> bool {
+        self.done
+    }
+
+    fn exec_records(&self) -> Vec<ExecRecord> {
+        self.records.clone()
+    }
+
+    fn tasks_retired(&self) -> u64 {
+        self.retire_log.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::axi::AxiFabric;
+    use tis_core::TisFabric;
+    use tis_machine::{run_machine, ExecutionReport, MachineConfig, NullFabric};
+    use tis_taskmodel::{Dependence, Payload, ProgramBuilder};
+
+    fn chain_program(n: u64, cycles: u64) -> TaskProgram {
+        let mut b = ProgramBuilder::new("chain");
+        for _ in 0..n {
+            b.spawn(Payload::compute(cycles), vec![Dependence::read_write(0x4_0000)]);
+        }
+        b.taskwait();
+        b.build()
+    }
+
+    fn independent_program(n: u64, cycles: u64) -> TaskProgram {
+        let mut b = ProgramBuilder::new("indep");
+        for i in 0..n {
+            b.spawn(Payload::compute(cycles), vec![Dependence::write(0x5_0000 + i * 64)]);
+        }
+        b.taskwait();
+        b.build()
+    }
+
+    fn run_variant(program: &TaskProgram, cores: usize, variant: NanosVariant) -> ExecutionReport {
+        let cfg = MachineConfig::rocket_with_cores(cores);
+        let mut runtime = Nanos::with_defaults(program, cores, variant);
+        match variant {
+            NanosVariant::Software => {
+                run_machine(&cfg, &mut runtime, &mut NullFabric::new()).expect("nanos-sw run")
+            }
+            NanosVariant::PicosRocc => {
+                run_machine(&cfg, &mut runtime, &mut TisFabric::with_cores(cores)).expect("nanos-rv run")
+            }
+            NanosVariant::PicosAxi => {
+                run_machine(&cfg, &mut runtime, &mut AxiFabric::with_cores(cores)).expect("nanos-axi run")
+            }
+        }
+    }
+
+    #[test]
+    fn all_variants_execute_and_validate_a_chain() {
+        let p = chain_program(12, 2_000);
+        for variant in [NanosVariant::Software, NanosVariant::PicosRocc, NanosVariant::PicosAxi] {
+            let report = run_variant(&p, 2, variant);
+            assert_eq!(report.tasks_retired, 12, "{variant:?}");
+            report.validate_against(&p).unwrap_or_else(|e| panic!("{variant:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn all_variants_execute_and_validate_independent_tasks() {
+        let p = independent_program(24, 30_000);
+        for variant in [NanosVariant::Software, NanosVariant::PicosRocc, NanosVariant::PicosAxi] {
+            let report = run_variant(&p, 4, variant);
+            assert_eq!(report.tasks_retired, 24, "{variant:?}");
+            report.validate_against(&p).unwrap_or_else(|e| panic!("{variant:?}: {e}"));
+        }
+    }
+
+    #[test]
+    fn nanos_rv_overhead_sits_between_phentos_and_nanos_sw() {
+        // Single-core, empty-payload runs measure lifetime scheduling overhead (Figure 7).
+        let p = independent_program(60, 0);
+        let sw = run_variant(&p, 1, NanosVariant::Software).mean_cycles_per_task();
+        let rv = run_variant(&p, 1, NanosVariant::PicosRocc).mean_cycles_per_task();
+        let axi = run_variant(&p, 1, NanosVariant::PicosAxi).mean_cycles_per_task();
+        assert!(rv < sw, "hardware dependence tracking must beat software: rv={rv:.0} sw={sw:.0}");
+        assert!(rv < axi, "tight integration must beat the AXI path: rv={rv:.0} axi={axi:.0}");
+        assert!(rv > 5_000.0 && rv < 25_000.0, "nanos-rv overhead in the paper's range, got {rv:.0}");
+        assert!(sw > 15_000.0, "nanos-sw overhead is tens of thousands of cycles, got {sw:.0}");
+    }
+
+    #[test]
+    fn software_dependence_cost_grows_with_dependence_count() {
+        let mut few = ProgramBuilder::new("few");
+        let mut many = ProgramBuilder::new("many");
+        for i in 0..30u64 {
+            few.spawn(Payload::empty(), vec![Dependence::write(0x9_0000 + i * 64)]);
+            let deps: Vec<_> = (0..15u64)
+                .map(|d| Dependence::write(0x10_0000 + (i * 15 + d) * 64))
+                .collect();
+            many.spawn(Payload::empty(), deps);
+        }
+        few.taskwait();
+        many.taskwait();
+        let few_cost = run_variant(&few.build(), 1, NanosVariant::Software).mean_cycles_per_task();
+        let many_cost = run_variant(&many.build(), 1, NanosVariant::Software).mean_cycles_per_task();
+        assert!(
+            many_cost > 2.0 * few_cost,
+            "15-dependence tasks must cost far more than 1-dependence tasks in software ({many_cost:.0} vs {few_cost:.0})"
+        );
+    }
+
+    #[test]
+    fn coarse_tasks_still_scale_under_nanos() {
+        // With sufficiently coarse tasks even Nanos-SW delivers parallel speedup — the paper's
+        // hypothesis 3 (the gap closes as granularity grows).
+        let p = independent_program(32, 400_000);
+        let serial = p.serial_cycles(16.0, 8);
+        let report = run_variant(&p, 4, NanosVariant::Software);
+        let speedup = report.speedup_over(serial);
+        assert!(speedup > 2.0, "coarse tasks should scale even in software, got {speedup:.2}");
+        assert!(
+            report.core_stats.iter().filter(|s| s.tasks_executed > 0).count() >= 3,
+            "work must actually be distributed across cores"
+        );
+    }
+
+    #[test]
+    fn variant_names_match_paper_labels() {
+        assert_eq!(NanosVariant::Software.name(), "nanos-sw");
+        assert_eq!(NanosVariant::PicosRocc.name(), "nanos-rv");
+        assert_eq!(NanosVariant::PicosAxi.name(), "nanos-axi");
+        assert!(!NanosVariant::Software.uses_hardware());
+        assert!(NanosVariant::PicosRocc.uses_hardware());
+    }
+}

@@ -1,0 +1,36 @@
+//! Functional and timing model of the **Picos** hardware task-dependence manager.
+//!
+//! Picos (Yazdanpanah et al., Tan et al.) is the accelerator the paper integrates into Rocket
+//! Chip. Its outside interface is three queues of 32-bit packets (Section IV-D):
+//!
+//! * a **submission queue** receiving 48-packet task descriptors (Figure 3);
+//! * a **ready queue** producing descriptors of tasks whose dependences are satisfied;
+//! * a **retirement queue** receiving the Picos IDs of finished tasks.
+//!
+//! Internally it keeps a task graph in a bounded *task memory* and matches dependence addresses
+//! in a bounded *address table* (the hardware uses CAM-like structures). This crate models both
+//! the **function** (exactly the RAW/WAW/WAR semantics of the task-parallel paradigm, validated
+//! against the reference graph of `tis-taskmodel`) and the **timing** (per-packet acceptance,
+//! pipelined task insertion, ready-descriptor generation and retirement processing), so the
+//! RoCC-integrated system built on top of it in `tis-core` exhibits the end-to-end latencies the
+//! paper reports.
+//!
+//! Capacity limits matter: when the task memory or the internal queues fill up, Picos stops
+//! accepting submissions — which is precisely why the paper's custom instructions are
+//! non-blocking and why the deadlock-avoidance discussion of Section IV-C exists.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod device;
+pub mod packet;
+pub mod timing;
+pub mod tracker;
+
+pub use device::{Picos, PicosConfig, PicosStats, ReadyTask};
+pub use packet::{
+    decode_descriptor, encode_descriptor, encode_nonzero_prefix, PacketDecodeError,
+    SubmissionPacket, SubmittedTask, PACKETS_PER_DEP, PACKETS_PER_DESCRIPTOR,
+};
+pub use timing::PicosTiming;
+pub use tracker::{DependenceTracker, PicosId, TrackerConfig, TrackerError};

@@ -1,0 +1,284 @@
+//! The 48-packet task descriptor encoding of Figure 3.
+//!
+//! Every task submitted to Picos is described by exactly 48 32-bit packets:
+//!
+//! ```text
+//!   packet  0 : task-ID (high 32 bits)        \
+//!   packet  1 : task-ID (low 32 bits)          |  3-packet header
+//!   packet  2 : #deps                          /
+//!   packet  3 : dep 0 address (high)          \
+//!   packet  4 : dep 0 address (low)            |  3 packets per dependence slot,
+//!   packet  5 : dep 0 directionality           |  15 slots
+//!   ...                                        /
+//!   packet 47 : dep 14 directionality
+//! ```
+//!
+//! A task with `N ≤ 15` dependences only has `3 + 3·N` non-zero packets; the remaining
+//! `(15 − N)·3` packets are zero. In the paper's system the runtime only transmits the non-zero
+//! prefix and Picos Manager's *Zero Padder* appends the rest, which is what makes the
+//! Submit-Three-Packets instruction profitable.
+
+use tis_taskmodel::{Dependence, Direction};
+
+/// One 32-bit submission packet.
+pub type SubmissionPacket = u32;
+
+/// Total packets per descriptor (3-packet header + 15 dependence slots × 3 packets).
+pub const PACKETS_PER_DESCRIPTOR: usize = 48;
+
+/// Packets per dependence slot.
+pub const PACKETS_PER_DEP: usize = 3;
+
+/// Maximum dependences encodable in one descriptor.
+pub const MAX_DEPS: usize = (PACKETS_PER_DESCRIPTOR - 3) / PACKETS_PER_DEP;
+
+/// A task as understood by Picos after decoding its descriptor: the software identifier chosen
+/// by the runtime plus the dependence annotations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubmittedTask {
+    /// The 64-bit software task identifier (the "SW ID" returned by `Fetch SW ID`).
+    pub sw_id: u64,
+    /// Dependence annotations in submission order.
+    pub deps: Vec<Dependence>,
+}
+
+impl SubmittedTask {
+    /// Creates a submitted-task record.
+    pub fn new(sw_id: u64, deps: Vec<Dependence>) -> Self {
+        SubmittedTask { sw_id, deps }
+    }
+
+    /// Number of non-zero packets in this task's descriptor.
+    pub fn nonzero_packets(&self) -> usize {
+        3 + PACKETS_PER_DEP * self.deps.len()
+    }
+}
+
+/// Errors produced when decoding a 48-packet descriptor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PacketDecodeError {
+    /// The descriptor did not contain exactly [`PACKETS_PER_DESCRIPTOR`] packets.
+    WrongLength(usize),
+    /// The `#deps` header field exceeds the 15-dependence limit.
+    TooManyDeps(u32),
+    /// A dependence slot within the declared count carries the reserved directionality `0b00`.
+    InvalidDirectionality {
+        /// Index of the offending dependence slot.
+        slot: usize,
+    },
+    /// A dependence slot beyond the declared count carries non-zero data.
+    NonZeroPadding {
+        /// Index of the first offending packet.
+        packet: usize,
+    },
+}
+
+impl core::fmt::Display for PacketDecodeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            PacketDecodeError::WrongLength(n) => {
+                write!(f, "descriptor has {n} packets, expected {PACKETS_PER_DESCRIPTOR}")
+            }
+            PacketDecodeError::TooManyDeps(n) => {
+                write!(f, "descriptor declares {n} dependences, more than {MAX_DEPS}")
+            }
+            PacketDecodeError::InvalidDirectionality { slot } => {
+                write!(f, "dependence slot {slot} carries the reserved directionality encoding")
+            }
+            PacketDecodeError::NonZeroPadding { packet } => {
+                write!(f, "packet {packet} should be zero padding but is not")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PacketDecodeError {}
+
+/// Encodes a task into its full 48-packet descriptor (including zero padding).
+///
+/// # Panics
+///
+/// Panics if the task declares more than 15 dependences; the `tis-taskmodel` validation layer is
+/// supposed to reject such tasks long before they reach the packet codec.
+pub fn encode_descriptor(task: &SubmittedTask) -> Vec<SubmissionPacket> {
+    assert!(task.deps.len() <= MAX_DEPS, "at most {MAX_DEPS} dependences per descriptor");
+    let mut packets = Vec::with_capacity(PACKETS_PER_DESCRIPTOR);
+    packets.push((task.sw_id >> 32) as u32);
+    packets.push(task.sw_id as u32);
+    packets.push(task.deps.len() as u32);
+    for d in &task.deps {
+        packets.push((d.addr >> 32) as u32);
+        packets.push(d.addr as u32);
+        packets.push(d.dir.encode());
+    }
+    packets.resize(PACKETS_PER_DESCRIPTOR, 0);
+    packets
+}
+
+/// Encodes only the non-zero prefix of the descriptor — what the runtime actually transmits
+/// through the Submit Packet / Submit Three Packets instructions before the Zero Padder takes
+/// over.
+pub fn encode_nonzero_prefix(task: &SubmittedTask) -> Vec<SubmissionPacket> {
+    let mut packets = encode_descriptor(task);
+    packets.truncate(task.nonzero_packets());
+    packets
+}
+
+/// Decodes a full 48-packet descriptor back into a task.
+///
+/// # Errors
+///
+/// Returns a [`PacketDecodeError`] if the descriptor is malformed (wrong length, too many
+/// dependences, reserved directionality, or non-zero padding).
+pub fn decode_descriptor(packets: &[SubmissionPacket]) -> Result<SubmittedTask, PacketDecodeError> {
+    if packets.len() != PACKETS_PER_DESCRIPTOR {
+        return Err(PacketDecodeError::WrongLength(packets.len()));
+    }
+    let sw_id = ((packets[0] as u64) << 32) | packets[1] as u64;
+    let ndeps = packets[2];
+    if ndeps as usize > MAX_DEPS {
+        return Err(PacketDecodeError::TooManyDeps(ndeps));
+    }
+    let mut deps = Vec::with_capacity(ndeps as usize);
+    for slot in 0..MAX_DEPS {
+        let base = 3 + slot * PACKETS_PER_DEP;
+        let (hi, lo, dir_bits) = (packets[base], packets[base + 1], packets[base + 2]);
+        if slot < ndeps as usize {
+            let dir = Direction::decode(dir_bits)
+                .ok_or(PacketDecodeError::InvalidDirectionality { slot })?;
+            let addr = ((hi as u64) << 32) | lo as u64;
+            deps.push(Dependence::new(addr, dir));
+        } else if hi != 0 || lo != 0 || dir_bits != 0 {
+            return Err(PacketDecodeError::NonZeroPadding { packet: base });
+        }
+    }
+    Ok(SubmittedTask { sw_id, deps })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tis_taskmodel::Direction;
+
+    fn sample_task(ndeps: usize) -> SubmittedTask {
+        let deps = (0..ndeps)
+            .map(|i| {
+                let dir = Direction::ALL[i % 3];
+                Dependence::new(0xDEAD_0000_1000 + (i as u64) * 64, dir)
+            })
+            .collect();
+        SubmittedTask::new(0x1234_5678_9ABC_DEF0, deps)
+    }
+
+    #[test]
+    fn descriptor_is_always_48_packets() {
+        for n in 0..=15 {
+            let t = sample_task(n);
+            let p = encode_descriptor(&t);
+            assert_eq!(p.len(), PACKETS_PER_DESCRIPTOR);
+            assert_eq!(encode_nonzero_prefix(&t).len(), 3 + 3 * n);
+        }
+    }
+
+    #[test]
+    fn roundtrip_all_dep_counts() {
+        for n in 0..=15 {
+            let t = sample_task(n);
+            let decoded = decode_descriptor(&encode_descriptor(&t)).unwrap();
+            assert_eq!(decoded, t);
+        }
+    }
+
+    #[test]
+    fn header_layout_matches_figure_3() {
+        let t = sample_task(1);
+        let p = encode_descriptor(&t);
+        assert_eq!(p[0], 0x1234_5678, "task-ID high");
+        assert_eq!(p[1], 0x9ABC_DEF0, "task-ID low");
+        assert_eq!(p[2], 1, "#deps");
+        assert_eq!(p[3], 0x0000_DEAD, "address high");
+        assert_eq!(p[4], 0x0000_1000, "address low");
+        assert_eq!(p[5], Direction::In.encode(), "directionality");
+        assert!(p[6..].iter().all(|&x| x == 0), "zero padding");
+    }
+
+    #[test]
+    fn wrong_length_rejected() {
+        assert_eq!(decode_descriptor(&[0; 47]), Err(PacketDecodeError::WrongLength(47)));
+        assert_eq!(decode_descriptor(&[0; 49]), Err(PacketDecodeError::WrongLength(49)));
+    }
+
+    #[test]
+    fn too_many_deps_rejected() {
+        let mut p = encode_descriptor(&sample_task(0));
+        p[2] = 16;
+        assert_eq!(decode_descriptor(&p), Err(PacketDecodeError::TooManyDeps(16)));
+    }
+
+    #[test]
+    fn reserved_directionality_rejected() {
+        let mut p = encode_descriptor(&sample_task(2));
+        p[3 + PACKETS_PER_DEP + 2] = 0; // second slot directionality -> reserved 0b00
+        assert_eq!(
+            decode_descriptor(&p),
+            Err(PacketDecodeError::InvalidDirectionality { slot: 1 })
+        );
+    }
+
+    #[test]
+    fn nonzero_padding_rejected() {
+        let mut p = encode_descriptor(&sample_task(1));
+        p[10] = 7; // inside the padding region
+        match decode_descriptor(&p) {
+            Err(PacketDecodeError::NonZeroPadding { packet }) => assert!(packet <= 10),
+            other => panic!("expected NonZeroPadding, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = PacketDecodeError::TooManyDeps(99).to_string();
+        assert!(e.contains("99") && e.contains("15"));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use tis_taskmodel::Direction;
+
+    fn arb_task() -> impl Strategy<Value = SubmittedTask> {
+        (
+            any::<u64>(),
+            proptest::collection::vec((any::<u64>(), 0usize..3), 0..=15),
+        )
+            .prop_map(|(sw_id, deps)| {
+                let deps = deps
+                    .into_iter()
+                    .map(|(addr, d)| Dependence::new(addr, Direction::ALL[d]))
+                    .collect();
+                SubmittedTask::new(sw_id, deps)
+            })
+    }
+
+    proptest! {
+        /// Encode/decode is a lossless roundtrip for every representable task.
+        #[test]
+        fn roundtrip(task in arb_task()) {
+            let packets = encode_descriptor(&task);
+            prop_assert_eq!(packets.len(), PACKETS_PER_DESCRIPTOR);
+            let decoded = decode_descriptor(&packets).unwrap();
+            prop_assert_eq!(decoded, task);
+        }
+
+        /// The non-zero prefix plus zero padding equals the full descriptor.
+        #[test]
+        fn prefix_plus_padding_equals_full(task in arb_task()) {
+            let full = encode_descriptor(&task);
+            let mut prefix = encode_nonzero_prefix(&task);
+            prefix.resize(PACKETS_PER_DESCRIPTOR, 0);
+            prop_assert_eq!(prefix, full);
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Timing parameters of the Picos pipeline.
+//!
+//! The original Picos is a pipelined design clocked at the same 80 MHz as the cores in the
+//! paper's prototype (both live in the same FPGA fabric). The constants below describe how many
+//! core cycles each stage of the accelerator needs; they are calibrated so that the end-to-end
+//! per-task lifetime overheads of the integrated system land in the range reported by Figure 7
+//! (a few hundred cycles for Phentos), and are deliberately exposed so ablation benches can vary
+//! them.
+
+use tis_sim::Cycle;
+
+/// Per-stage latencies of the Picos model, in core cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PicosTiming {
+    /// Cycles Picos needs to absorb one 32-bit submission packet from its submission queue.
+    pub packet_accept: Cycle,
+    /// Fixed cost of inserting a new task into the task memory once all 48 packets arrived.
+    pub task_insert_base: Cycle,
+    /// Additional insertion cost per declared dependence (address-table lookup and linkage).
+    pub task_insert_per_dep: Cycle,
+    /// Cycles between a task becoming dependence-free and its descriptor appearing in the ready
+    /// queue. The paper quotes an 8-cycle latency for fetching the three ready packets; half of
+    /// it is hidden by Picos Manager's per-core ready queues.
+    pub ready_publish: Cycle,
+    /// Fixed cost of processing one retirement packet.
+    pub retire_base: Cycle,
+    /// Additional retirement cost per outgoing dependence edge woken by the retiring task.
+    pub retire_per_successor: Cycle,
+}
+
+impl Default for PicosTiming {
+    fn default() -> Self {
+        PicosTiming {
+            packet_accept: 1,
+            task_insert_base: 6,
+            task_insert_per_dep: 2,
+            ready_publish: 8,
+            retire_base: 4,
+            retire_per_successor: 2,
+        }
+    }
+}
+
+impl PicosTiming {
+    /// Total pipeline cycles needed to ingest and insert a task with `deps` dependences, from
+    /// the first packet entering the submission queue to the task being linked into the graph.
+    pub fn submission_cycles(&self, deps: usize) -> Cycle {
+        let packets = (3 + 3 * deps) as Cycle;
+        packets * self.packet_accept + self.task_insert_base + self.task_insert_per_dep * deps as Cycle
+    }
+
+    /// Cycles needed to process a retirement that wakes `successors` dependent tasks.
+    pub fn retirement_cycles(&self, successors: usize) -> Cycle {
+        self.retire_base + self.retire_per_successor * successors as Cycle
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn submission_cost_grows_with_deps() {
+        let t = PicosTiming::default();
+        let none = t.submission_cycles(0);
+        let one = t.submission_cycles(1);
+        let fifteen = t.submission_cycles(15);
+        assert!(none < one && one < fifteen);
+        // 0 deps: 3 packets * 1 + 6 = 9 cycles with the default timing.
+        assert_eq!(none, 9);
+        // 15 deps: 48 packets + 6 + 30 = 84 cycles.
+        assert_eq!(fifteen, 84);
+    }
+
+    #[test]
+    fn retirement_cost_grows_with_fanout() {
+        let t = PicosTiming::default();
+        assert_eq!(t.retirement_cycles(0), 4);
+        assert_eq!(t.retirement_cycles(3), 10);
+        assert!(t.retirement_cycles(10) > t.retirement_cycles(2));
+    }
+
+    #[test]
+    fn defaults_keep_submission_well_under_previous_systems() {
+        // The whole point of the paper: the hardware path must cost hundreds, not thousands,
+        // of cycles per task.
+        let t = PicosTiming::default();
+        assert!(t.submission_cycles(15) < 200);
+        assert!(t.retirement_cycles(15) < 100);
+    }
+}

@@ -1,0 +1,217 @@
+//! Bounded FIFO queues modelling the Chisel `Queue` hardware primitives.
+//!
+//! Picos and Picos Manager are built almost entirely out of fixed-capacity FIFOs: the submission
+//! queue, the per-core ready queues, the retirement queue, the routing queue inside the
+//! work-fetch arbiter, and so on. [`BoundedQueue`] reproduces their behaviour:
+//!
+//! * pushes fail (return the rejected element) when the queue is full — this is what makes the
+//!   non-blocking RoCC instructions of the paper return failure flags;
+//! * occupancy statistics (high-water mark, total accepted/rejected) are recorded so experiments
+//!   can report queue pressure.
+//!
+//! The distinction the paper draws between *fallthrough* Chisel queues and *non-fallthrough*
+//! Picos queues (Section IV-F2, "protocol crossing modules") is about combinational timing in
+//! RTL; at the cycle-count abstraction of this simulator both behave identically, and the
+//! protocol-crossing latency is charged by the Picos Manager model instead.
+
+use std::collections::VecDeque;
+
+/// A bounded FIFO with occupancy accounting.
+#[derive(Debug, Clone)]
+pub struct BoundedQueue<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+    accepted: u64,
+    rejected: u64,
+    high_water: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue with the given capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero: a zero-entry hardware queue cannot exist.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be non-zero");
+        BoundedQueue {
+            items: VecDeque::with_capacity(capacity),
+            capacity,
+            accepted: 0,
+            rejected: 0,
+            high_water: 0,
+        }
+    }
+
+    /// Maximum number of elements the queue can hold.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of queued elements.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the queue currently holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Whether the queue is at capacity (a push would be rejected).
+    pub fn is_full(&self) -> bool {
+        self.items.len() >= self.capacity
+    }
+
+    /// Remaining free slots.
+    pub fn free_slots(&self) -> usize {
+        self.capacity - self.items.len()
+    }
+
+    /// Attempts to enqueue `item`.
+    ///
+    /// Returns `Ok(())` on success and `Err(item)` (handing the element back to the producer,
+    /// exactly like a de-asserted `ready` signal) if the queue is full.
+    pub fn push(&mut self, item: T) -> Result<(), T> {
+        if self.is_full() {
+            self.rejected += 1;
+            return Err(item);
+        }
+        self.items.push_back(item);
+        self.accepted += 1;
+        if self.items.len() > self.high_water {
+            self.high_water = self.items.len();
+        }
+        Ok(())
+    }
+
+    /// Dequeues the oldest element, if any.
+    pub fn pop(&mut self) -> Option<T> {
+        self.items.pop_front()
+    }
+
+    /// Returns a reference to the oldest element without dequeuing it.
+    pub fn front(&self) -> Option<&T> {
+        self.items.front()
+    }
+
+    /// Total number of successfully enqueued elements over the queue's lifetime.
+    pub fn total_accepted(&self) -> u64 {
+        self.accepted
+    }
+
+    /// Total number of rejected pushes over the queue's lifetime.
+    pub fn total_rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Highest occupancy ever observed.
+    pub fn high_water_mark(&self) -> usize {
+        self.high_water
+    }
+
+    /// Removes all elements, keeping the lifetime statistics.
+    pub fn clear(&mut self) {
+        self.items.clear();
+    }
+
+    /// Iterates over queued elements from oldest to newest.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.items.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order_preserved() {
+        let mut q = BoundedQueue::new(4);
+        for i in 0..4 {
+            q.push(i).unwrap();
+        }
+        assert_eq!(q.pop(), Some(0));
+        assert_eq!(q.pop(), Some(1));
+        q.push(9).unwrap();
+        assert_eq!(q.iter().copied().collect::<Vec<_>>(), vec![2, 3, 9]);
+    }
+
+    #[test]
+    fn push_to_full_queue_returns_item() {
+        let mut q = BoundedQueue::new(2);
+        q.push("a").unwrap();
+        q.push("b").unwrap();
+        assert!(q.is_full());
+        assert_eq!(q.push("c"), Err("c"));
+        assert_eq!(q.total_rejected(), 1);
+        assert_eq!(q.total_accepted(), 2);
+    }
+
+    #[test]
+    fn occupancy_accounting() {
+        let mut q = BoundedQueue::new(8);
+        for i in 0..5 {
+            q.push(i).unwrap();
+        }
+        for _ in 0..3 {
+            q.pop();
+        }
+        q.push(10).unwrap();
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.free_slots(), 5);
+        assert_eq!(q.high_water_mark(), 5);
+        assert_eq!(q.front(), Some(&3));
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.total_accepted(), 6, "clear keeps lifetime stats");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_rejected() {
+        let _: BoundedQueue<u8> = BoundedQueue::new(0);
+    }
+
+    #[test]
+    fn pop_empty_is_none() {
+        let mut q: BoundedQueue<u32> = BoundedQueue::new(1);
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.front(), None);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The queue behaves exactly like an unbounded VecDeque filtered by a capacity check:
+        /// same contents, same pop order, and never exceeds capacity.
+        #[test]
+        fn matches_reference_model(capacity in 1usize..16, ops in proptest::collection::vec(any::<Option<u8>>(), 0..200)) {
+            let mut q = BoundedQueue::new(capacity);
+            let mut model: VecDeque<u8> = VecDeque::new();
+            for op in ops {
+                match op {
+                    Some(v) => {
+                        let r = q.push(v);
+                        if model.len() < capacity {
+                            prop_assert!(r.is_ok());
+                            model.push_back(v);
+                        } else {
+                            prop_assert_eq!(r, Err(v));
+                        }
+                    }
+                    None => {
+                        prop_assert_eq!(q.pop(), model.pop_front());
+                    }
+                }
+                prop_assert!(q.len() <= capacity);
+                prop_assert_eq!(q.len(), model.len());
+                prop_assert_eq!(q.front().copied(), model.front().copied());
+            }
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Bounded event tracing for simulator debugging.
+//!
+//! A [`TraceBuffer`] is a ring buffer of timestamped [`TraceEvent`]s. It is disabled (zero
+//! capacity) by default so production experiments pay nothing; tests and the examples enable it
+//! to explain *why* a schedule looks the way it does (who submitted which task, which core
+//! fetched it, when it retired).
+
+use crate::clock::Cycle;
+use std::collections::VecDeque;
+
+/// Severity / verbosity classification of a trace event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TraceLevel {
+    /// Major lifecycle events: task submitted, task retired, simulation finished.
+    Info,
+    /// Detailed events: individual RoCC instructions, queue pushes, cache upgrades.
+    Detail,
+    /// Very fine-grained events, normally only useful when debugging the simulator itself.
+    Debug,
+}
+
+/// One timestamped trace record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Simulated cycle at which the event occurred.
+    pub cycle: Cycle,
+    /// Verbosity class of the event.
+    pub level: TraceLevel,
+    /// Component that emitted the event (e.g. `"picos"`, `"core3"`, `"phentos"`).
+    pub source: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl core::fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "[{:>10}] {:<8} {}", self.cycle, self.source, self.message)
+    }
+}
+
+/// A bounded ring buffer of trace events.
+#[derive(Debug, Clone, Default)]
+pub struct TraceBuffer {
+    events: VecDeque<TraceEvent>,
+    capacity: usize,
+    max_level: Option<TraceLevel>,
+    dropped: u64,
+}
+
+impl TraceBuffer {
+    /// Creates a disabled trace buffer that ignores all events.
+    pub fn disabled() -> Self {
+        TraceBuffer { events: VecDeque::new(), capacity: 0, max_level: None, dropped: 0 }
+    }
+
+    /// Creates a trace buffer retaining at most `capacity` most-recent events at or below the
+    /// given verbosity.
+    pub fn new(capacity: usize, max_level: TraceLevel) -> Self {
+        TraceBuffer {
+            events: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            max_level: Some(max_level),
+            dropped: 0,
+        }
+    }
+
+    /// Whether the buffer records anything at all.
+    pub fn is_enabled(&self) -> bool {
+        self.capacity > 0 && self.max_level.is_some()
+    }
+
+    /// Whether an event of the given level would be recorded.
+    pub fn accepts(&self, level: TraceLevel) -> bool {
+        match self.max_level {
+            Some(max) if self.capacity > 0 => level <= max,
+            _ => false,
+        }
+    }
+
+    /// Records an event, evicting the oldest one if the buffer is full.
+    pub fn record(
+        &mut self,
+        cycle: Cycle,
+        level: TraceLevel,
+        source: impl Into<String>,
+        message: impl Into<String>,
+    ) {
+        if !self.accepts(level) {
+            return;
+        }
+        if self.events.len() >= self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(TraceEvent {
+            cycle,
+            level,
+            source: source.into(),
+            message: message.into(),
+        });
+    }
+
+    /// Number of events currently retained.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of events evicted because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterates over retained events from oldest to newest.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Renders all retained events, one per line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str(&e.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_buffer_records_nothing() {
+        let mut t = TraceBuffer::disabled();
+        assert!(!t.is_enabled());
+        t.record(1, TraceLevel::Info, "x", "y");
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn level_filtering() {
+        let mut t = TraceBuffer::new(16, TraceLevel::Info);
+        assert!(t.accepts(TraceLevel::Info));
+        assert!(!t.accepts(TraceLevel::Detail));
+        t.record(1, TraceLevel::Detail, "picos", "ignored");
+        t.record(2, TraceLevel::Info, "picos", "kept");
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.iter().next().unwrap().message, "kept");
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let mut t = TraceBuffer::new(3, TraceLevel::Debug);
+        for i in 0..5u64 {
+            t.record(i, TraceLevel::Info, "core0", format!("e{i}"));
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.dropped(), 2);
+        let msgs: Vec<_> = t.iter().map(|e| e.message.clone()).collect();
+        assert_eq!(msgs, vec!["e2", "e3", "e4"]);
+    }
+
+    #[test]
+    fn render_contains_cycle_and_source() {
+        let mut t = TraceBuffer::new(4, TraceLevel::Debug);
+        t.record(123, TraceLevel::Info, "phentos", "task 7 retired");
+        let s = t.render();
+        assert!(s.contains("123"));
+        assert!(s.contains("phentos"));
+        assert!(s.contains("task 7 retired"));
+    }
+}

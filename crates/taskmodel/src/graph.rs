@@ -1,0 +1,687 @@
+//! Reference dependence graph and execution validation.
+//!
+//! Every scheduler in this workspace — the Picos hardware model, the Nanos-SW software
+//! dependence domain and the Phentos/Nanos-RV paths through the RoCC fabric — must agree with
+//! the *sequential semantics* definition of task dependences (Section III-A of the paper).
+//! [`DepGraph::from_program`] computes that ground truth directly from program order and the
+//! RAW/WAW/WAR rules, and [`ExecutionValidator`] checks that a simulated execution honoured it.
+//! These two types are the backbone of the workspace's correctness tests.
+
+use std::collections::HashMap;
+
+use crate::dep::DepAddr;
+use crate::program::{ProgramOp, TaskProgram};
+use crate::task::TaskId;
+
+/// Sequential-semantics dependence graph of a [`TaskProgram`].
+///
+/// Nodes are tasks (indexed by their [`TaskId`], which the [`crate::ProgramBuilder`] assigns
+/// densely in spawn order); edges point from a task to the later tasks that must wait for it.
+/// `taskwait` barriers are recorded as *phases* rather than as edges: a task spawned after the
+/// k-th barrier belongs to phase k and may not start before every task of earlier phases has
+/// finished (because the main thread cannot even spawn it until then).
+#[derive(Debug, Clone)]
+pub struct DepGraph {
+    successors: Vec<Vec<usize>>,
+    predecessor_count: Vec<usize>,
+    phase: Vec<usize>,
+    edge_count: usize,
+}
+
+impl DepGraph {
+    /// Builds the reference graph for a program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if task ids are not dense (0..n in spawn order); the [`crate::ProgramBuilder`]
+    /// guarantees density, so a violation indicates a hand-built, inconsistent program.
+    pub fn from_program(program: &TaskProgram) -> Self {
+        let n = program.task_count();
+        let mut successors: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut predecessor_count = vec![0usize; n];
+        let mut phase = vec![0usize; n];
+        let mut edge_count = 0usize;
+
+        // Per-address tracking of the last writer and of the readers that arrived after it.
+        #[derive(Default)]
+        struct AddrState {
+            last_writer: Option<usize>,
+            readers_since_write: Vec<usize>,
+        }
+        let mut addr_state: HashMap<DepAddr, AddrState> = HashMap::new();
+        let mut current_phase = 0usize;
+        let mut next_index = 0usize;
+
+        let add_edge = |from: usize,
+                            to: usize,
+                            successors: &mut Vec<Vec<usize>>,
+                            predecessor_count: &mut Vec<usize>,
+                            edge_count: &mut usize| {
+            debug_assert!(from < to, "dependence edges always point forward in program order");
+            if !successors[from].contains(&to) {
+                successors[from].push(to);
+                predecessor_count[to] += 1;
+                *edge_count += 1;
+            }
+        };
+
+        for op in program.ops() {
+            match op {
+                ProgramOp::TaskWait => current_phase += 1,
+                ProgramOp::Spawn(spec) => {
+                    let idx = spec.id.raw() as usize;
+                    assert_eq!(
+                        idx, next_index,
+                        "task ids must be dense and in spawn order (got {idx}, expected {next_index})"
+                    );
+                    next_index += 1;
+                    phase[idx] = current_phase;
+                    for dep in &spec.deps {
+                        let st = addr_state.entry(dep.addr).or_default();
+                        if dep.dir.reads() {
+                            if let Some(w) = st.last_writer {
+                                add_edge(w, idx, &mut successors, &mut predecessor_count, &mut edge_count);
+                            }
+                        }
+                        if dep.dir.writes() {
+                            if let Some(w) = st.last_writer {
+                                add_edge(w, idx, &mut successors, &mut predecessor_count, &mut edge_count);
+                            }
+                            for &r in &st.readers_since_write {
+                                if r != idx {
+                                    add_edge(r, idx, &mut successors, &mut predecessor_count, &mut edge_count);
+                                }
+                            }
+                        }
+                        // Update the address state *after* computing edges against the past.
+                        if dep.dir.writes() {
+                            st.last_writer = Some(idx);
+                            st.readers_since_write.clear();
+                            if dep.dir.reads() {
+                                st.readers_since_write.push(idx);
+                            }
+                        } else {
+                            st.readers_since_write.push(idx);
+                        }
+                    }
+                }
+            }
+        }
+
+        DepGraph { successors, predecessor_count, phase, edge_count }
+    }
+
+    /// Number of tasks (nodes).
+    pub fn task_count(&self) -> usize {
+        self.successors.len()
+    }
+
+    /// Number of distinct dependence edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Whether there is a direct dependence edge from `from` to `to`.
+    pub fn has_edge(&self, from: TaskId, to: TaskId) -> bool {
+        self.successors
+            .get(from.raw() as usize)
+            .map(|s| s.contains(&(to.raw() as usize)))
+            .unwrap_or(false)
+    }
+
+    /// Direct successors of a task.
+    pub fn successors(&self, of: TaskId) -> impl Iterator<Item = TaskId> + '_ {
+        self.successors
+            .get(of.raw() as usize)
+            .into_iter()
+            .flatten()
+            .map(|&i| TaskId(i as u64))
+    }
+
+    /// Number of direct predecessors (in-degree) of a task.
+    pub fn predecessor_count(&self, of: TaskId) -> usize {
+        self.predecessor_count.get(of.raw() as usize).copied().unwrap_or(0)
+    }
+
+    /// Taskwait phase of a task: the number of `taskwait` barriers the main thread executed
+    /// before spawning it.
+    pub fn phase(&self, of: TaskId) -> usize {
+        self.phase.get(of.raw() as usize).copied().unwrap_or(0)
+    }
+
+    /// Tasks with no predecessors in their phase-constrained graph: the initially-ready set of
+    /// phase 0.
+    pub fn initially_ready(&self) -> Vec<TaskId> {
+        (0..self.task_count())
+            .filter(|&i| self.predecessor_count[i] == 0 && self.phase[i] == 0)
+            .map(|i| TaskId(i as u64))
+            .collect()
+    }
+
+    /// Structural statistics: critical path and an ideal-parallelism profile.
+    ///
+    /// `weights[i]` is the execution cost of task `i` (use `1.0` everywhere for a purely
+    /// structural view). Both the dependence edges and the phase (taskwait) constraints are
+    /// honoured. The returned [`GraphStats::max_width`] is the largest number of tasks that an
+    /// infinitely wide machine would run concurrently under list scheduling — an upper bound on
+    /// exploitable parallelism.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.len()` differs from the number of tasks.
+    pub fn stats(&self, weights: &[f64]) -> GraphStats {
+        let n = self.task_count();
+        assert_eq!(weights.len(), n, "one weight per task required");
+        if n == 0 {
+            return GraphStats {
+                tasks: 0,
+                edges: 0,
+                phases: 1,
+                critical_path_weight: 0.0,
+                total_weight: 0.0,
+                ideal_parallelism: 0.0,
+                max_width: 0,
+            };
+        }
+        // Longest path to each node, processed in topological (= id) order. Phases are handled
+        // by forcing each task to start no earlier than the completion of the previous phases.
+        let mut finish = vec![0.0f64; n];
+        let mut phase_end: Vec<f64> = Vec::new();
+        let max_phase = self.phase.iter().copied().max().unwrap_or(0);
+        phase_end.resize(max_phase + 1, 0.0);
+        let mut earliest = vec![0.0f64; n];
+        for i in 0..n {
+            let ph = self.phase[i];
+            let barrier_floor = if ph == 0 { 0.0 } else { phase_end[ph - 1] };
+            let start = earliest[i].max(barrier_floor);
+            finish[i] = start + weights[i];
+            phase_end[ph] = phase_end[ph].max(finish[i]);
+            for &s in &self.successors[i] {
+                earliest[s] = earliest[s].max(finish[i]);
+            }
+        }
+        // Propagate barrier floors forward so phase_end is monotone even for empty phases.
+        for p in 1..phase_end.len() {
+            if phase_end[p] < phase_end[p - 1] {
+                phase_end[p] = phase_end[p - 1];
+            }
+        }
+        let critical = finish.iter().copied().fold(0.0f64, f64::max);
+        let total: f64 = weights.iter().sum();
+        // Structural width: schedule every task at its earliest start on infinite cores and take
+        // the maximum number of overlapping tasks (sampled at start events).
+        let mut intervals: Vec<(f64, f64)> = (0..n)
+            .map(|i| (finish[i] - weights[i], finish[i]))
+            .collect();
+        intervals.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+        let mut max_width = 0usize;
+        for &(start, _) in &intervals {
+            let width = intervals
+                .iter()
+                .filter(|&&(s, e)| s <= start && start < e || (s == e && s == start))
+                .count();
+            max_width = max_width.max(width);
+        }
+        GraphStats {
+            tasks: n,
+            edges: self.edge_count,
+            phases: max_phase + 1,
+            critical_path_weight: critical,
+            total_weight: total,
+            ideal_parallelism: if critical > 0.0 { total / critical } else { n as f64 },
+            max_width,
+        }
+    }
+}
+
+/// Structural statistics of a dependence graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// Number of tasks.
+    pub tasks: usize,
+    /// Number of dependence edges.
+    pub edges: usize,
+    /// Number of taskwait-delimited phases.
+    pub phases: usize,
+    /// Weight of the heaviest dependence chain (including barrier constraints).
+    pub critical_path_weight: f64,
+    /// Sum of all task weights.
+    pub total_weight: f64,
+    /// `total_weight / critical_path_weight`: the parallelism an infinitely wide machine could
+    /// exploit (Amdahl-style bound).
+    pub ideal_parallelism: f64,
+    /// Maximum number of tasks simultaneously in flight under earliest-start scheduling on
+    /// infinite cores.
+    pub max_width: usize,
+}
+
+/// A record of one task's simulated execution, as reported by the machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecRecord {
+    /// Which task executed.
+    pub task: TaskId,
+    /// Core the task body ran on.
+    pub core: usize,
+    /// Cycle at which the task body started executing.
+    pub start: u64,
+    /// Cycle at which the task body finished executing (before retirement bookkeeping).
+    pub end: u64,
+}
+
+/// Errors detected by [`ExecutionValidator::check`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidationError {
+    /// A spawned task never executed.
+    MissingTask(TaskId),
+    /// A task executed more than once.
+    DuplicateTask(TaskId),
+    /// A task that was never part of the program appeared in the execution.
+    UnknownTask(TaskId),
+    /// A record has `end < start`.
+    NegativeDuration(TaskId),
+    /// A dependence edge was violated: the successor started before the predecessor finished.
+    OrderViolation {
+        /// The earlier task of the violated edge.
+        predecessor: TaskId,
+        /// The later task of the violated edge.
+        successor: TaskId,
+        /// Cycle at which the predecessor finished.
+        predecessor_end: u64,
+        /// Cycle at which the successor started.
+        successor_start: u64,
+    },
+    /// A task from a later taskwait phase started before an earlier-phase task finished.
+    BarrierViolation {
+        /// Task from the earlier phase.
+        earlier: TaskId,
+        /// Task from the later phase that started too soon.
+        later: TaskId,
+    },
+    /// Two records overlap in time on the same core.
+    CoreOverlap {
+        /// Core on which the overlap happened.
+        core: usize,
+        /// First of the two overlapping tasks.
+        first: TaskId,
+        /// Second of the two overlapping tasks.
+        second: TaskId,
+    },
+}
+
+impl core::fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ValidationError::MissingTask(t) => write!(f, "task {t} was spawned but never executed"),
+            ValidationError::DuplicateTask(t) => write!(f, "task {t} executed more than once"),
+            ValidationError::UnknownTask(t) => write!(f, "task {t} is not part of the program"),
+            ValidationError::NegativeDuration(t) => write!(f, "task {t} has end before start"),
+            ValidationError::OrderViolation { predecessor, successor, predecessor_end, successor_start } => write!(
+                f,
+                "dependence violated: {successor} started at {successor_start} before {predecessor} finished at {predecessor_end}"
+            ),
+            ValidationError::BarrierViolation { earlier, later } => {
+                write!(f, "taskwait violated: {later} started before {earlier} finished")
+            }
+            ValidationError::CoreOverlap { core, first, second } => {
+                write!(f, "core {core} ran {first} and {second} at overlapping times")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Checks a simulated execution against a program's sequential semantics.
+#[derive(Debug, Clone)]
+pub struct ExecutionValidator {
+    graph: DepGraph,
+}
+
+impl ExecutionValidator {
+    /// Creates a validator for a program.
+    pub fn new(program: &TaskProgram) -> Self {
+        ExecutionValidator { graph: program.reference_graph() }
+    }
+
+    /// Creates a validator from an already-built graph.
+    pub fn from_graph(graph: DepGraph) -> Self {
+        ExecutionValidator { graph }
+    }
+
+    /// Validates an execution trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found: every task executes exactly once, dependence edges and
+    /// taskwait phases are honoured, and no core runs two task bodies at once.
+    pub fn check(&self, records: &[ExecRecord]) -> Result<(), ValidationError> {
+        let n = self.graph.task_count();
+        let mut by_task: Vec<Option<ExecRecord>> = vec![None; n];
+        for r in records {
+            let idx = r.task.raw() as usize;
+            if idx >= n {
+                return Err(ValidationError::UnknownTask(r.task));
+            }
+            if r.end < r.start {
+                return Err(ValidationError::NegativeDuration(r.task));
+            }
+            if by_task[idx].is_some() {
+                return Err(ValidationError::DuplicateTask(r.task));
+            }
+            by_task[idx] = Some(*r);
+        }
+        for (i, slot) in by_task.iter().enumerate() {
+            if slot.is_none() {
+                return Err(ValidationError::MissingTask(TaskId(i as u64)));
+            }
+        }
+        let rec = |i: usize| by_task[i].expect("verified present above");
+
+        // Dependence edges.
+        for i in 0..n {
+            for s in self.graph.successors(TaskId(i as u64)) {
+                let p = rec(i);
+                let c = rec(s.raw() as usize);
+                if c.start < p.end {
+                    return Err(ValidationError::OrderViolation {
+                        predecessor: TaskId(i as u64),
+                        successor: s,
+                        predecessor_end: p.end,
+                        successor_start: c.start,
+                    });
+                }
+            }
+        }
+        // Barrier phases.
+        for i in 0..n {
+            for j in 0..n {
+                if self.graph.phase(TaskId(j as u64)) > self.graph.phase(TaskId(i as u64))
+                    && rec(j).start < rec(i).end
+                {
+                    return Err(ValidationError::BarrierViolation {
+                        earlier: TaskId(i as u64),
+                        later: TaskId(j as u64),
+                    });
+                }
+            }
+        }
+        // Core exclusivity.
+        let mut by_core: HashMap<usize, Vec<ExecRecord>> = HashMap::new();
+        for r in by_task.iter().flatten() {
+            by_core.entry(r.core).or_default().push(*r);
+        }
+        for (core, mut recs) in by_core {
+            recs.sort_by_key(|r| r.start);
+            for pair in recs.windows(2) {
+                // Zero-length records (empty payloads) may share a start cycle.
+                if pair[1].start < pair[0].end {
+                    return Err(ValidationError::CoreOverlap {
+                        core,
+                        first: pair[0].task,
+                        second: pair[1].task,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The underlying reference graph.
+    pub fn graph(&self) -> &DepGraph {
+        &self.graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dep::Dependence;
+    use crate::program::ProgramBuilder;
+    use crate::task::Payload;
+
+    /// a writes X; b reads X (RAW); c reads X (no dep on b); d writes X (WAR on b and c, WAW on a).
+    fn diamond() -> TaskProgram {
+        let mut b = ProgramBuilder::new("diamond");
+        b.spawn(Payload::compute(10), vec![Dependence::write(0xA)]);
+        b.spawn(Payload::compute(10), vec![Dependence::read(0xA)]);
+        b.spawn(Payload::compute(10), vec![Dependence::read(0xA)]);
+        b.spawn(Payload::compute(10), vec![Dependence::write(0xA)]);
+        b.build()
+    }
+
+    #[test]
+    fn raw_war_waw_edges() {
+        let g = diamond().reference_graph();
+        assert!(g.has_edge(TaskId(0), TaskId(1)), "RAW");
+        assert!(g.has_edge(TaskId(0), TaskId(2)), "RAW");
+        assert!(!g.has_edge(TaskId(1), TaskId(2)), "read-read must not create an edge");
+        assert!(g.has_edge(TaskId(1), TaskId(3)), "WAR");
+        assert!(g.has_edge(TaskId(2), TaskId(3)), "WAR");
+        assert!(g.has_edge(TaskId(0), TaskId(3)), "WAW");
+        assert_eq!(g.edge_count(), 5);
+        assert_eq!(g.initially_ready(), vec![TaskId(0)]);
+        assert_eq!(g.predecessor_count(TaskId(3)), 3);
+    }
+
+    #[test]
+    fn independent_tasks_have_no_edges() {
+        let mut b = ProgramBuilder::new("indep");
+        for i in 0..8u64 {
+            b.spawn(Payload::compute(5), vec![Dependence::write(0x100 + i * 8)]);
+        }
+        let g = b.build().reference_graph();
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.initially_ready().len(), 8);
+        let stats = g.stats(&vec![1.0; 8]);
+        assert_eq!(stats.max_width, 8);
+        assert!((stats.ideal_parallelism - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chain_has_linear_critical_path() {
+        let mut b = ProgramBuilder::new("chain");
+        for _ in 0..6 {
+            b.spawn(Payload::compute(7), vec![Dependence::read_write(0x40)]);
+        }
+        let g = b.build().reference_graph();
+        assert_eq!(g.edge_count(), 5);
+        let stats = g.stats(&vec![7.0; 6]);
+        assert!((stats.critical_path_weight - 42.0).abs() < 1e-9);
+        assert!((stats.ideal_parallelism - 1.0).abs() < 1e-9);
+        assert_eq!(stats.max_width, 1);
+    }
+
+    #[test]
+    fn taskwait_partitions_phases() {
+        let mut b = ProgramBuilder::new("phases");
+        b.spawn(Payload::compute(1), vec![Dependence::write(0x1)]);
+        b.taskwait();
+        b.spawn(Payload::compute(1), vec![Dependence::write(0x2)]);
+        let p = b.build();
+        let g = p.reference_graph();
+        assert_eq!(g.phase(TaskId(0)), 0);
+        assert_eq!(g.phase(TaskId(1)), 1);
+        assert_eq!(g.edge_count(), 0, "barrier ordering is a phase, not a data edge");
+        let stats = g.stats(&[1.0, 1.0]);
+        assert_eq!(stats.phases, 2);
+        assert!((stats.critical_path_weight - 2.0).abs() < 1e-9, "barrier serialises the two tasks");
+    }
+
+    #[test]
+    fn validator_accepts_serial_execution() {
+        let p = diamond();
+        let v = ExecutionValidator::new(&p);
+        let recs: Vec<ExecRecord> = (0..4)
+            .map(|i| ExecRecord { task: TaskId(i), core: 0, start: i * 10, end: i * 10 + 10 })
+            .collect();
+        assert_eq!(v.check(&recs), Ok(()));
+    }
+
+    #[test]
+    fn validator_detects_order_violation() {
+        let p = diamond();
+        let v = ExecutionValidator::new(&p);
+        let recs = vec![
+            ExecRecord { task: TaskId(0), core: 0, start: 0, end: 10 },
+            ExecRecord { task: TaskId(1), core: 1, start: 5, end: 15 }, // starts before T0 ends
+            ExecRecord { task: TaskId(2), core: 2, start: 10, end: 20 },
+            ExecRecord { task: TaskId(3), core: 0, start: 30, end: 40 },
+        ];
+        match v.check(&recs) {
+            Err(ValidationError::OrderViolation { predecessor, successor, .. }) => {
+                assert_eq!(predecessor, TaskId(0));
+                assert_eq!(successor, TaskId(1));
+            }
+            other => panic!("expected OrderViolation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn validator_detects_missing_duplicate_unknown_and_overlap() {
+        let p = diamond();
+        let v = ExecutionValidator::new(&p);
+        // Missing task 3.
+        let recs: Vec<ExecRecord> = (0..3)
+            .map(|i| ExecRecord { task: TaskId(i), core: 0, start: i * 10, end: i * 10 + 10 })
+            .collect();
+        assert_eq!(v.check(&recs), Err(ValidationError::MissingTask(TaskId(3))));
+        // Duplicate.
+        let mut dup: Vec<ExecRecord> = (0..4)
+            .map(|i| ExecRecord { task: TaskId(i), core: 0, start: i * 10, end: i * 10 + 10 })
+            .collect();
+        dup.push(ExecRecord { task: TaskId(2), core: 1, start: 100, end: 110 });
+        assert_eq!(v.check(&dup), Err(ValidationError::DuplicateTask(TaskId(2))));
+        // Unknown.
+        let mut unk = dup.clone();
+        unk.pop();
+        unk.push(ExecRecord { task: TaskId(77), core: 1, start: 100, end: 110 });
+        assert_eq!(v.check(&unk), Err(ValidationError::UnknownTask(TaskId(77))));
+        // Core overlap (independent tasks on the same core at the same time).
+        let mut b = ProgramBuilder::new("overlap");
+        b.spawn(Payload::compute(10), vec![]);
+        b.spawn(Payload::compute(10), vec![]);
+        let v2 = ExecutionValidator::new(&b.build());
+        let recs = vec![
+            ExecRecord { task: TaskId(0), core: 0, start: 0, end: 10 },
+            ExecRecord { task: TaskId(1), core: 0, start: 5, end: 15 },
+        ];
+        match v2.check(&recs) {
+            Err(ValidationError::CoreOverlap { core: 0, .. }) => {}
+            other => panic!("expected CoreOverlap, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn validator_detects_barrier_violation() {
+        let mut b = ProgramBuilder::new("barrier");
+        b.spawn(Payload::compute(10), vec![Dependence::write(0x1)]);
+        b.taskwait();
+        b.spawn(Payload::compute(10), vec![Dependence::write(0x2)]);
+        let v = ExecutionValidator::new(&b.build());
+        let recs = vec![
+            ExecRecord { task: TaskId(0), core: 0, start: 0, end: 10 },
+            ExecRecord { task: TaskId(1), core: 1, start: 5, end: 15 },
+        ];
+        match v.check(&recs) {
+            Err(ValidationError::BarrierViolation { earlier, later }) => {
+                assert_eq!(earlier, TaskId(0));
+                assert_eq!(later, TaskId(1));
+            }
+            other => panic!("expected BarrierViolation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn validation_error_display() {
+        let e = ValidationError::OrderViolation {
+            predecessor: TaskId(1),
+            successor: TaskId(2),
+            predecessor_end: 50,
+            successor_start: 40,
+        };
+        let s = e.to_string();
+        assert!(s.contains("T1") && s.contains("T2") && s.contains("50") && s.contains("40"));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::dep::{Dependence, Direction};
+    use crate::program::ProgramBuilder;
+    use crate::task::Payload;
+    use proptest::prelude::*;
+
+    fn arbitrary_program(max_tasks: usize, max_addrs: u64) -> impl Strategy<Value = TaskProgram> {
+        let task = (
+            proptest::collection::vec((0..max_addrs, 0..3u8), 0..5),
+            1u64..50,
+            proptest::bool::ANY,
+        );
+        proptest::collection::vec(task, 1..max_tasks).prop_map(|tasks| {
+            let mut b = ProgramBuilder::new("prop");
+            for (deps, cycles, wait) in tasks {
+                let mut seen = std::collections::HashSet::new();
+                let deps: Vec<Dependence> = deps
+                    .into_iter()
+                    .filter(|(a, _)| seen.insert(*a))
+                    .map(|(a, d)| {
+                        let dir = match d {
+                            0 => Direction::In,
+                            1 => Direction::Out,
+                            _ => Direction::InOut,
+                        };
+                        Dependence::new(0x1000 + a * 64, dir)
+                    })
+                    .collect();
+                b.spawn(Payload::compute(cycles), deps);
+                if wait {
+                    b.taskwait();
+                }
+            }
+            b.build()
+        })
+    }
+
+    proptest! {
+        /// Edges only ever point forward in program order and never exceed the all-pairs bound.
+        #[test]
+        fn edges_point_forward(p in arbitrary_program(24, 6)) {
+            let g = p.reference_graph();
+            let n = g.task_count();
+            for i in 0..n {
+                for s in g.successors(TaskId(i as u64)) {
+                    prop_assert!(s.raw() as usize > i);
+                }
+            }
+            prop_assert!(g.edge_count() <= n * (n - 1) / 2);
+        }
+
+        /// Executing tasks serially, in program order, is always a valid schedule — the defining
+        /// property of sequential semantics.
+        #[test]
+        fn serial_order_is_always_valid(p in arbitrary_program(24, 6)) {
+            let v = ExecutionValidator::new(&p);
+            let mut t = 0u64;
+            let mut recs = Vec::new();
+            for spec in p.tasks() {
+                let d = spec.payload.compute_cycles.max(1);
+                recs.push(ExecRecord { task: spec.id, core: 0, start: t, end: t + d });
+                t += d;
+            }
+            prop_assert_eq!(v.check(&recs), Ok(()));
+        }
+
+        /// The critical path never exceeds the total weight and parallelism is at least 1.
+        #[test]
+        fn critical_path_bounds(p in arbitrary_program(24, 6)) {
+            let g = p.reference_graph();
+            let weights: Vec<f64> = p.tasks().map(|t| t.payload.compute_cycles as f64).collect();
+            let s = g.stats(&weights);
+            prop_assert!(s.critical_path_weight <= s.total_weight + 1e-9);
+            prop_assert!(s.ideal_parallelism >= 1.0 - 1e-9);
+            prop_assert!(s.max_width >= 1);
+            prop_assert!(s.max_width <= s.tasks);
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! The full 37-workload evaluation catalog of Figure 9.
+
+use tis_taskmodel::TaskProgram;
+
+use crate::{blackscholes, jacobi, sparselu, stream};
+
+/// One workload instance of the paper's evaluation: a benchmark, the paper's input label, and
+/// the generated task program.
+#[derive(Debug, Clone)]
+pub struct WorkloadInstance {
+    /// Benchmark name (`"blackscholes"`, `"jacobi"`, `"sparselu"`, `"stream-barr"`,
+    /// `"stream-deps"`).
+    pub benchmark: &'static str,
+    /// Input label as it appears on the x-axis of Figure 9 (e.g. `"4K B64"`, `"N32 M4"`).
+    pub input: String,
+    /// The generated task program.
+    pub program: TaskProgram,
+}
+
+impl WorkloadInstance {
+    /// `benchmark input` combined label.
+    pub fn label(&self) -> String {
+        format!("{} {}", self.benchmark, self.input)
+    }
+}
+
+/// Generates all 37 workloads of Figure 9 (12 blackscholes + 3 jacobi + 10 sparselu +
+/// 6 stream-barr + 6 stream-deps).
+pub fn paper_catalog() -> Vec<WorkloadInstance> {
+    let mut all = Vec::with_capacity(37);
+    for (input, program) in blackscholes::paper_inputs() {
+        all.push(WorkloadInstance { benchmark: "blackscholes", input, program });
+    }
+    for (input, program) in jacobi::paper_inputs() {
+        all.push(WorkloadInstance { benchmark: "jacobi", input, program });
+    }
+    for (input, program) in sparselu::paper_inputs() {
+        all.push(WorkloadInstance { benchmark: "sparselu", input, program });
+    }
+    for (input, program) in stream::paper_inputs(true) {
+        all.push(WorkloadInstance { benchmark: "stream-barr", input, program });
+    }
+    for (input, program) in stream::paper_inputs(false) {
+        all.push(WorkloadInstance { benchmark: "stream-deps", input, program });
+    }
+    all
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_has_exactly_37_workloads() {
+        let c = paper_catalog();
+        assert_eq!(c.len(), 37, "the paper evaluates 37 workloads");
+        let per_bench = |name: &str| c.iter().filter(|w| w.benchmark == name).count();
+        assert_eq!(per_bench("blackscholes"), 12);
+        assert_eq!(per_bench("jacobi"), 3);
+        assert_eq!(per_bench("sparselu"), 10);
+        assert_eq!(per_bench("stream-barr"), 6);
+        assert_eq!(per_bench("stream-deps"), 6);
+    }
+
+    #[test]
+    fn every_workload_is_valid_and_nontrivial() {
+        for w in paper_catalog() {
+            w.program.validate().unwrap_or_else(|e| panic!("{}: {e}", w.label()));
+            assert!(w.program.task_count() >= 10, "{} has too few tasks", w.label());
+            assert!(!w.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn task_granularities_span_several_orders_of_magnitude() {
+        // Figure 8's x-axis runs from ~10^2 to ~10^7 cycles; the catalog must cover a wide span.
+        let sizes: Vec<f64> = paper_catalog()
+            .iter()
+            .map(|w| w.program.stats(16.0).mean_task_cycles)
+            .collect();
+        let min = sizes.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = sizes.iter().cloned().fold(0.0, f64::max);
+        assert!(min < 5_000.0, "the catalog must include fine-grained workloads (min {min:.0})");
+        assert!(max > 50_000.0, "the catalog must include coarse-grained workloads (max {max:.0})");
+        assert!(max / min > 100.0, "granularity span too narrow: {min:.0}..{max:.0}");
+    }
+
+    #[test]
+    fn total_catalog_size_is_simulable() {
+        let total_tasks: usize = paper_catalog().iter().map(|w| w.program.task_count()).sum();
+        assert!(total_tasks < 150_000, "catalog too large to simulate repeatedly: {total_tasks}");
+        assert!(total_tasks > 10_000, "catalog suspiciously small: {total_tasks}");
+    }
+}

@@ -1,0 +1,120 @@
+//! Task-Free and Task-Chain: the lifetime-overhead microbenchmarks of Figure 7.
+//!
+//! Both spawn `n` tasks with **empty payloads**, so every cycle of the resulting execution is
+//! scheduling overhead:
+//!
+//! * **Task-Free** generates independent tasks, each annotating `deps` distinct addresses —
+//!   measuring the submission/dispatch/retirement cost with no inter-task ordering;
+//! * **Task-Chain** makes every task `inout` the same addresses, forming a single dependence
+//!   chain — additionally measuring the wake-up path from retirement to the successor becoming
+//!   ready.
+//!
+//! The paper sweeps the number of monitored pointer parameters from 0 to 15; the harness uses
+//! the 1- and 15-dependence points shown in Figure 7.
+
+use tis_taskmodel::{Dependence, Payload, ProgramBuilder, TaskProgram, MAX_DEPENDENCES};
+
+/// Base address of the dummy buffers the microbenchmark tasks annotate.
+const BUFFER_BASE: u64 = 0xC000_0000;
+
+/// Generates the Task-Free microbenchmark: `n` independent tasks with `deps` annotated
+/// addresses each.
+///
+/// # Panics
+///
+/// Panics if `deps` exceeds the 15-dependence Picos limit.
+pub fn task_free(n: usize, deps: usize) -> TaskProgram {
+    assert!(deps <= MAX_DEPENDENCES, "at most {MAX_DEPENDENCES} dependences");
+    let mut b = ProgramBuilder::new(format!("task-free ({deps} dep)"));
+    for i in 0..n {
+        let annotations = (0..deps)
+            .map(|d| Dependence::read_write(BUFFER_BASE + ((i * MAX_DEPENDENCES + d) as u64) * 64))
+            .collect();
+        b.spawn(Payload::empty(), annotations);
+    }
+    b.taskwait();
+    b.build()
+}
+
+/// Generates the Task-Chain microbenchmark: `n` tasks all `inout`-ing the same `deps` addresses,
+/// forming one long dependence chain.
+///
+/// # Panics
+///
+/// Panics if `deps` exceeds the 15-dependence Picos limit.
+pub fn task_chain(n: usize, deps: usize) -> TaskProgram {
+    assert!(deps <= MAX_DEPENDENCES, "at most {MAX_DEPENDENCES} dependences");
+    let mut b = ProgramBuilder::new(format!("task-chain ({deps} dep)"));
+    for _ in 0..n {
+        let annotations = (0..deps)
+            .map(|d| Dependence::read_write(BUFFER_BASE + d as u64 * 64))
+            .collect();
+        b.spawn(Payload::empty(), annotations);
+    }
+    b.taskwait();
+    b.build()
+}
+
+/// A synthetic uniform workload: `n` independent tasks of exactly `task_cycles` compute cycles,
+/// used by the granularity sweeps of Figures 8 and 10.
+pub fn uniform_tasks(n: usize, task_cycles: u64) -> TaskProgram {
+    let mut b = ProgramBuilder::new(format!("uniform {task_cycles}c x{n}"));
+    for i in 0..n {
+        b.spawn(
+            Payload::compute(task_cycles),
+            vec![Dependence::write(BUFFER_BASE + 0x1000_0000 + (i as u64) * 64)],
+        );
+    }
+    b.taskwait();
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tis_taskmodel::TaskId;
+
+    #[test]
+    fn task_free_is_embarrassingly_parallel() {
+        let p = task_free(50, 1);
+        assert_eq!(p.task_count(), 50);
+        let g = p.reference_graph();
+        assert_eq!(g.edge_count(), 0);
+        assert!(p.tasks().all(|t| t.payload.is_empty() && t.dep_count() == 1));
+    }
+
+    #[test]
+    fn task_chain_is_a_single_chain() {
+        let p = task_chain(20, 1);
+        let g = p.reference_graph();
+        assert_eq!(g.edge_count(), 19);
+        for i in 0..19u64 {
+            assert!(g.has_edge(TaskId(i), TaskId(i + 1)));
+        }
+        let stats = g.stats(&vec![1.0; 20]);
+        assert_eq!(stats.max_width, 1, "a chain has no parallelism");
+    }
+
+    #[test]
+    fn dependence_counts_follow_request() {
+        for deps in [0, 1, 7, 15] {
+            assert!(task_free(5, deps).tasks().all(|t| t.dep_count() == deps));
+            assert!(task_chain(5, deps).tasks().all(|t| t.dep_count() == deps));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at most")]
+    fn too_many_deps_rejected() {
+        task_free(1, 16);
+    }
+
+    #[test]
+    fn uniform_tasks_have_requested_size() {
+        let p = uniform_tasks(10, 12_345);
+        assert_eq!(p.task_count(), 10);
+        let stats = p.stats(16.0);
+        assert!((stats.mean_task_cycles - 12_345.0).abs() < 1e-9);
+        assert_eq!(p.reference_graph().edge_count(), 0);
+    }
+}

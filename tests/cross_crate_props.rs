@@ -1,0 +1,73 @@
+//! Property-based cross-crate tests: arbitrary (small) task programs, arbitrary machine shapes —
+//! the full stack must preserve the paradigm's invariants.
+
+use proptest::prelude::*;
+use tis_bench::{Harness, Platform};
+use tis_taskmodel::{Dependence, Direction, Payload, ProgramBuilder, TaskProgram};
+
+fn arbitrary_program() -> impl Strategy<Value = TaskProgram> {
+    let task = (
+        proptest::collection::vec((0u64..8, 0u8..3), 0..4),
+        50u64..2_000,
+        proptest::bool::weighted(0.15),
+    );
+    proptest::collection::vec(task, 1..25).prop_map(|tasks| {
+        let mut b = ProgramBuilder::new("prop");
+        for (deps, cycles, wait) in tasks {
+            let mut seen = std::collections::HashSet::new();
+            let deps: Vec<Dependence> = deps
+                .into_iter()
+                .filter(|(a, _)| seen.insert(*a))
+                .map(|(a, d)| {
+                    let dir = match d {
+                        0 => Direction::In,
+                        1 => Direction::Out,
+                        _ => Direction::InOut,
+                    };
+                    Dependence::new(0x7700_0000 + a * 64, dir)
+                })
+                .collect();
+            b.spawn(Payload::compute(cycles), deps);
+            if wait {
+                b.taskwait();
+            }
+        }
+        b.taskwait();
+        b.build()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    /// The tightly-integrated system (Phentos + RoCC Picos) schedules any program correctly on
+    /// any small machine, and its makespan is bounded below by the critical path and above by
+    /// the serial time plus bounded overhead.
+    #[test]
+    fn phentos_respects_semantics_and_bounds(program in arbitrary_program(), cores in 1usize..5) {
+        let harness = Harness::with_cores(cores);
+        let report = harness.run(Platform::Phentos, &program).expect("no deadlock");
+        prop_assert_eq!(report.tasks_retired as usize, program.task_count());
+        if let Err(e) = report.validate_against(&program) {
+            return Err(TestCaseError::fail(format!("schedule invalid: {e}")));
+        }
+
+        let weights: Vec<f64> = program.tasks().map(|t| t.payload.compute_cycles as f64).collect();
+        let critical = program.reference_graph().stats(&weights).critical_path_weight;
+        prop_assert!(report.total_cycles as f64 >= critical, "makespan below the critical path");
+
+        let serial = harness.serial_cycles(&program);
+        // Generous upper bound: serial time plus a few thousand cycles of overhead per task.
+        let bound = serial + 5_000 * program.task_count() as u64 + 50_000;
+        prop_assert!(report.total_cycles <= bound, "makespan {} exceeds sanity bound {}", report.total_cycles, bound);
+    }
+
+    /// The Nanos-SW software runtime agrees with the same semantics (it is slower, not wrong).
+    #[test]
+    fn nanos_sw_respects_semantics(program in arbitrary_program()) {
+        let harness = Harness::with_cores(2);
+        let report = harness.run(Platform::NanosSw, &program).expect("no deadlock");
+        prop_assert_eq!(report.tasks_retired as usize, program.task_count());
+        prop_assert!(report.validate_against(&program).is_ok());
+    }
+}

@@ -1,0 +1,97 @@
+//! Shape tests for the paper's experiments: without re-running the full catalog (that is what
+//! the bench targets are for), check that the qualitative results the paper reports hold on
+//! representative subsets — orderings, crossover behaviour and the resource claim.
+
+use tis_bench::{
+    evaluate_workload, figure7_workloads, geomean_ratio, measure_lifetime_overhead, Harness, Platform,
+};
+use tis_core::ResourceReport;
+use tis_machine::mtt_speedup_bound;
+use tis_workloads::blackscholes::blackscholes;
+use tis_workloads::jacobi::jacobi;
+use tis_workloads::sparselu::sparselu;
+use tis_workloads::WorkloadInstance;
+
+/// Figure 7's ordering: Phentos << Nanos-RV < Nanos-AXI < Nanos-SW on every microbenchmark, and
+/// the magnitudes stay in the paper's ranges.
+#[test]
+fn figure7_overhead_ordering_and_ranges() {
+    let harness = Harness::paper_prototype();
+    for (name, program) in figure7_workloads(80) {
+        let phentos = measure_lifetime_overhead(&harness, Platform::Phentos, &program);
+        let rv = measure_lifetime_overhead(&harness, Platform::NanosRv, &program);
+        let axi = measure_lifetime_overhead(&harness, Platform::NanosAxi, &program);
+        let sw = measure_lifetime_overhead(&harness, Platform::NanosSw, &program);
+        assert!(phentos < rv / 5.0, "{name}: phentos {phentos:.0} should be far below nanos-rv {rv:.0}");
+        assert!(rv < axi, "{name}: rv {rv:.0} vs axi {axi:.0}");
+        assert!(axi < sw, "{name}: axi {axi:.0} vs sw {sw:.0}");
+        assert!(phentos < 2_000.0, "{name}: phentos overhead {phentos:.0} out of range");
+        assert!((5_000.0..40_000.0).contains(&rv), "{name}: nanos-rv overhead {rv:.0} out of range");
+        assert!(sw > 15_000.0, "{name}: nanos-sw overhead {sw:.0} out of range");
+    }
+}
+
+/// Figure 7, dependence scaling: Nanos-SW's overhead grows steeply from 1 to 15 dependences
+/// (25k -> 99k in the paper); the hardware-assisted paths grow only mildly.
+#[test]
+fn figure7_dependence_scaling() {
+    let harness = Harness::paper_prototype();
+    let w = figure7_workloads(80);
+    let sw_1 = measure_lifetime_overhead(&harness, Platform::NanosSw, &w[0].1);
+    let sw_15 = measure_lifetime_overhead(&harness, Platform::NanosSw, &w[1].1);
+    let ph_1 = measure_lifetime_overhead(&harness, Platform::Phentos, &w[0].1);
+    let ph_15 = measure_lifetime_overhead(&harness, Platform::Phentos, &w[1].1);
+    assert!(sw_15 / sw_1 > 2.5, "nanos-sw should blow up with 15 deps: {sw_1:.0} -> {sw_15:.0}");
+    assert!(ph_15 / ph_1 < 2.5, "phentos should grow mildly with 15 deps: {ph_1:.0} -> {ph_15:.0}");
+}
+
+/// Figure 6's landmarks: with the measured Task-Chain(1) overheads, Phentos' MTT bound is already
+/// meaningful at 1000-cycle tasks and saturates at 8x by 10k-cycle tasks, while the software
+/// platforms stay below 1x there.
+#[test]
+fn figure6_mtt_landmarks() {
+    let harness = Harness::paper_prototype();
+    let chain = &figure7_workloads(80)[2].1;
+    let phentos = measure_lifetime_overhead(&harness, Platform::Phentos, chain);
+    let sw = measure_lifetime_overhead(&harness, Platform::NanosSw, chain);
+    let rv = measure_lifetime_overhead(&harness, Platform::NanosRv, chain);
+    assert!(mtt_speedup_bound(1_000.0, phentos, 8) > 1.5);
+    assert!(mtt_speedup_bound(10_000.0, phentos, 8) >= 7.9);
+    assert!(mtt_speedup_bound(10_000.0, sw, 8) < 1.0);
+    assert!(mtt_speedup_bound(10_000.0, rv, 8) < 1.5);
+}
+
+/// Figure 9's qualitative content on a representative subset: the hardware-assisted runtimes
+/// dominate the software baseline in geomean, Phentos dominates Nanos-RV, and the advantage is
+/// largest on the fine-grained inputs.
+#[test]
+fn figure9_subset_orderings() {
+    let harness = Harness::paper_prototype();
+    let subset = vec![
+        WorkloadInstance { benchmark: "blackscholes", input: "4K B8".into(), program: blackscholes(4 * 1024, 8) },
+        WorkloadInstance { benchmark: "blackscholes", input: "4K B256".into(), program: blackscholes(4 * 1024, 256) },
+        WorkloadInstance { benchmark: "jacobi", input: "N128 B1".into(), program: jacobi(128, 1) },
+        WorkloadInstance { benchmark: "sparselu", input: "NB8 M4".into(), program: sparselu(8, 4) },
+    ];
+    let results: Vec<_> = subset.iter().map(|w| evaluate_workload(&harness, w, &Platform::FIGURE9)).collect();
+    let rv_over_sw = geomean_ratio(&results, Platform::NanosRv, Platform::NanosSw).unwrap();
+    let ph_over_sw = geomean_ratio(&results, Platform::Phentos, Platform::NanosSw).unwrap();
+    let ph_over_rv = geomean_ratio(&results, Platform::Phentos, Platform::NanosRv).unwrap();
+    assert!(rv_over_sw > 1.2, "Nanos-RV should clearly beat Nanos-SW, got {rv_over_sw:.2}");
+    assert!(ph_over_sw > rv_over_sw, "Phentos should beat Nanos-RV's advantage, got {ph_over_sw:.2}");
+    assert!(ph_over_rv > 1.2, "Phentos should clearly beat Nanos-RV, got {ph_over_rv:.2}");
+
+    // Granularity effect: on the finest input the Phentos advantage is larger than on the
+    // coarsest one.
+    let fine = results[0].ratio(Platform::Phentos, Platform::NanosSw).unwrap();
+    let coarse = results[1].ratio(Platform::Phentos, Platform::NanosSw).unwrap();
+    assert!(fine > coarse, "advantage must shrink with granularity: fine {fine:.2} vs coarse {coarse:.2}");
+}
+
+/// Table II's headline: the scheduling subsystem occupies less than 2% of the SoC.
+#[test]
+fn table2_resource_claim() {
+    let report = ResourceReport::paper_prototype();
+    assert!(report.scheduling_fraction() < 0.02);
+    assert_eq!(report.rows()[0].cells, 384_000);
+}

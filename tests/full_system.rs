@@ -1,0 +1,89 @@
+//! End-to-end integration tests: every platform runs real workloads from the paper's catalog on
+//! a multi-core machine and produces a schedule that the reference dependence graph accepts.
+
+use tis_bench::{evaluate_workload, Harness, Platform};
+use tis_workloads::blackscholes::blackscholes;
+use tis_workloads::jacobi::jacobi;
+use tis_workloads::sparselu::sparselu;
+use tis_workloads::stream::stream;
+use tis_workloads::WorkloadInstance;
+
+fn instance(benchmark: &'static str, input: &str, program: tis_taskmodel::TaskProgram) -> WorkloadInstance {
+    WorkloadInstance { benchmark, input: input.to_string(), program }
+}
+
+#[test]
+fn blackscholes_runs_on_all_platforms() {
+    let harness = Harness::with_cores(4);
+    let w = instance("blackscholes", "1K B32", blackscholes(1024, 32));
+    let r = evaluate_workload(&harness, &w, &Platform::ALL);
+    assert_eq!(r.platforms.len(), 4);
+    // Normalised performance ordering of the paper: Phentos >= Nanos-RV >= Nanos-SW on
+    // fine-to-medium granularity inputs.
+    let phentos = r.speedup(Platform::Phentos).unwrap();
+    let rv = r.speedup(Platform::NanosRv).unwrap();
+    let sw = r.speedup(Platform::NanosSw).unwrap();
+    assert!(phentos >= rv, "phentos {phentos:.2} vs nanos-rv {rv:.2}");
+    assert!(rv >= sw * 0.9, "nanos-rv {rv:.2} should not lose clearly to nanos-sw {sw:.2}");
+}
+
+#[test]
+fn sparselu_dependence_heavy_graph_is_scheduled_correctly_everywhere() {
+    let harness = Harness::with_cores(4);
+    let w = instance("sparselu", "NB6 M4", sparselu(6, 4));
+    // evaluate_workload panics internally if any schedule violates the reference graph.
+    let r = evaluate_workload(&harness, &w, &Platform::ALL);
+    for p in Platform::ALL {
+        assert!(r.speedup(p).unwrap() > 0.0, "{} did not finish", p.label());
+    }
+}
+
+#[test]
+fn jacobi_stencil_runs_and_respects_cross_sweep_dependences() {
+    let harness = Harness::with_cores(4);
+    let w = instance("jacobi", "N64 B8", jacobi(64, 8));
+    let r = evaluate_workload(&harness, &w, &[Platform::Phentos, Platform::NanosRv]);
+    assert!(r.speedup(Platform::Phentos).unwrap() > 0.5);
+}
+
+#[test]
+fn stream_variants_complete_under_bandwidth_pressure() {
+    let harness = Harness::with_cores(4);
+    for (name, barriers) in [("stream-deps", false), ("stream-barr", true)] {
+        let w = instance(name, "8x4K", stream(8, 4 * 1024, barriers));
+        let r = evaluate_workload(&harness, &w, &[Platform::Phentos, Platform::NanosSw]);
+        let phentos = r.speedup(Platform::Phentos).unwrap();
+        assert!(phentos > 1.0, "{name}: memory-intense workload should still beat serial, got {phentos:.2}");
+        assert!(
+            phentos <= harness.cores() as f64 + 0.01,
+            "{name}: speedup cannot exceed the core count, got {phentos:.2}"
+        );
+    }
+}
+
+#[test]
+fn eight_core_phentos_reaches_paper_scale_speedups_on_coarse_blackscholes() {
+    let harness = Harness::paper_prototype();
+    let w = instance("blackscholes", "16K B256", blackscholes(16 * 1024, 256));
+    let r = evaluate_workload(&harness, &w, &[Platform::Phentos]);
+    let s = r.speedup(Platform::Phentos).unwrap();
+    assert!(
+        s > 4.0 && s <= 8.0,
+        "coarse blackscholes on 8 cores should land in the paper's 4-6x range, got {s:.2}"
+    );
+}
+
+#[test]
+fn core_count_scaling_improves_phentos_makespan() {
+    let program = blackscholes(4 * 1024, 64);
+    let mut previous = u64::MAX;
+    for cores in [1usize, 2, 4, 8] {
+        let harness = Harness::with_cores(cores);
+        let report = harness.run(Platform::Phentos, &program).unwrap();
+        assert!(
+            report.total_cycles < previous,
+            "{cores}-core run should be faster than the previous configuration"
+        );
+        previous = report.total_cycles;
+    }
+}

@@ -2,7 +2,7 @@
 //!
 //! One delegate is instantiated per Rocket core (the "ROCC Acc-Stub" of Figure 2). It decodes
 //! the custom instructions issued by its core and carries them out against the shared
-//! [`PicosManager`](crate::manager::PicosManager). The only per-core architectural state it
+//! [`PicosManager`]. The only per-core architectural state it
 //! keeps is the *SW-ID-fetched* flag that couples `Fetch SW ID` and `Fetch Picos ID`: the
 //! Picos ID of a ready task can only be fetched (and the entry popped) after its SW ID has been
 //! successfully read, exactly as specified in Sections IV-E5 and IV-E6.

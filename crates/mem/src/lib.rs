@@ -12,7 +12,7 @@
 //! * [`addr`] — addresses, cache-line geometry;
 //! * [`mesi`] — the MESI state machine as a pure transition table (unit- and property-tested);
 //! * [`cache`] — a set-associative L1 with LRU replacement and per-line MESI state;
-//! * [`system`] — the multi-core [`MemorySystem`](system::MemorySystem): snooping, writebacks
+//! * [`system`] — the multi-core [`MemorySystem`]: snooping, writebacks
 //!   through memory, per-access latency accounting;
 //! * [`bandwidth`] — the shared DRAM channel used to charge task *payload* traffic, so that
 //!   memory-bound workloads stop scaling before compute-bound ones.

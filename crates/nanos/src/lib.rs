@@ -17,10 +17,10 @@
 //! * [`tuning`] — the calibrated per-operation path lengths of the Nanos code base;
 //! * [`shared`] — the shared-memory structures Nanos hammers (the scheduler lock, the central
 //!   ready queue, the taskwait counter) and a deterministic lock/futex contention model;
-//! * [`axi`] — [`AxiFabric`](axi::AxiFabric): the same Picos Manager as `tis-core`, reached
+//! * [`axi`] — [`AxiFabric`]: the same Picos Manager as `tis-core`, reached
 //!   through MMIO/DMA latencies instead of 2-cycle instructions;
-//! * [`runtime`] — [`Nanos`](runtime::Nanos), a [`RuntimeSystem`](tis_machine::RuntimeSystem)
-//!   implementation parameterised by [`NanosVariant`](runtime::NanosVariant).
+//! * [`runtime`] — [`Nanos`], a [`RuntimeSystem`](tis_machine::RuntimeSystem)
+//!   implementation parameterised by [`NanosVariant`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

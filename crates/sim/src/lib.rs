@@ -3,8 +3,8 @@
 //! This crate provides the low-level building blocks shared by every other crate in the
 //! workspace:
 //!
-//! * [`clock`] — the [`Cycle`](clock::Cycle) time base, clock-domain conversion helpers and a
-//!   monotone [`CycleClock`](clock::CycleClock);
+//! * [`clock`] — the [`Cycle`] time base, clock-domain conversion helpers and a
+//!   monotone [`CycleClock`];
 //! * [`stats`] — counters, running statistics, log-scale histograms and geometric means used by
 //!   the experiment harnesses;
 //! * [`rng`] — a small, fully deterministic pseudo-random number generator so that simulations

@@ -26,7 +26,7 @@ fn block_addr(buffer: u64, block: usize) -> u64 {
 }
 
 /// Generates the jacobi program for a grid of `n` points partitioned into blocks of
-/// `block_points` points, running [`SWEEPS`] sweeps.
+/// `block_points` points, running a fixed number of sweeps (`SWEEPS`, currently 8).
 ///
 /// # Panics
 ///

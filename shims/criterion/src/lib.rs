@@ -1,0 +1,100 @@
+//! Minimal stand-in for the [`criterion`](https://docs.rs/criterion) benchmarking crate.
+//!
+//! The build environment has no network access, so the real criterion cannot be fetched. The
+//! workspace's only criterion consumer (`crates/bench/benches/micro_components.rs`) uses
+//! [`Criterion::bench_function`], [`Bencher::iter`] and the [`criterion_group!`] /
+//! [`criterion_main!`] macros — this crate implements exactly that surface.
+//!
+//! Methodology (much simpler than real criterion, adequate for spotting order-of-magnitude
+//! regressions): each benchmark is warmed up for ~50 ms, then sampled in batches sized to take
+//! roughly one millisecond each; the **median** batch gives the reported nanoseconds per
+//! iteration. There are no HTML reports, no statistics beyond min/median/max, and no comparison
+//! against saved baselines — output is one text line per benchmark.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+const WARMUP: Duration = Duration::from_millis(50);
+const SAMPLES: usize = 31;
+const TARGET_BATCH: Duration = Duration::from_millis(1);
+
+/// Drives timing of a single benchmark body; handed to the closure given to
+/// [`Criterion::bench_function`].
+pub struct Bencher {
+    /// Measured nanoseconds per iteration: (min, median, max).
+    result: Option<(f64, f64, f64)>,
+}
+
+impl Bencher {
+    /// Time `routine`, keeping its return value alive via [`black_box`] so the optimiser cannot
+    /// delete the work.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up and estimate the cost of one iteration.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < WARMUP {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_nanos() as f64 / warm_iters.max(1) as f64;
+        let batch = ((TARGET_BATCH.as_nanos() as f64 / per_iter.max(1.0)) as u64).max(1);
+
+        let mut samples = Vec::with_capacity(SAMPLES);
+        for _ in 0..SAMPLES {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            samples.push(start.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.result = Some((samples[0], samples[SAMPLES / 2], samples[SAMPLES - 1]));
+    }
+}
+
+/// Top-level benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Run one named benchmark and print a single report line.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { result: None };
+        f(&mut b);
+        match b.result {
+            Some((min, median, max)) => println!(
+                "{id:<40} median {median:>12.1} ns/iter   (min {min:.1}, max {max:.1})"
+            ),
+            None => println!("{id:<40} (no measurement: Bencher::iter never called)"),
+        }
+        self
+    }
+}
+
+/// Collect benchmark functions into a group runner, mirroring `criterion::criterion_group!`.
+///
+/// Only the simple `criterion_group!(name, target, ...)` form is supported.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generate `fn main` running the given groups, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

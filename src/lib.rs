@@ -1,0 +1,45 @@
+//! Facade crate for the **TIS** workspace — a simulator reproduction of
+//! *Adding Tightly-Integrated Task Scheduling Acceleration to a RISC-V Multi-core Processor*
+//! (Morais et al., MICRO 2019).
+//!
+//! The workspace is split into nine layered crates; this crate simply re-exports all of them so
+//! the top-level `examples/` and `tests/` directories have a single anchor package, and so
+//! downstream users can depend on one crate:
+//!
+//! | Layer | Crate | Role |
+//! |-------|-------|------|
+//! | substrate | [`sim`] | deterministic clocks, stats, RNG, bounded hardware queues, traces |
+//! | model | [`taskmodel`] | task-parallel programs and the reference dependence graph |
+//! | substrate | [`mem`] | MESI L1 caches, snooping interconnect, DRAM model |
+//! | engine | [`machine`] | machine config, cost model, scheduler-fabric trait, execution engine |
+//! | device | [`picos`] | the Picos hardware task-dependence manager (function + timing) |
+//! | platform | [`core`] | RoCC instructions, Picos Delegate/Manager, TIS fabric, Phentos runtime |
+//! | platform | [`nanos`] | Nanos-SW / Nanos-RV / Nanos-AXI behavioural runtime models |
+//! | input | [`workloads`] | blackscholes, jacobi, sparselu, stream, microbenches, Figure 9 catalog |
+//! | harness | [`bench`](mod@bench) | the experiment harness reproducing the paper's tables and figures |
+//!
+//! See `README.md` for the quickstart and `ARCHITECTURE.md` for the paper-section-to-module map.
+//!
+//! # Example
+//!
+//! ```
+//! use tis::bench::{Harness, Platform};
+//! use tis::workloads::task_chain;
+//!
+//! let program = task_chain(64, 2);
+//! let report = Harness::default().run(Platform::Phentos, &program).unwrap();
+//! assert!(report.total_cycles > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use tis_bench as bench;
+pub use tis_core as core;
+pub use tis_machine as machine;
+pub use tis_mem as mem;
+pub use tis_nanos as nanos;
+pub use tis_picos as picos;
+pub use tis_sim as sim;
+pub use tis_taskmodel as taskmodel;
+pub use tis_workloads as workloads;

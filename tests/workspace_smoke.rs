@@ -1,0 +1,59 @@
+//! Workspace smoke test: the cheapest end-to-end exercise of every layer.
+//!
+//! Guards against manifest regressions (a crate dropped from the workspace, a broken dependency
+//! edge, a renamed library target): it pulls one small catalog workload through all four
+//! [`Platform`]s and checks each run completes with a plausible report. If this file fails to
+//! *compile*, the workspace wiring is broken; if it fails to *run*, the execution engine is.
+
+use tis_bench::{Harness, Platform};
+use tis_workloads::paper_catalog;
+
+#[test]
+fn every_platform_completes_a_small_catalog_workload() {
+    // Smallest catalog entry by task count keeps this test fast even unoptimised.
+    let catalog = paper_catalog();
+    let workload = catalog
+        .iter()
+        .min_by_key(|w| w.program.task_count())
+        .expect("catalog is never empty");
+
+    let harness = Harness::default();
+    let serial = harness.serial_cycles(&workload.program);
+    assert!(serial > 0, "serial baseline must cost cycles");
+
+    for platform in Platform::ALL {
+        let report = harness
+            .run(platform, &workload.program)
+            .unwrap_or_else(|e| panic!("{} failed on {}: {e}", workload.label(), platform.label()));
+        assert!(
+            report.total_cycles > 0,
+            "{} on {} reported zero cycles",
+            workload.label(),
+            platform.label()
+        );
+        assert_eq!(
+            report.tasks_retired,
+            workload.program.task_count() as u64,
+            "{} on {} retired the wrong number of tasks",
+            workload.label(),
+            platform.label()
+        );
+        report
+            .validate_against(&workload.program)
+            .unwrap_or_else(|e| panic!("{} on {} violated dependences: {e}", workload.label(), platform.label()));
+    }
+}
+
+#[test]
+fn facade_reexports_every_layer() {
+    // One symbol per re-exported crate, so removing a facade re-export breaks tier-1.
+    let _ = tis::sim::SimRng::new(1);
+    let _ = tis::taskmodel::Payload::compute(1);
+    let _ = tis::mem::LINE_SIZE;
+    let _ = tis::machine::MachineConfig::default();
+    let _ = tis::picos::TrackerConfig::default();
+    let _ = tis::nanos::NanosVariant::Software;
+    let _ = tis::core::TisConfig::default();
+    let _ = tis::workloads::task_free(1, 1);
+    let _ = tis::bench::Platform::ALL;
+}

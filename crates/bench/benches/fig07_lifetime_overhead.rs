@@ -5,31 +5,30 @@
 
 use tis_bench::{figure7_paper_values, figure7_workloads, measure_lifetime_overhead, Harness, Platform};
 
+/// Width of one workload column; cells are `{measured:>8} (paper {paper:>6})` = 23 characters.
+const COL: usize = 23;
+const PLATFORM_COL: usize = 10;
+
 fn main() {
     let harness = Harness::paper_prototype();
     let workloads = figure7_workloads(150);
 
     println!("Figure 7: lifetime Task Scheduling overhead (cycles/task), measured vs paper");
-    println!(
-        "{:<10} | {:>22} | {:>22} | {:>22} | {:>22}",
-        "platform", "Task-Free 1 dep", "Task-Free 15 deps", "Task-Chain 1 dep", "Task-Chain 15 deps"
-    );
-    println!("{}", "-".repeat(110));
+    print!("{:<PLATFORM_COL$}", "platform");
+    for (label, _) in &workloads {
+        print!(" | {label:>COL$}");
+    }
+    println!();
+    println!("{}", "-".repeat(PLATFORM_COL + (COL + 3) * workloads.len()));
     for platform in Platform::ALL {
         let paper = figure7_paper_values(platform);
-        let mut cells = Vec::new();
+        print!("{:<PLATFORM_COL$}", platform.label());
         for (i, (_, program)) in workloads.iter().enumerate() {
             let measured = measure_lifetime_overhead(&harness, platform, program);
-            cells.push(format!("{:>8.0} (paper {:>6.0})", measured, paper[i]));
+            let cell = format!("{:>8.0} (paper {:>6.0})", measured, paper[i]);
+            print!(" | {cell:>COL$}");
         }
-        println!(
-            "{:<10} | {} | {} | {} | {}",
-            platform.label(),
-            cells[0],
-            cells[1],
-            cells[2],
-            cells[3]
-        );
+        println!();
     }
 
     // The paper's reduction headlines: up to 7.53x (Nanos-RV) and 308x (Phentos) vs Nanos-SW.

@@ -3,8 +3,12 @@
 //! means.
 //!
 //! Run with `cargo bench -p tis-bench --bench fig09_benchmarks`.
+//!
+//! Set `TIS_BENCH_JSON=<dir>` to additionally write the results as `BENCH_fig09.json` into
+//! `<dir>` (machine-readable: per-workload cycles/speedups plus the headline geomeans); CI
+//! uploads that file as an artifact so the benchmark trajectory is preserved across commits.
 
-use tis_bench::{evaluate_catalog, geomean_ratio, Harness, Platform};
+use tis_bench::{evaluate_catalog, geomean_ratio, write_fig09_json_if_requested, Harness, Platform};
 
 fn main() {
     let harness = Harness::paper_prototype();
@@ -55,4 +59,13 @@ fn main() {
         wins(Platform::Phentos, Platform::NanosSw),
         wins(Platform::Phentos, Platform::NanosRv)
     );
+
+    match write_fig09_json_if_requested(&results) {
+        Ok(Some(path)) => println!("\nwrote machine-readable results to {}", path.display()),
+        Ok(None) => {}
+        Err(e) => {
+            eprintln!("failed to write BENCH_fig09.json: {e}");
+            std::process::exit(1);
+        }
+    }
 }

@@ -1,31 +1,239 @@
 //! Criterion microbenchmarks of the core data paths: the Picos dependence tracker, the packet
-//! codec, the RoCC instruction codec and the MESI memory system.
+//! codec, the RoCC instruction codec and the MESI memory system — plus a **tracker regression
+//! guard** that measures the current tracker against a faithful copy of the seed-era
+//! implementation, so the hot-path speedup is measured on every run, not asserted once in a
+//! commit message.
 //!
 //! These measure the *simulator's* throughput (host-side), which is what bounds how large an
 //! experiment the harness can run; the simulated latencies are covered by the figure benches.
+//! The tracker chains drive both implementations identically and in steady state (persistent
+//! tracker, reused descriptor and wake buffers) — the same shape the Picos device model uses —
+//! so the ratio isolates the implementation difference.
+//!
+//! Set `TIS_BENCH_STRICT=1` to turn a guard shortfall into a non-zero exit.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 use tis_core::rocc::{RoccInstruction, TaskSchedOp};
 use tis_mem::{AccessKind, CacheConfig, MemLatencies, MemorySystem};
-use tis_picos::{decode_descriptor, encode_descriptor, DependenceTracker, SubmittedTask, TrackerConfig};
+use tis_picos::{decode_descriptor, encode_descriptor, DependenceTracker, PicosId, SubmittedTask, TrackerConfig};
 use tis_taskmodel::Dependence;
+
+/// Tasks per measured chain (one insert + one retire each).
+const CHAIN: u64 = 200;
+
+/// Drives one 200-task dependence chain through the current tracker: every task `inout`s the
+/// same address, so each insert matches against the previous task and each retire wakes the
+/// next — the worst-case lock-step pattern of the Figure 7 Task-Chain microbenchmark.
+fn drive_chain(t: &mut DependenceTracker, task: &mut SubmittedTask, woken: &mut Vec<PicosId>) -> usize {
+    let mut prev = None;
+    for i in 0..CHAIN {
+        task.sw_id = i;
+        let (id, _) = t.insert(task).unwrap();
+        if let Some(p) = prev {
+            t.retire_into(p, woken).unwrap();
+        }
+        prev = Some(id);
+    }
+    if let Some(p) = prev {
+        t.retire_into(p, woken).unwrap();
+    }
+    t.in_flight()
+}
+
+/// The seed-era tracker, reproduced verbatim in miniature: `std::collections::HashMap` with the
+/// default (SipHash) hasher, `Vec` storage for every list, linear `contains` scans for
+/// predecessor de-duplication, per-insert allocation of the working sets, and an allocating
+/// `retire`. This is what `picos_tracker_insert_retire_chain` measured before the hot-path
+/// rework; keeping it here makes the speedup a number this bench reports, not a claim.
+mod seed {
+    use std::collections::HashMap;
+    use tis_picos::{PicosId, SubmittedTask};
+
+    #[derive(Clone)]
+    struct TaskEntry {
+        sw_id: u64,
+        serial: u64,
+        unresolved: usize,
+        successors: Vec<PicosId>,
+        deps: Vec<(u64, tis_taskmodel::Direction)>,
+    }
+
+    #[derive(Clone, Default)]
+    struct AddrEntry {
+        last_writer: Option<(PicosId, u64)>,
+        readers: Vec<(PicosId, u64)>,
+    }
+
+    pub struct Tracker {
+        entries: Vec<Option<TaskEntry>>,
+        free_list: Vec<u32>,
+        addr_table: HashMap<u64, AddrEntry>,
+        next_serial: u64,
+        in_flight: usize,
+    }
+
+    impl Tracker {
+        pub fn new(task_memory_entries: usize) -> Self {
+            Tracker {
+                entries: vec![None; task_memory_entries],
+                free_list: (0..task_memory_entries as u32).rev().collect(),
+                addr_table: HashMap::new(),
+                next_serial: 0,
+                in_flight: 0,
+            }
+        }
+
+        pub fn in_flight(&self) -> usize {
+            self.in_flight
+        }
+
+        fn prune(entries: &[Option<TaskEntry>], entry: &mut AddrEntry) {
+            let alive = |id: PicosId, serial: u64| {
+                entries
+                    .get(id.0 as usize)
+                    .and_then(|e| e.as_ref())
+                    .map(|e| e.serial == serial)
+                    .unwrap_or(false)
+            };
+            if let Some((id, serial)) = entry.last_writer {
+                if !alive(id, serial) {
+                    entry.last_writer = None;
+                }
+            }
+            entry.readers.retain(|&(id, serial)| alive(id, serial));
+        }
+
+        pub fn insert(&mut self, task: &SubmittedTask) -> (PicosId, bool) {
+            let mut seen = Vec::new();
+            for d in &task.deps {
+                if !self.addr_table.contains_key(&d.addr) && !seen.contains(&d.addr) {
+                    seen.push(d.addr);
+                }
+            }
+            let slot = self.free_list.pop().expect("seed tracker driven within capacity");
+            let id = PicosId(slot);
+            let serial = self.next_serial;
+            self.next_serial += 1;
+            let mut unresolved_from: Vec<PicosId> = Vec::new();
+            for d in &task.deps {
+                let entries = &self.entries;
+                let entry = self.addr_table.entry(d.addr).or_default();
+                Self::prune(entries, entry);
+                if d.dir.reads() {
+                    if let Some((w, wserial)) = entry.last_writer {
+                        if entries
+                            .get(w.0 as usize)
+                            .and_then(|e| e.as_ref())
+                            .map(|e| e.serial == wserial)
+                            .unwrap_or(false)
+                            && !unresolved_from.contains(&w)
+                        {
+                            unresolved_from.push(w);
+                        }
+                    }
+                }
+                if d.dir.writes() {
+                    if let Some((w, _)) = entry.last_writer {
+                        if !unresolved_from.contains(&w) {
+                            unresolved_from.push(w);
+                        }
+                    }
+                    for &(r, _) in &entry.readers {
+                        if r != id && !unresolved_from.contains(&r) {
+                            unresolved_from.push(r);
+                        }
+                    }
+                }
+                if d.dir.writes() {
+                    entry.last_writer = Some((id, serial));
+                    entry.readers.clear();
+                    if d.dir.reads() {
+                        entry.readers.push((id, serial));
+                    }
+                } else {
+                    entry.readers.push((id, serial));
+                }
+            }
+            let unresolved = unresolved_from.len();
+            for pred in &unresolved_from {
+                self.entries[pred.0 as usize]
+                    .as_mut()
+                    .expect("predecessor in flight")
+                    .successors
+                    .push(id);
+            }
+            self.entries[slot as usize] = Some(TaskEntry {
+                sw_id: task.sw_id,
+                serial,
+                unresolved,
+                successors: Vec::new(),
+                deps: task.deps.iter().map(|d| (d.addr, d.dir)).collect(),
+            });
+            self.in_flight += 1;
+            (id, unresolved == 0)
+        }
+
+        pub fn retire(&mut self, id: PicosId) -> Vec<PicosId> {
+            let slot = id.0 as usize;
+            let entry = self.entries[slot].take().expect("retire of an in-flight task");
+            self.in_flight -= 1;
+            self.free_list.push(id.0);
+            for (addr, _) in &entry.deps {
+                if let Some(a) = self.addr_table.get_mut(addr) {
+                    if matches!(a.last_writer, Some((w, s)) if w == id && s == entry.serial) {
+                        a.last_writer = None;
+                    }
+                    a.readers.retain(|&(r, s)| !(r == id && s == entry.serial));
+                    if a.last_writer.is_none() && a.readers.is_empty() {
+                        self.addr_table.remove(addr);
+                    }
+                }
+            }
+            let mut newly_ready = Vec::new();
+            for succ in entry.successors {
+                if let Some(s) = self.entries[succ.0 as usize].as_mut() {
+                    s.unresolved -= 1;
+                    if s.unresolved == 0 {
+                        newly_ready.push(succ);
+                    }
+                }
+            }
+            let _ = entry.sw_id;
+            newly_ready
+        }
+    }
+}
+
+/// The same 200-task chain through the seed-era implementation, driven identically.
+fn drive_chain_seed(t: &mut seed::Tracker, task: &mut SubmittedTask) -> usize {
+    let mut prev = None;
+    for i in 0..CHAIN {
+        task.sw_id = i;
+        let (id, _) = t.insert(task);
+        if let Some(p) = prev {
+            black_box(t.retire(p));
+        }
+        prev = Some(id);
+    }
+    if let Some(p) = prev {
+        black_box(t.retire(p));
+    }
+    t.in_flight()
+}
 
 fn bench_tracker(c: &mut Criterion) {
     c.bench_function("picos_tracker_insert_retire_chain", |b| {
-        b.iter(|| {
-            let mut t = DependenceTracker::new(TrackerConfig::default());
-            let mut prev = None;
-            for i in 0..200u64 {
-                let (id, _) =
-                    t.insert(&SubmittedTask::new(i, vec![Dependence::read_write(0x1000)])).unwrap();
-                if let Some(p) = prev {
-                    t.retire(p).unwrap();
-                }
-                prev = Some(id);
-            }
-            black_box(t.in_flight())
-        })
+        let mut t = DependenceTracker::new(TrackerConfig::default());
+        let mut task = SubmittedTask::new(0, vec![Dependence::read_write(0x1000)]);
+        let mut woken = Vec::new();
+        b.iter(|| black_box(drive_chain(&mut t, &mut task, &mut woken)))
+    });
+    c.bench_function("picos_tracker_chain_seed_impl", |b| {
+        let mut t = seed::Tracker::new(TrackerConfig::default().task_memory_entries);
+        let mut task = SubmittedTask::new(0, vec![Dependence::read_write(0x1000)]);
+        b.iter(|| black_box(drive_chain_seed(&mut t, &mut task)))
     });
 }
 
@@ -69,5 +277,64 @@ fn bench_mesi(c: &mut Criterion) {
     });
 }
 
+/// Median nanoseconds per call of `f` over `samples` batches of `batch` calls each.
+fn measure_median_ns(mut f: impl FnMut(), batch: u32, samples: usize) -> f64 {
+    // Warm-up.
+    for _ in 0..batch {
+        f();
+    }
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                f();
+            }
+            t0.elapsed().as_nanos() as f64 / batch as f64
+        })
+        .collect();
+    times.sort_by(|a, b| a.total_cmp(b));
+    times[samples / 2]
+}
+
+/// The regression guard: measure seed vs current on the identical steady-state chain and
+/// report the speedup. The floor is deliberately below the locally observed ratio so the guard
+/// trips on real regressions (e.g. someone reintroducing a linear scan), not on CI noise.
+fn tracker_regression_guard() {
+    const FLOOR: f64 = 2.0;
+    let mut cur = DependenceTracker::new(TrackerConfig::default());
+    let mut cur_task = SubmittedTask::new(0, vec![Dependence::read_write(0x1000)]);
+    let mut woken = Vec::new();
+    let current = measure_median_ns(
+        || {
+            black_box(drive_chain(&mut cur, &mut cur_task, &mut woken));
+        },
+        64,
+        15,
+    );
+    let mut old = seed::Tracker::new(TrackerConfig::default().task_memory_entries);
+    let mut old_task = SubmittedTask::new(0, vec![Dependence::read_write(0x1000)]);
+    let seed_ns = measure_median_ns(
+        || {
+            black_box(drive_chain_seed(&mut old, &mut old_task));
+        },
+        64,
+        15,
+    );
+    let speedup = seed_ns / current;
+    let verdict = if speedup >= FLOOR { "ok" } else { "REGRESSION" };
+    println!();
+    println!(
+        "tracker regression guard: seed impl {:.0} ns/chain, current {:.0} ns/chain, speedup {:.2}x (floor {:.1}x) ... {}",
+        seed_ns, current, speedup, FLOOR, verdict
+    );
+    if speedup < FLOOR && std::env::var_os("TIS_BENCH_STRICT").is_some() {
+        std::process::exit(1);
+    }
+}
+
 criterion_group!(benches, bench_tracker, bench_packet_codec, bench_rocc_codec, bench_mesi);
-criterion_main!(benches);
+
+fn main() {
+    benches();
+    tracker_regression_guard();
+}

@@ -1,0 +1,172 @@
+//! A minimal, dependency-free JSON writer for machine-readable benchmark output.
+//!
+//! The workspace vendors no serialisation crate (the build environment has no registry
+//! access), and the benchmark output is a small, fixed shape — so a hand-rolled value tree
+//! with a compliant renderer is all that is needed. The renderer escapes strings per RFC 8259,
+//! emits non-finite numbers as `null` (JSON has no NaN/Infinity), and pretty-prints with
+//! two-space indentation so the artifacts diff cleanly between CI runs.
+
+/// A JSON value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// An integer (serialised without a decimal point).
+    Int(i64),
+    /// An unsigned integer (cycle counts exceed `i64` range in long simulations).
+    UInt(u64),
+    /// A floating-point number; non-finite values render as `null`.
+    Num(f64),
+    /// A string (escaped on render).
+    Str(String),
+    /// An ordered array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience constructor for an object from `(key, value)` pairs.
+    pub fn obj<I: IntoIterator<Item = (&'static str, Json)>>(pairs: I) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// Renders the value as pretty-printed JSON with two-space indentation.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn render_into(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => out.push_str(&i.to_string()),
+            Json::UInt(u) => out.push_str(&u.to_string()),
+            Json::Num(n) => {
+                if n.is_finite() {
+                    // `{:?}` keeps full round-trip precision and always marks the value as
+                    // non-integer where relevant (e.g. "1.0"), which keeps column types stable
+                    // for downstream tooling.
+                    out.push_str(&format!("{n:?}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => escape_into(s, out),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    item.render_into(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                if pairs.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    push_indent(out, indent + 1);
+                    escape_into(key, out);
+                    out.push_str(": ");
+                    value.render_into(out, indent + 1);
+                }
+                out.push('\n');
+                push_indent(out, indent);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn push_indent(out: &mut String, levels: usize) {
+    for _ in 0..levels {
+        out.push_str("  ");
+    }
+}
+
+/// Escapes a string per RFC 8259 and appends it, quotes included.
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(Json::Null.render(), "null\n");
+        assert_eq!(Json::Bool(true).render(), "true\n");
+        assert_eq!(Json::Int(-3).render(), "-3\n");
+        assert_eq!(Json::UInt(u64::MAX).render(), format!("{}\n", u64::MAX));
+        assert_eq!(Json::Num(2.13).render(), "2.13\n");
+        assert_eq!(Json::Num(f64::NAN).render(), "null\n", "JSON has no NaN");
+        assert_eq!(Json::Num(f64::INFINITY).render(), "null\n");
+    }
+
+    #[test]
+    fn strings_escape() {
+        assert_eq!(Json::Str("a\"b\\c\nd".into()).render(), "\"a\\\"b\\\\c\\nd\"\n");
+        assert_eq!(Json::Str("\u{1}".into()).render(), "\"\\u0001\"\n");
+        assert_eq!(Json::Str("plain ascii-64x64".into()).render(), "\"plain ascii-64x64\"\n");
+    }
+
+    #[test]
+    fn empty_containers_are_compact() {
+        assert_eq!(Json::Arr(vec![]).render(), "[]\n");
+        assert_eq!(Json::Obj(vec![]).render(), "{}\n");
+    }
+
+    #[test]
+    fn nested_structure_pretty_prints() {
+        let v = Json::obj([
+            ("name", Json::Str("fig09".into())),
+            ("speedups", Json::Arr(vec![Json::Num(1.5), Json::Num(4.25)])),
+        ]);
+        let expected = "{\n  \"name\": \"fig09\",\n  \"speedups\": [\n    1.5,\n    4.25\n  ]\n}\n";
+        assert_eq!(v.render(), expected);
+    }
+
+    #[test]
+    fn numbers_keep_roundtrip_precision() {
+        let v = Json::Num(13.190000000000001);
+        let rendered = v.render();
+        let parsed: f64 = rendered.trim().parse().unwrap();
+        assert_eq!(parsed, 13.190000000000001);
+        assert_eq!(Json::Num(1.0).render(), "1.0\n", "floats keep a decimal point");
+    }
+}

@@ -10,6 +10,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod json;
+
+pub use json::Json;
+
 use tis_core::{PhentosConfig, Phentos, TisConfig, TisFabric};
 use tis_machine::{run_machine, EngineError, ExecutionReport, MachineConfig, NullFabric};
 use tis_nanos::{AxiConfig, AxiFabric, Nanos, NanosTuning, NanosVariant};
@@ -45,6 +49,16 @@ impl Platform {
             Platform::NanosRv => "Nanos-RV",
             Platform::NanosAxi => "Nanos-AXI",
             Platform::NanosSw => "Nanos-SW",
+        }
+    }
+
+    /// Stable lower-case key used in machine-readable output.
+    pub fn key(self) -> &'static str {
+        match self {
+            Platform::Phentos => "phentos",
+            Platform::NanosRv => "nanos-rv",
+            Platform::NanosAxi => "nanos-axi",
+            Platform::NanosSw => "nanos-sw",
         }
     }
 }
@@ -142,11 +156,14 @@ pub fn figure7_paper_values(platform: Platform) -> [f64; 4] {
 }
 
 /// The four lifetime-overhead workloads of Figure 7, in column order.
+///
+/// Labels are clean names with no baked-in padding; consumers that print tables align them
+/// with width-parameterised format specifiers (`{:<width$}` / `{:>width$}`) at the print site.
 pub fn figure7_workloads(tasks_per_run: usize) -> Vec<(&'static str, TaskProgram)> {
     vec![
-        ("Task-Free  1 dep ", task_free(tasks_per_run, 1)),
+        ("Task-Free 1 dep", task_free(tasks_per_run, 1)),
         ("Task-Free 15 deps", task_free(tasks_per_run, 15)),
-        ("Task-Chain  1 dep ", task_chain(tasks_per_run, 1)),
+        ("Task-Chain 1 dep", task_chain(tasks_per_run, 1)),
         ("Task-Chain 15 deps", task_chain(tasks_per_run, 15)),
     ]
 }
@@ -247,6 +264,80 @@ pub fn geomean_ratio(results: &[WorkloadResult], num: Platform, den: Platform) -
     geomean(results.iter().filter_map(|r| r.ratio(num, den)))
 }
 
+/// Machine-readable snapshot of a Figure 9 evaluation: per-workload makespans and speedups
+/// plus the paper's three headline geometric means, as a JSON value tree (ROADMAP: persist the
+/// `BENCH_*.json` trajectory instead of losing every run to the terminal).
+pub fn fig09_json(results: &[WorkloadResult]) -> Json {
+    let opt_num = |v: Option<f64>| v.map(Json::Num).unwrap_or(Json::Null);
+    let workloads = results
+        .iter()
+        .map(|r| {
+            let platforms = r
+                .platforms
+                .iter()
+                .map(|p| {
+                    (
+                        p.platform.key().to_string(),
+                        Json::obj([
+                            ("cycles", Json::UInt(p.cycles)),
+                            ("speedup_over_serial", Json::Num(p.speedup_vs_serial)),
+                        ]),
+                    )
+                })
+                .collect();
+            Json::obj([
+                ("benchmark", Json::Str(r.benchmark.to_string())),
+                ("input", Json::Str(r.input.clone())),
+                ("mean_task_cycles", Json::Num(r.mean_task_cycles)),
+                ("serial_cycles", Json::UInt(r.serial_cycles)),
+                ("platforms", Json::Obj(platforms)),
+            ])
+        })
+        .collect();
+    Json::obj([
+        ("figure", Json::Str("fig09".to_string())),
+        ("workloads", Json::Arr(workloads)),
+        (
+            "geomeans",
+            Json::obj([
+                (
+                    "nanos_rv_over_nanos_sw",
+                    opt_num(geomean_ratio(results, Platform::NanosRv, Platform::NanosSw)),
+                ),
+                (
+                    "phentos_over_nanos_sw",
+                    opt_num(geomean_ratio(results, Platform::Phentos, Platform::NanosSw)),
+                ),
+                (
+                    "phentos_over_nanos_rv",
+                    opt_num(geomean_ratio(results, Platform::Phentos, Platform::NanosRv)),
+                ),
+            ]),
+        ),
+    ])
+}
+
+/// Writes `BENCH_fig09.json` into the directory named by the `TIS_BENCH_JSON` environment
+/// variable, creating the directory if needed (an empty value means the current directory).
+/// Returns `Ok(None)` without touching the filesystem when the variable is unset, so plain
+/// bench runs stay side-effect free.
+///
+/// # Errors
+///
+/// Propagates any I/O error from creating the directory or writing the file.
+pub fn write_fig09_json_if_requested(
+    results: &[WorkloadResult],
+) -> std::io::Result<Option<std::path::PathBuf>> {
+    let Some(dir) = std::env::var_os("TIS_BENCH_JSON") else {
+        return Ok(None);
+    };
+    let dir = if dir.is_empty() { std::path::PathBuf::from(".") } else { dir.into() };
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join("BENCH_fig09.json");
+    std::fs::write(&path, fig09_json(results).render())?;
+    Ok(Some(path))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -287,6 +378,42 @@ mod tests {
         assert_eq!(figure7_paper_values(Platform::Phentos)[0], 185.0);
         assert_eq!(figure7_paper_values(Platform::NanosSw)[1], 99_008.0);
         assert_eq!(figure7_workloads(10).len(), 4);
+    }
+
+    #[test]
+    fn figure7_labels_are_clean() {
+        for (label, _) in figure7_workloads(5) {
+            assert_eq!(label, label.trim(), "label {label:?} carries baked-in padding");
+            assert!(!label.contains("  "), "label {label:?} carries internal padding");
+        }
+    }
+
+    #[test]
+    fn fig09_json_shape_and_content() {
+        let results = vec![WorkloadResult {
+            benchmark: "blackscholes",
+            input: "64x\"quoted\"".into(),
+            mean_task_cycles: 512.5,
+            serial_cycles: 1_000_000,
+            platforms: vec![
+                PlatformResult { platform: Platform::NanosSw, cycles: 500_000, speedup_vs_serial: 2.0 },
+                PlatformResult { platform: Platform::Phentos, cycles: 125_000, speedup_vs_serial: 8.0 },
+            ],
+        }];
+        let rendered = fig09_json(&results).render();
+        assert!(rendered.contains("\"figure\": \"fig09\""));
+        assert!(rendered.contains("\"benchmark\": \"blackscholes\""));
+        assert!(rendered.contains("\"64x\\\"quoted\\\"\""), "inputs are escaped");
+        assert!(rendered.contains("\"nanos-sw\"") && rendered.contains("\"phentos\""));
+        assert!(rendered.contains("\"serial_cycles\": 1000000"));
+        assert!(
+            rendered.contains("\"phentos_over_nanos_sw\": 4.0"),
+            "geomean of a single ratio is the ratio:\n{rendered}"
+        );
+        assert!(
+            rendered.contains("\"phentos_over_nanos_rv\": null"),
+            "platforms that were not evaluated produce null geomeans"
+        );
     }
 
     #[test]

@@ -18,7 +18,7 @@
 //! * **protocol crossings** — modelled as a fixed per-transfer latency between the manager's
 //!   queues and Picos' non-fallthrough queues.
 
-use tis_picos::{decode_descriptor, Picos, PicosConfig, PACKETS_PER_DESCRIPTOR};
+use tis_picos::{decode_descriptor_into, Picos, PicosConfig, SubmittedTask, PACKETS_PER_DESCRIPTOR};
 use tis_sim::{BoundedQueue, Cycle};
 
 /// Identifier of a core attached to the manager.
@@ -98,6 +98,10 @@ pub struct PicosManager {
     ready_queues: Vec<BoundedQueue<ReadyEntry>>,
     retire_arbiter_free_at: Cycle,
     stats: ManagerStats,
+    /// Scratch buffer the Zero Padder expands descriptors into, reused across submissions.
+    scratch_descriptor: Vec<u32>,
+    /// Scratch task the expanded descriptor is decoded into, reused across submissions.
+    scratch_task: SubmittedTask,
 }
 
 impl PicosManager {
@@ -120,6 +124,8 @@ impl PicosManager {
                 .collect(),
             retire_arbiter_free_at: 0,
             stats: ManagerStats::default(),
+            scratch_descriptor: Vec::with_capacity(PACKETS_PER_DESCRIPTOR),
+            scratch_task: SubmittedTask::new(0, Vec::new()),
         }
     }
 
@@ -162,14 +168,17 @@ impl PicosManager {
                 .as_ref()
                 .expect("forward queue only holds cores with a buffer");
             debug_assert!(buffer.packets.len() >= buffer.expected);
-            let mut full = buffer.packets.clone();
-            let padded = PACKETS_PER_DESCRIPTOR - full.len();
-            full.resize(PACKETS_PER_DESCRIPTOR, 0);
-            let task = match decode_descriptor(&full) {
-                Ok(t) => t,
-                Err(e) => panic!("runtime submitted a malformed descriptor: {e}"),
-            };
-            match self.picos.try_submit(&task, now) {
+            // Zero Padder: expand the non-zero prefix into a full descriptor in the reused
+            // scratch buffer and decode it into the reused scratch task — no allocation.
+            self.scratch_descriptor.clear();
+            self.scratch_descriptor.extend_from_slice(&buffer.packets);
+            let padded = PACKETS_PER_DESCRIPTOR - self.scratch_descriptor.len();
+            self.scratch_descriptor.resize(PACKETS_PER_DESCRIPTOR, 0);
+            if let Err(e) = decode_descriptor_into(&self.scratch_descriptor, &mut self.scratch_task)
+            {
+                panic!("runtime submitted a malformed descriptor: {e}");
+            }
+            match self.picos.try_submit(&self.scratch_task, now) {
                 Ok(_) => {
                     self.stats.descriptors_forwarded += 1;
                     self.stats.zero_packets_padded += padded as u64;

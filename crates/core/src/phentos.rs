@@ -22,7 +22,7 @@
 
 use tis_machine::fabric::{FabricOutcome, SchedulerFabric};
 use tis_machine::{CoreCtx, CoreStatus, RuntimeSystem};
-use tis_picos::{encode_nonzero_prefix, SubmittedTask};
+use tis_picos::encode_prefix_into;
 use tis_sim::Cycle;
 use tis_taskmodel::{ExecRecord, ProgramOp, TaskProgram, TaskSpec};
 
@@ -95,6 +95,8 @@ pub struct Phentos {
     workers: Vec<WorkerState>,
     records: Vec<ExecRecord>,
     name: String,
+    /// Scratch buffer for descriptor packets, reused across submissions.
+    packet_scratch: Vec<u32>,
 }
 
 impl Phentos {
@@ -123,6 +125,7 @@ impl Phentos {
             workers: vec![WorkerState::default(); cores],
             records: Vec::new(),
             name: format!("phentos({})", program.name()),
+            packet_scratch: Vec::new(),
         }
     }
 
@@ -192,15 +195,14 @@ impl Phentos {
         // Fill the metadata element (function arguments, payload description).
         ctx.call();
         ctx.write(self.meta_addr(spec.id.raw()), self.element_bytes);
-        let task = SubmittedTask::new(spec.id.raw(), spec.deps.clone());
-        let packets = encode_nonzero_prefix(&task);
-        let (lat, out) = fabric.submission_request(core, packets.len() as u32, ctx.now());
+        encode_prefix_into(spec.id.raw(), &spec.deps, &mut self.packet_scratch);
+        let (lat, out) = fabric.submission_request(core, self.packet_scratch.len() as u32, ctx.now());
         ctx.spend(lat);
         if !out.is_success() {
             return false;
         }
         // Submit Three Packets: the non-zero packet count is always a multiple of three.
-        for chunk in packets.chunks(3) {
+        for chunk in self.packet_scratch.chunks(3) {
             let (lat, out) = fabric.submit_packets(core, chunk, ctx.now());
             ctx.spend(lat);
             debug_assert!(out.is_success(), "packets following an accepted request are always accepted");

@@ -18,11 +18,10 @@
 //! * [`NanosVariant::PicosAxi`] (Nanos-AXI) — the same, but the caller supplies an
 //!   [`AxiFabric`](crate::axi::AxiFabric), reproducing the Picos++ baseline.
 
-use std::collections::HashMap;
-
 use tis_machine::fabric::{FabricOutcome, SchedulerFabric};
 use tis_machine::{CoreCtx, CoreStatus, RuntimeSystem};
-use tis_picos::{encode_nonzero_prefix, DependenceTracker, PicosId, SubmittedTask, TrackerConfig};
+use tis_picos::{encode_prefix_into, DependenceTracker, PicosId, SubmittedTask, TrackerConfig};
+use tis_sim::{FxHashMap, TimedQueue};
 use tis_taskmodel::{ExecRecord, ProgramOp, TaskProgram, TaskSpec};
 
 use crate::shared::{addrs, CentralEntry, CentralReadyQueue, NanosLock};
@@ -79,19 +78,25 @@ pub struct Nanos {
     /// that a `taskwait` polling at simulated time `t` only observes retirements that had
     /// completed by `t` (cores are stepped in relaxed time order).
     retire_log: Vec<u64>,
-    /// Software-variant retirements accepted but not yet applied to the dependence domain
-    /// (completion cycle, tracker id) — applied once simulated time catches up, mirroring the
+    /// Software-variant retirements accepted but not yet applied to the dependence domain,
+    /// keyed by completion cycle — applied once simulated time catches up, mirroring the
     /// deferral inside the Picos device.
-    sw_pending: Vec<(u64, PicosId)>,
+    sw_pending: TimedQueue<PicosId>,
     done: bool,
     main_in_taskwait: bool,
     sched_lock: NanosLock,
     dep_lock: NanosLock,
     ready_queue: CentralReadyQueue,
     sw_tracker: DependenceTracker,
-    sw_ids: HashMap<u64, PicosId>,
+    sw_ids: FxHashMap<u64, PicosId>,
     workers: Vec<NanosWorker>,
     records: Vec<ExecRecord>,
+    /// Scratch buffer for descriptor packets, reused across hardware submissions.
+    packet_scratch: Vec<u32>,
+    /// Scratch buffer for the software tracker's wake-up lists, reused across retirements.
+    sw_woken_scratch: Vec<PicosId>,
+    /// Scratch task handed to the software tracker at submission, reused across submissions.
+    sw_submit_scratch: SubmittedTask,
 }
 
 impl Nanos {
@@ -110,7 +115,7 @@ impl Nanos {
             cursor: 0,
             submitted: 0,
             retire_log: Vec::new(),
-            sw_pending: Vec::new(),
+            sw_pending: TimedQueue::new(),
             done: false,
             main_in_taskwait: false,
             sched_lock: NanosLock::new(addrs::SCHED_LOCK, tuning.lock_contention_window),
@@ -120,9 +125,12 @@ impl Nanos {
                 task_memory_entries: 1 << 16,
                 address_table_entries: 1 << 16,
             }),
-            sw_ids: HashMap::new(),
+            sw_ids: FxHashMap::default(),
             workers: vec![NanosWorker::default(); cores],
             records: Vec::new(),
+            packet_scratch: Vec::new(),
+            sw_woken_scratch: Vec::new(),
+            sw_submit_scratch: SubmittedTask::new(0, Vec::new()),
         }
     }
 
@@ -154,21 +162,15 @@ impl Nanos {
         // Gate on the step's start time: no later step can begin before it, so a retirement due
         // by then is visible to everyone without violating causality.
         let now = ctx.step_start();
-        self.sw_pending.sort_by_key(|&(t, _)| t);
         let mut woken_entries = Vec::new();
-        while let Some(&(t, pid)) = self.sw_pending.first() {
-            if t > now {
-                break;
-            }
-            let woken = self
-                .sw_tracker
-                .retire(pid)
+        while let Some((t, pid)) = self.sw_pending.pop_due(now) {
+            self.sw_tracker
+                .retire_into(pid, &mut self.sw_woken_scratch)
                 .expect("pending software retirement refers to an in-flight task");
-            for w in woken {
+            for &w in &self.sw_woken_scratch {
                 let sw = self.sw_tracker.sw_id(w).expect("woken task is in flight");
                 woken_entries.push(CentralEntry { sw_id: sw, picos_id: None, available_at: t });
             }
-            self.sw_pending.remove(0);
         }
         if !woken_entries.is_empty() {
             self.sched_lock.acquire(ctx);
@@ -199,9 +201,12 @@ impl Nanos {
             ctx.write(bucket, 16);
             ctx.spend(ctx.costs().heap_alloc); // dependency object
         }
+        self.sw_submit_scratch.sw_id = spec.id.raw();
+        self.sw_submit_scratch.deps.clear();
+        self.sw_submit_scratch.deps.extend_from_slice(&spec.deps);
         let (pid, ready) = self
             .sw_tracker
-            .insert(&SubmittedTask::new(spec.id.raw(), spec.deps.clone()))
+            .insert(&self.sw_submit_scratch)
             .expect("software dependence domain has effectively unbounded capacity");
         self.sw_ids.insert(spec.id.raw(), pid);
         self.dep_lock.release(ctx);
@@ -211,13 +216,13 @@ impl Nanos {
     /// Hardware submission through the fabric (Nanos-RV / Nanos-AXI). Returns `false` when the
     /// hardware refused the submission and it must be retried.
     fn hw_submit(&mut self, ctx: &mut CoreCtx<'_>, fabric: &mut dyn SchedulerFabric, spec: &TaskSpec) -> bool {
-        let packets = encode_nonzero_prefix(&SubmittedTask::new(spec.id.raw(), spec.deps.clone()));
-        let (lat, out) = fabric.submission_request(ctx.core(), packets.len() as u32, ctx.now());
+        encode_prefix_into(spec.id.raw(), &spec.deps, &mut self.packet_scratch);
+        let (lat, out) = fabric.submission_request(ctx.core(), self.packet_scratch.len() as u32, ctx.now());
         ctx.spend(lat);
         if !out.is_success() {
             return false;
         }
-        for chunk in packets.chunks(3) {
+        for chunk in self.packet_scratch.chunks(3) {
             let (lat, out) = fabric.submit_packets(ctx.core(), chunk, ctx.now());
             ctx.spend(lat);
             debug_assert!(out.is_success());
@@ -310,7 +315,7 @@ impl Nanos {
                 ctx.spend(ctx.costs().hash_probe * spec.dep_count().max(1) as u64);
                 self.dep_lock.release(ctx);
                 let pid = self.sw_ids[&entry.sw_id];
-                self.sw_pending.push((ctx.now(), pid));
+                self.sw_pending.schedule(ctx.now(), pid);
                 self.process_sw_pending(ctx);
             }
         }

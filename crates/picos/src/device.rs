@@ -11,7 +11,7 @@
 //! completions that should have happened by then are applied first. This keeps the simulator
 //! synchronous while still modelling the accelerator's processing latencies.
 
-use tis_sim::{BoundedQueue, Cycle};
+use tis_sim::{BoundedQueue, Cycle, TimedQueue};
 
 use crate::packet::SubmittedTask;
 use crate::timing::PicosTiming;
@@ -69,15 +69,18 @@ pub struct Picos {
     config: PicosConfig,
     tracker: DependenceTracker,
     /// Tasks whose dependences are satisfied but whose ready descriptors are still being
-    /// generated (publication time, id).
-    pending_ready: Vec<(Cycle, PicosId)>,
-    /// Retirement packets accepted but not yet applied to the task graph (completion time, id).
+    /// generated, keyed by publication time.
+    pending_ready: TimedQueue<PicosId>,
+    /// Retirement packets accepted but not yet applied to the task graph, keyed by completion
+    /// time.
     ///
     /// Retirements are deferred until their simulated completion time so that a task submitted
     /// at an earlier simulated cycle (by a core whose clock lags the retiring core) still links
     /// to the producer — the hardware never reorders retirements ahead of earlier submissions.
-    pending_retire: Vec<(Cycle, PicosId)>,
+    pending_retire: TimedQueue<PicosId>,
     ready_queue: BoundedQueue<ReadyTask>,
+    /// Scratch buffer for the tracker's wake-up lists, reused across retirements.
+    woken_scratch: Vec<PicosId>,
     submit_busy_until: Cycle,
     retire_busy_until: Cycle,
     /// Latest simulated instant every core is known to have reached (set by the integration
@@ -93,9 +96,10 @@ impl Picos {
         Picos {
             config,
             tracker: DependenceTracker::new(config.tracker),
-            pending_ready: Vec::new(),
-            pending_retire: Vec::new(),
+            pending_ready: TimedQueue::new(),
+            pending_retire: TimedQueue::new(),
             ready_queue: BoundedQueue::new(config.ready_queue_depth),
+            woken_scratch: Vec::new(),
             submit_busy_until: 0,
             retire_busy_until: 0,
             time_horizon: None,
@@ -140,25 +144,19 @@ impl Picos {
             Some(h) => now.min(h),
             None => now,
         };
-        self.pending_retire.sort_by_key(|&(t, _)| t);
-        while let Some(&(t, id)) = self.pending_retire.first() {
-            if t > retire_gate {
-                break;
-            }
-            let woken = self
-                .tracker
-                .retire(id)
+        while let Some((t, id)) = self.pending_retire.pop_due(retire_gate) {
+            self.tracker
+                .retire_into(id, &mut self.woken_scratch)
                 .expect("pending retirement refers to an in-flight task (validated at queue time)");
-            for w in woken {
-                self.pending_ready.push((t + self.config.timing.ready_publish, w));
+            for &w in &self.woken_scratch {
+                self.pending_ready.schedule(t + self.config.timing.ready_publish, w);
             }
-            self.pending_retire.remove(0);
         }
-        self.pending_ready.sort_by_key(|&(t, _)| t);
-        while let Some(&(t, id)) = self.pending_ready.first() {
+        while let Some(t) = self.pending_ready.next_due() {
             if t > now || self.ready_queue.is_full() {
                 break;
             }
+            let (_, id) = self.pending_ready.pop_due(now).expect("head checked due above");
             let sw_id = self
                 .tracker
                 .sw_id(id)
@@ -167,7 +165,6 @@ impl Picos {
             self.ready_queue
                 .push(entry)
                 .expect("checked for space above");
-            self.pending_ready.remove(0);
             self.stats.ready_published += 1;
             self.stats.ready_high_water = self.stats.ready_high_water.max(self.ready_queue.len());
         }
@@ -193,7 +190,7 @@ impl Picos {
         let done = start + self.config.timing.submission_cycles(task.deps.len());
         self.submit_busy_until = done;
         if ready {
-            self.pending_ready.push((done + self.config.timing.ready_publish, id));
+            self.pending_ready.schedule(done + self.config.timing.ready_publish, id);
         }
         self.advance(now);
         Ok((id, done))
@@ -237,7 +234,7 @@ impl Picos {
         let start = self.retire_busy_until.max(now);
         let done = start + self.config.timing.retirement_cycles(fanout);
         self.retire_busy_until = done;
-        self.pending_retire.push((done, id));
+        self.pending_retire.schedule(done, id);
         self.advance(now);
         Ok(done)
     }

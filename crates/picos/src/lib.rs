@@ -29,8 +29,9 @@ pub mod tracker;
 
 pub use device::{Picos, PicosConfig, PicosStats, ReadyTask};
 pub use packet::{
-    decode_descriptor, encode_descriptor, encode_nonzero_prefix, PacketDecodeError,
-    SubmissionPacket, SubmittedTask, PACKETS_PER_DEP, PACKETS_PER_DESCRIPTOR,
+    decode_descriptor, decode_descriptor_into, encode_descriptor, encode_descriptor_into,
+    encode_nonzero_prefix, encode_prefix_into, PacketDecodeError, SubmissionPacket, SubmittedTask,
+    PACKETS_PER_DEP, PACKETS_PER_DESCRIPTOR,
 };
 pub use timing::PicosTiming;
-pub use tracker::{DependenceTracker, PicosId, TrackerConfig, TrackerError};
+pub use tracker::{DependenceTracker, PicosId, TrackerConfig, TrackerError, TrackerStats};

@@ -94,52 +94,86 @@ impl core::fmt::Display for PacketDecodeError {
 
 impl std::error::Error for PacketDecodeError {}
 
-/// Encodes a task into its full 48-packet descriptor (including zero padding).
+/// Encodes the non-zero prefix of a descriptor — header plus one 3-packet slot per dependence —
+/// into a reused buffer (cleared first). This is the allocation-free core of the codec: the
+/// runtime models call it with a scratch buffer on every submission attempt, so steady-state
+/// encoding touches no allocator.
 ///
 /// # Panics
 ///
-/// Panics if the task declares more than 15 dependences; the `tis-taskmodel` validation layer is
+/// Panics if more than 15 dependences are given; the `tis-taskmodel` validation layer is
 /// supposed to reject such tasks long before they reach the packet codec.
-pub fn encode_descriptor(task: &SubmittedTask) -> Vec<SubmissionPacket> {
-    assert!(task.deps.len() <= MAX_DEPS, "at most {MAX_DEPS} dependences per descriptor");
-    let mut packets = Vec::with_capacity(PACKETS_PER_DESCRIPTOR);
-    packets.push((task.sw_id >> 32) as u32);
-    packets.push(task.sw_id as u32);
-    packets.push(task.deps.len() as u32);
-    for d in &task.deps {
-        packets.push((d.addr >> 32) as u32);
-        packets.push(d.addr as u32);
-        packets.push(d.dir.encode());
+pub fn encode_prefix_into(sw_id: u64, deps: &[Dependence], out: &mut Vec<SubmissionPacket>) {
+    assert!(deps.len() <= MAX_DEPS, "at most {MAX_DEPS} dependences per descriptor");
+    out.clear();
+    out.reserve(PACKETS_PER_DESCRIPTOR);
+    out.push((sw_id >> 32) as u32);
+    out.push(sw_id as u32);
+    out.push(deps.len() as u32);
+    for d in deps {
+        out.push((d.addr >> 32) as u32);
+        out.push(d.addr as u32);
+        out.push(d.dir.encode());
     }
-    packets.resize(PACKETS_PER_DESCRIPTOR, 0);
+}
+
+/// Encodes a task into its full 48-packet descriptor (including zero padding) in a reused
+/// buffer (cleared first).
+///
+/// # Panics
+///
+/// Panics if the task declares more than 15 dependences (see [`encode_prefix_into`]).
+pub fn encode_descriptor_into(task: &SubmittedTask, out: &mut Vec<SubmissionPacket>) {
+    encode_prefix_into(task.sw_id, &task.deps, out);
+    out.resize(PACKETS_PER_DESCRIPTOR, 0);
+}
+
+/// Encodes a task into its full 48-packet descriptor (including zero padding).
+///
+/// Allocating convenience wrapper around [`encode_descriptor_into`].
+///
+/// # Panics
+///
+/// Panics if the task declares more than 15 dependences (see [`encode_prefix_into`]).
+pub fn encode_descriptor(task: &SubmittedTask) -> Vec<SubmissionPacket> {
+    let mut packets = Vec::with_capacity(PACKETS_PER_DESCRIPTOR);
+    encode_descriptor_into(task, &mut packets);
     packets
 }
 
 /// Encodes only the non-zero prefix of the descriptor — what the runtime actually transmits
 /// through the Submit Packet / Submit Three Packets instructions before the Zero Padder takes
 /// over.
+///
+/// Allocating convenience wrapper around [`encode_prefix_into`].
 pub fn encode_nonzero_prefix(task: &SubmittedTask) -> Vec<SubmissionPacket> {
-    let mut packets = encode_descriptor(task);
-    packets.truncate(task.nonzero_packets());
+    let mut packets = Vec::with_capacity(task.nonzero_packets());
+    encode_prefix_into(task.sw_id, &task.deps, &mut packets);
     packets
 }
 
-/// Decodes a full 48-packet descriptor back into a task.
+/// Decodes a full 48-packet descriptor into a reused [`SubmittedTask`], overwriting its fields
+/// (the dependence `Vec`'s capacity is reused, so steady-state decoding never allocates).
 ///
 /// # Errors
 ///
 /// Returns a [`PacketDecodeError`] if the descriptor is malformed (wrong length, too many
-/// dependences, reserved directionality, or non-zero padding).
-pub fn decode_descriptor(packets: &[SubmissionPacket]) -> Result<SubmittedTask, PacketDecodeError> {
+/// dependences, reserved directionality, or non-zero padding); `out` is left with the fields
+/// decoded before the error was found and must not be interpreted.
+pub fn decode_descriptor_into(
+    packets: &[SubmissionPacket],
+    out: &mut SubmittedTask,
+) -> Result<(), PacketDecodeError> {
     if packets.len() != PACKETS_PER_DESCRIPTOR {
         return Err(PacketDecodeError::WrongLength(packets.len()));
     }
-    let sw_id = ((packets[0] as u64) << 32) | packets[1] as u64;
+    out.sw_id = ((packets[0] as u64) << 32) | packets[1] as u64;
     let ndeps = packets[2];
     if ndeps as usize > MAX_DEPS {
         return Err(PacketDecodeError::TooManyDeps(ndeps));
     }
-    let mut deps = Vec::with_capacity(ndeps as usize);
+    out.deps.clear();
+    out.deps.reserve(ndeps as usize);
     for slot in 0..MAX_DEPS {
         let base = 3 + slot * PACKETS_PER_DEP;
         let (hi, lo, dir_bits) = (packets[base], packets[base + 1], packets[base + 2]);
@@ -147,12 +181,26 @@ pub fn decode_descriptor(packets: &[SubmissionPacket]) -> Result<SubmittedTask, 
             let dir = Direction::decode(dir_bits)
                 .ok_or(PacketDecodeError::InvalidDirectionality { slot })?;
             let addr = ((hi as u64) << 32) | lo as u64;
-            deps.push(Dependence::new(addr, dir));
+            out.deps.push(Dependence::new(addr, dir));
         } else if hi != 0 || lo != 0 || dir_bits != 0 {
             return Err(PacketDecodeError::NonZeroPadding { packet: base });
         }
     }
-    Ok(SubmittedTask { sw_id, deps })
+    Ok(())
+}
+
+/// Decodes a full 48-packet descriptor back into a task.
+///
+/// Allocating convenience wrapper around [`decode_descriptor_into`].
+///
+/// # Errors
+///
+/// Returns a [`PacketDecodeError`] if the descriptor is malformed (wrong length, too many
+/// dependences, reserved directionality, or non-zero padding).
+pub fn decode_descriptor(packets: &[SubmissionPacket]) -> Result<SubmittedTask, PacketDecodeError> {
+    let mut task = SubmittedTask::new(0, Vec::new());
+    decode_descriptor_into(packets, &mut task)?;
+    Ok(task)
 }
 
 #[cfg(test)]
@@ -232,6 +280,25 @@ mod tests {
         match decode_descriptor(&p) {
             Err(PacketDecodeError::NonZeroPadding { packet }) => assert!(packet <= 10),
             other => panic!("expected NonZeroPadding, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reused_buffers_match_allocating_wrappers() {
+        let mut packets = Vec::new();
+        let mut decoded = SubmittedTask::new(0, Vec::new());
+        for n in [0, 1, 4, 15] {
+            let t = sample_task(n);
+            encode_descriptor_into(&t, &mut packets);
+            assert_eq!(packets, encode_descriptor(&t), "reused encode agrees ({n} deps)");
+            let cap_before = decoded.deps.capacity();
+            decode_descriptor_into(&packets, &mut decoded).unwrap();
+            assert_eq!(decoded, t, "reused decode agrees ({n} deps)");
+            if n > 0 {
+                assert!(decoded.deps.capacity() >= cap_before, "capacity is reused, not shrunk");
+            }
+            encode_prefix_into(t.sw_id, &t.deps, &mut packets);
+            assert_eq!(packets, encode_nonzero_prefix(&t), "reused prefix agrees ({n} deps)");
         }
     }
 

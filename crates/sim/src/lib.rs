@@ -10,7 +10,12 @@
 //! * [`rng`] — a small, fully deterministic pseudo-random number generator so that simulations
 //!   are reproducible without pulling the `rand` crate into every component;
 //! * [`hwqueue`] — bounded FIFO queues with occupancy accounting, modelling the Chisel `Queue`
-//!   instances used throughout Picos Manager and Picos itself;
+//!   instances used throughout Picos Manager and Picos itself, plus the time-ordered
+//!   [`TimedQueue`] backing the pipeline-completion models;
+//! * [`fxhash`] — a deterministic, seedless, non-cryptographic hasher for host-side lookup
+//!   tables on the simulator's hot paths;
+//! * [`inline`] — [`InlineVec`], a small vector with inline storage for the short lists the
+//!   Picos task memory and address table are made of;
 //! * [`trace`] — a lightweight bounded event trace for debugging simulations.
 //!
 //! The whole simulator is single-threaded and deterministic: given the same configuration and the
@@ -34,13 +39,17 @@
 #![warn(missing_docs)]
 
 pub mod clock;
+pub mod fxhash;
 pub mod hwqueue;
+pub mod inline;
 pub mod rng;
 pub mod stats;
 pub mod trace;
 
 pub use clock::{Cycle, CycleClock, Frequency};
-pub use hwqueue::BoundedQueue;
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use hwqueue::{BoundedQueue, TimedQueue};
+pub use inline::InlineVec;
 pub use rng::SimRng;
 pub use stats::{geomean, Counter, Histogram, RunningStats};
 pub use trace::{TraceBuffer, TraceEvent, TraceLevel};

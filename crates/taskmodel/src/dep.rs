@@ -30,6 +30,14 @@ pub enum Direction {
     InOut,
 }
 
+impl Default for Direction {
+    /// Defaults to [`Direction::In`], the weakest access — used only to zero-initialise inline
+    /// buffers (e.g. `tis_sim::InlineVec`), never as a semantic fallback.
+    fn default() -> Self {
+        Direction::In
+    }
+}
+
 impl Direction {
     /// All directions, useful for exhaustive tests and property generators.
     pub const ALL: [Direction; 3] = [Direction::In, Direction::Out, Direction::InOut];
@@ -50,6 +58,21 @@ impl Direction {
     /// Two reads never conflict; every other combination does.
     pub fn creates_dependence(self, later: Direction) -> bool {
         self.writes() || later.writes()
+    }
+
+    /// The combined direction of two accesses by the *same* task to the *same* address: the
+    /// union of their read/write sets (`in` + `out` = `inout`, `in` + `in` = `in`, …).
+    ///
+    /// Used to collapse duplicate same-address annotations at submission: a task declaring
+    /// `[read(a), write(a)]` occupies one address-table slot with direction `inout`, exactly as
+    /// if the programmer had written the collapsed clause.
+    pub fn merge(self, other: Direction) -> Direction {
+        match (self.reads() || other.reads(), self.writes() || other.writes()) {
+            (true, true) => Direction::InOut,
+            (true, false) => Direction::In,
+            (false, true) => Direction::Out,
+            (false, false) => unreachable!("every Direction reads or writes"),
+        }
     }
 
     /// The 2-bit encoding used in the Picos submission packet `directionality` field.
@@ -158,6 +181,22 @@ mod tests {
         for (a, b, expected) in cases {
             assert_eq!(a.creates_dependence(b), expected, "{a} -> {b}");
         }
+    }
+
+    #[test]
+    fn merge_is_the_union_of_access_sets() {
+        use Direction::*;
+        for a in Direction::ALL {
+            for b in Direction::ALL {
+                let m = a.merge(b);
+                assert_eq!(m.reads(), a.reads() || b.reads(), "{a} + {b}");
+                assert_eq!(m.writes(), a.writes() || b.writes(), "{a} + {b}");
+                assert_eq!(m, b.merge(a), "merge is commutative");
+            }
+        }
+        assert_eq!(In.merge(Out), InOut);
+        assert_eq!(In.merge(In), In);
+        assert_eq!(Out.merge(InOut), InOut);
     }
 
     #[test]

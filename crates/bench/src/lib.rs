@@ -10,9 +10,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod diff;
 pub mod json;
 
-pub use json::Json;
+pub use json::{Json, JsonParseError};
 
 use tis_core::{PhentosConfig, Phentos, TisConfig, TisFabric};
 use tis_machine::{run_machine, EngineError, ExecutionReport, MachineConfig, NullFabric};
@@ -93,6 +94,15 @@ impl Harness {
     /// The same system with a different core count.
     pub fn with_cores(cores: usize) -> Self {
         Harness { machine: MachineConfig::rocket_with_cores(cores), ..Self::paper_prototype() }
+    }
+
+    /// The same system with the given Picos tracker capacities applied to **both** Picos-backed
+    /// fabrics (RoCC and AXI) — the tracker-capacity axis of the `tis-exp` sweeps. The software
+    /// runtime (Nanos-SW) has no tracker and is unaffected.
+    pub fn with_tracker(mut self, tracker: tis_picos::TrackerConfig) -> Self {
+        self.tis.picos.tracker = tracker;
+        self.axi.picos.tracker = tracker;
+        self
     }
 
     /// Number of cores in the configured machine.
@@ -176,6 +186,23 @@ pub fn measure_lifetime_overhead(harness: &Harness, platform: Platform, program:
     let single = Harness { machine: MachineConfig { cores: 1, ..harness.machine }, ..harness.clone() };
     let report = single.run(platform, program).expect("overhead microbenchmark must complete");
     report.mean_cycles_per_task()
+}
+
+/// Measures the **maximum task throughput** (MTT, Section VI-B2) of a platform in tasks per
+/// cycle, at the harness's configured core count: an empty-payload Task-Free run floods the
+/// scheduling system with `tasks` independent single-dependence tasks, so the retirement rate
+/// is the system-wide scheduling ceiling. `min(cores, t × MTT)` (see
+/// `tis_machine::mtt_speedup_bound_from_throughput`) then bounds the speedup of any workload
+/// with mean task size `t` on this machine — the core-count-honest form of the Figure 6
+/// bounds, which matters beyond 8 cores for the runtimes whose per-task overhead parallelises
+/// across workers.
+pub fn measure_task_throughput(harness: &Harness, platform: Platform, tasks: usize) -> f64 {
+    let program = task_free(tasks, 1);
+    let report = harness.run(platform, &program).expect("throughput microbenchmark must complete");
+    if report.total_cycles == 0 {
+        return 0.0;
+    }
+    report.tasks_retired as f64 / report.total_cycles as f64
 }
 
 /// Result of evaluating one catalog workload on one platform.

@@ -1,0 +1,388 @@
+//! Declarative sweep definitions: a cartesian grid over the design space.
+//!
+//! A [`Sweep`] names the axes the related design-space-exploration literature varies — core
+//! count, runtime/fabric platform, Picos tracker capacities, workload — and expands them into a
+//! flat list of [`CellSpec`]s in a fixed **grid order** (workloads ▸ cores ▸ trackers ▸
+//! platforms). Grid order is part of the contract: the runner may evaluate cells on any worker
+//! in any order, but reports are always assembled in grid order, so sweep output is
+//! bit-identical regardless of parallelism.
+
+use tis_bench::Platform;
+use tis_picos::TrackerConfig;
+use tis_sim::SimRng;
+use tis_taskmodel::TaskProgram;
+use tis_workloads::entry_for_cores;
+
+use crate::synth::SynthSpec;
+
+/// One workload axis entry.
+#[derive(Debug, Clone)]
+pub enum WorkloadSpec {
+    /// An entry of the paper's Figure 9 catalog, identified by benchmark name and input label,
+    /// instantiated with the cell's **core-count context**
+    /// ([`entry_for_cores`]), so bigger machines get proportionally more parallel work
+    /// at unchanged task granularity.
+    Catalog {
+        /// Benchmark name (`"blackscholes"`, `"jacobi"`, `"sparselu"`, `"stream-barr"`,
+        /// `"stream-deps"`).
+        benchmark: &'static str,
+        /// Input label as in Figure 9 (e.g. `"4K B64"`).
+        input: &'static str,
+    },
+    /// A synthetic graph family (see [`crate::synth`]).
+    Synth {
+        /// The generator parameters.
+        spec: SynthSpec,
+        /// When true (the default from [`WorkloadSpec::synth`]), the task count is multiplied
+        /// by `ceil(cores / 8)` so the per-core work matches the 8-core baseline.
+        scale_with_cores: bool,
+    },
+    /// A fixed, pre-built program replayed identically in every cell (no core-count context).
+    Fixed {
+        /// Row label.
+        label: String,
+        /// Family key for grouping in reports.
+        family: String,
+        /// The program.
+        program: TaskProgram,
+    },
+}
+
+impl WorkloadSpec {
+    /// A catalog workload with core-count context.
+    pub fn catalog(benchmark: &'static str, input: &'static str) -> Self {
+        WorkloadSpec::Catalog { benchmark, input }
+    }
+
+    /// A synthetic workload whose task count scales with the cell's core count.
+    pub fn synth(spec: SynthSpec) -> Self {
+        WorkloadSpec::Synth { spec, scale_with_cores: true }
+    }
+
+    /// A synthetic workload with a fixed task count across all core counts.
+    pub fn synth_fixed_size(spec: SynthSpec) -> Self {
+        WorkloadSpec::Synth { spec, scale_with_cores: false }
+    }
+
+    /// A fixed program.
+    pub fn fixed(label: impl Into<String>, family: impl Into<String>, program: TaskProgram) -> Self {
+        WorkloadSpec::Fixed { label: label.into(), family: family.into(), program }
+    }
+
+    /// Row label of this workload in reports. Labels are injective over distinct specs (the
+    /// synthetic name carries every parameter, and the fixed-size variant is marked), so rows
+    /// never collide within one sweep.
+    pub fn label(&self) -> String {
+        match self {
+            WorkloadSpec::Catalog { benchmark, input } => format!("{benchmark} {input}"),
+            WorkloadSpec::Synth { spec, scale_with_cores } => {
+                if *scale_with_cores {
+                    spec.name()
+                } else {
+                    format!("{} fixed-size", spec.name())
+                }
+            }
+            WorkloadSpec::Fixed { label, .. } => label.clone(),
+        }
+    }
+
+    /// Family key of this workload (benchmark name or synthetic family).
+    pub fn family(&self) -> String {
+        match self {
+            WorkloadSpec::Catalog { benchmark, .. } => (*benchmark).to_string(),
+            WorkloadSpec::Synth { spec, .. } => spec.family.key().to_string(),
+            WorkloadSpec::Fixed { family, .. } => family.clone(),
+        }
+    }
+
+    /// Builds the cell's program. `rng` must be the cell's derived stream (a pure function of
+    /// the sweep seed and the cell coordinates); catalog and fixed workloads consume no
+    /// randomness. The runner calls this once per `(workload, cores)` grid point and shares
+    /// the program across that point's platform/tracker cells.
+    pub fn instantiate(&self, cores: usize, rng: &mut SimRng) -> TaskProgram {
+        match self {
+            WorkloadSpec::Catalog { benchmark, input } => entry_for_cores(benchmark, input, cores)
+                .unwrap_or_else(|| panic!("no catalog entry named '{benchmark} {input}'"))
+                .program,
+            WorkloadSpec::Synth { spec, scale_with_cores } => {
+                let mut sized = *spec;
+                if *scale_with_cores {
+                    // Same scaling rule as the catalog's core-count context, so catalog and
+                    // synthetic workloads in one sweep grow in lockstep.
+                    sized.tasks = spec.tasks * tis_workloads::catalog::parallel_scale_for_cores(cores);
+                }
+                sized.generate(rng)
+            }
+            WorkloadSpec::Fixed { program, .. } => program.clone(),
+        }
+    }
+
+    /// Panics early (at sweep build time, not mid-run) on specs that could never instantiate.
+    fn check(&self) {
+        match self {
+            WorkloadSpec::Catalog { benchmark, input } => {
+                assert!(
+                    entry_for_cores(benchmark, input, 1).is_some(),
+                    "no catalog entry named '{benchmark} {input}'"
+                );
+            }
+            WorkloadSpec::Synth { spec, .. } => spec.validate(),
+            WorkloadSpec::Fixed { program, .. } => {
+                program.validate().expect("fixed sweep program must be valid");
+            }
+        }
+    }
+}
+
+/// Coordinates of one grid cell (indices into the sweep's axes, plus the resolved values).
+#[derive(Debug, Clone)]
+pub struct CellSpec {
+    /// Position in grid order; reports are assembled by this index.
+    pub index: usize,
+    /// Index into [`Sweep::workloads`].
+    pub workload: usize,
+    /// Index into [`Sweep::cores`].
+    pub core_axis: usize,
+    /// Resolved core count.
+    pub cores: usize,
+    /// Index into [`Sweep::trackers`].
+    pub tracker: usize,
+    /// Index into [`Sweep::platforms`].
+    pub platform: usize,
+}
+
+/// A declarative experiment: a cartesian grid over workloads, core counts, tracker capacities
+/// and platforms, all run through `tis_machine::engine::run_machine` by the
+/// [runner](crate::runner).
+///
+/// ```
+/// use tis_exp::{Sweep, SynthFamily, SynthSpec, WorkloadSpec};
+/// use tis_bench::Platform;
+///
+/// let sweep = Sweep::new("quick")
+///     .over_cores([2, 4])
+///     .over_platforms([Platform::Phentos])
+///     .with_workload(WorkloadSpec::synth(SynthSpec::uniform(
+///         SynthFamily::ForkJoin { width: 8 },
+///         64,
+///         4_000,
+///     )));
+/// let report = sweep.run();
+/// assert_eq!(report.cells.len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sweep {
+    /// Experiment name (recorded in reports and `BENCH_sweep.json`).
+    pub name: String,
+    /// Root seed for synthetic workload generation.
+    pub seed: u64,
+    /// Core-count axis.
+    pub cores: Vec<usize>,
+    /// Platform axis.
+    pub platforms: Vec<Platform>,
+    /// Picos tracker-capacity axis (applied to both RoCC- and AXI-attached Picos).
+    pub trackers: Vec<TrackerConfig>,
+    /// Workload axis.
+    pub workloads: Vec<WorkloadSpec>,
+    /// Whether every cell's schedule is validated against the reference dependence graph
+    /// (on by default; sweeps exist to explore, and an invalid schedule is a finding, not a
+    /// data point).
+    pub validate: bool,
+}
+
+impl Sweep {
+    /// Creates a sweep with the paper's defaults on every axis: 8 cores, the Phentos platform,
+    /// the prototype tracker capacities, no workloads, validation on.
+    pub fn new(name: impl Into<String>) -> Self {
+        Sweep {
+            name: name.into(),
+            seed: 0x5EED_5EED_5EED_5EED,
+            cores: vec![8],
+            platforms: vec![Platform::Phentos],
+            trackers: vec![TrackerConfig::default()],
+            workloads: Vec::new(),
+            validate: true,
+        }
+    }
+
+    /// Replaces the core-count axis.
+    pub fn over_cores(mut self, cores: impl IntoIterator<Item = usize>) -> Self {
+        self.cores = cores.into_iter().collect();
+        self
+    }
+
+    /// Replaces the platform axis.
+    pub fn over_platforms(mut self, platforms: impl IntoIterator<Item = Platform>) -> Self {
+        self.platforms = platforms.into_iter().collect();
+        self
+    }
+
+    /// Replaces the tracker-capacity axis.
+    pub fn over_trackers(mut self, trackers: impl IntoIterator<Item = TrackerConfig>) -> Self {
+        self.trackers = trackers.into_iter().collect();
+        self
+    }
+
+    /// Appends a workload to the workload axis.
+    pub fn with_workload(mut self, workload: WorkloadSpec) -> Self {
+        self.workloads.push(workload);
+        self
+    }
+
+    /// Sets the synthetic-generation seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Disables per-cell schedule validation (validation costs one reference-graph
+    /// construction and check per cell; heavy sweeps that only read makespans may skip it).
+    pub fn without_validation(mut self) -> Self {
+        self.validate = false;
+        self
+    }
+
+    /// Number of grid cells.
+    pub fn cell_count(&self) -> usize {
+        self.workloads.len() * self.cores.len() * self.trackers.len() * self.platforms.len()
+    }
+
+    /// Expands the grid into cells, in grid order (workloads ▸ cores ▸ trackers ▸ platforms).
+    pub fn cells(&self) -> Vec<CellSpec> {
+        let mut out = Vec::with_capacity(self.cell_count());
+        for (wi, _) in self.workloads.iter().enumerate() {
+            for (ci, &cores) in self.cores.iter().enumerate() {
+                for (ti, _) in self.trackers.iter().enumerate() {
+                    for (pi, _) in self.platforms.iter().enumerate() {
+                        out.push(CellSpec {
+                            index: out.len(),
+                            workload: wi,
+                            core_axis: ci,
+                            cores,
+                            tracker: ti,
+                            platform: pi,
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The RNG stream for a cell's workload instantiation. Depends only on the sweep seed and
+    /// the cell's `(workload, cores)` coordinates — *not* on tracker or platform — so every
+    /// platform/tracker combination of one workload×cores point schedules the **same**
+    /// program, and parallel evaluation order cannot perturb generation.
+    pub fn cell_rng(&self, workload: usize, cores: usize) -> SimRng {
+        SimRng::new(self.seed).stream("sweep-workload", workload as u64).stream("cores", cores as u64)
+    }
+
+    /// Validates the whole sweep definition.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty axis, a zero core count, degenerate tracker capacities, or a
+    /// workload spec that could never instantiate.
+    pub fn check(&self) {
+        assert!(!self.workloads.is_empty(), "sweep '{}' has no workloads", self.name);
+        assert!(!self.cores.is_empty(), "sweep '{}' has an empty core axis", self.name);
+        assert!(!self.platforms.is_empty(), "sweep '{}' has an empty platform axis", self.name);
+        assert!(!self.trackers.is_empty(), "sweep '{}' has an empty tracker axis", self.name);
+        for &c in &self.cores {
+            assert!(c > 0, "sweep '{}': zero-core machines cannot run", self.name);
+        }
+        for t in &self.trackers {
+            t.validate();
+        }
+        for w in &self.workloads {
+            w.check();
+        }
+    }
+
+    /// Runs the sweep sequentially. See [`crate::runner::run_sweep`].
+    pub fn run(&self) -> crate::report::SweepReport {
+        crate::runner::run_sweep(self)
+    }
+
+    /// Runs the sweep on `workers` host threads. See [`crate::runner::run_sweep_with_workers`].
+    pub fn run_parallel(&self, workers: usize) -> crate::report::SweepReport {
+        crate::runner::run_sweep_with_workers(self, workers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::SynthFamily;
+
+    #[test]
+    fn cells_enumerate_in_grid_order() {
+        let sweep = Sweep::new("order")
+            .over_cores([2, 4])
+            .over_platforms([Platform::Phentos, Platform::NanosSw])
+            .over_trackers([TrackerConfig::default(), TrackerConfig::new(64, 256)])
+            .with_workload(WorkloadSpec::synth(SynthSpec::uniform(SynthFamily::Chain, 10, 100)))
+            .with_workload(WorkloadSpec::catalog("blackscholes", "4K B64"));
+        assert_eq!(sweep.cell_count(), 2 * 2 * 2 * 2);
+        let cells = sweep.cells();
+        assert_eq!(cells.len(), 16);
+        // Platforms vary fastest, then trackers, then cores, then workloads.
+        assert_eq!((cells[0].workload, cells[0].cores, cells[0].tracker, cells[0].platform), (0, 2, 0, 0));
+        assert_eq!((cells[1].workload, cells[1].cores, cells[1].tracker, cells[1].platform), (0, 2, 0, 1));
+        assert_eq!((cells[2].workload, cells[2].cores, cells[2].tracker, cells[2].platform), (0, 2, 1, 0));
+        assert_eq!((cells[4].workload, cells[4].cores, cells[4].tracker, cells[4].platform), (0, 4, 0, 0));
+        assert_eq!((cells[8].workload, cells[8].cores, cells[8].tracker, cells[8].platform), (1, 2, 0, 0));
+        for (i, c) in cells.iter().enumerate() {
+            assert_eq!(c.index, i);
+        }
+        sweep.check();
+    }
+
+    #[test]
+    fn cell_rng_ignores_platform_and_tracker_axes() {
+        let sweep = Sweep::new("rng");
+        let mut a = sweep.cell_rng(0, 4);
+        let mut b = sweep.cell_rng(0, 4);
+        let mut c = sweep.cell_rng(1, 4);
+        let mut d = sweep.cell_rng(0, 8);
+        let first = a.next_u64();
+        assert_eq!(first, b.next_u64());
+        assert_ne!(first, c.next_u64());
+        assert_ne!(first, d.next_u64());
+    }
+
+    #[test]
+    fn workload_spec_labels_and_instantiation() {
+        let cat = WorkloadSpec::catalog("blackscholes", "4K B64");
+        assert_eq!(cat.label(), "blackscholes 4K B64");
+        assert_eq!(cat.family(), "blackscholes");
+        let mut rng = SimRng::new(1);
+        let p8 = cat.instantiate(8, &mut rng);
+        let p64 = cat.instantiate(64, &mut rng);
+        assert_eq!(p8.task_count() * 8, p64.task_count(), "catalog scales with cores");
+
+        let spec = SynthSpec::uniform(SynthFamily::ForkJoin { width: 4 }, 16, 1_000);
+        let synth = WorkloadSpec::synth(spec);
+        assert_eq!(synth.family(), "synth-forkjoin");
+        assert_eq!(synth.instantiate(64, &mut SimRng::new(2)).task_count(), 16 * 8);
+        let fixed_size = WorkloadSpec::synth_fixed_size(spec);
+        assert_eq!(fixed_size.instantiate(64, &mut SimRng::new(2)).task_count(), 16);
+
+        let fixed = WorkloadSpec::fixed("probe", "micro", p8.clone());
+        assert_eq!(fixed.label(), "probe");
+        assert_eq!(fixed.family(), "micro");
+        assert_eq!(fixed.instantiate(64, &mut rng), p8);
+    }
+
+    #[test]
+    #[should_panic(expected = "no catalog entry")]
+    fn unknown_catalog_entry_fails_at_check_time() {
+        Sweep::new("bad").with_workload(WorkloadSpec::catalog("blackscholes", "9K B7")).check();
+    }
+
+    #[test]
+    #[should_panic(expected = "no workloads")]
+    fn empty_sweep_is_rejected() {
+        Sweep::new("empty").check();
+    }
+}

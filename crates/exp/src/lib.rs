@@ -1,0 +1,55 @@
+//! `tis-exp` — the declarative experiment engine: parameter sweeps over the design space,
+//! synthetic task-graph generation, and a deterministic host-parallel sweep runner.
+//!
+//! The paper evaluates one fixed design point — eight Rocket cores, one tracker sizing, a
+//! 37-workload catalog — and names scaling beyond it as future work (§VII). The related
+//! design-space literature (HTS, the ESP SoC methodology) treats *parameterised exploration in
+//! simulation* as the core activity instead. This crate adds that layer on top of the existing
+//! stack:
+//!
+//! * [`grid`] — the [`Sweep`] builder: a cartesian grid over core count, platform, Picos
+//!   tracker capacities and workload, expanded into cells in a fixed grid order;
+//! * [`synth`] — deterministic synthetic task-graph families (chain, tree, diamond, layered
+//!   fork-join, windowed Erdős–Rényi), seeded from [`tis_sim::SimRng`] streams so workloads go
+//!   far beyond the fixed catalog while staying perfectly reproducible;
+//! * [`runner`] — evaluates cells through `tis_machine::engine::run_machine`, optionally on N
+//!   host threads; results are merged in grid order so output is bit-identical for any worker
+//!   count;
+//! * [`report`] — structured [`SweepReport`] rows, text tables, and the `BENCH_sweep.json`
+//!   artifact (written via the same `TIS_BENCH_JSON` contract as the figure benches).
+//!
+//! The `sweep_core_scaling` bench target is the flagship consumer: the paper-style
+//! "beyond 8 cores" table (2→64 cores, measured speedup vs MTT bound, across platforms and
+//! catalog + synthetic workload families).
+//!
+//! # Example
+//!
+//! ```
+//! use tis_bench::Platform;
+//! use tis_exp::{Sweep, SynthFamily, SynthSpec, WorkloadSpec};
+//!
+//! let report = Sweep::new("doc")
+//!     .over_cores([2, 8])
+//!     .over_platforms([Platform::Phentos, Platform::NanosSw])
+//!     .with_workload(WorkloadSpec::synth(SynthSpec::uniform(
+//!         SynthFamily::Diamond { width: 8 },
+//!         40,
+//!         20_000,
+//!     )))
+//!     .run();
+//! assert_eq!(report.cells.len(), 4);
+//! assert!(report.bound_violations().is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod grid;
+pub mod report;
+pub mod runner;
+pub mod synth;
+
+pub use grid::{CellSpec, Sweep, WorkloadSpec};
+pub use report::{SweepCell, SweepReport};
+pub use runner::{run_sweep, run_sweep_with_workers};
+pub use synth::{SynthFamily, SynthSpec, ER_WINDOW, MAX_IN_DEGREE};

@@ -1,0 +1,209 @@
+//! Structured sweep results and their machine-readable serialisation.
+
+use tis_bench::{Json, Platform};
+use tis_picos::TrackerConfig;
+
+/// The measurements of one grid cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepCell {
+    /// Workload row label (catalog label or synthetic spec name).
+    pub workload: String,
+    /// Workload family key (benchmark name or synthetic family).
+    pub family: String,
+    /// Core count of the simulated machine.
+    pub cores: usize,
+    /// Platform that ran the cell.
+    pub platform: Platform,
+    /// Picos tracker capacities in effect.
+    pub tracker: TrackerConfig,
+    /// Number of tasks in the instantiated program.
+    pub tasks: usize,
+    /// Mean serial task duration in cycles (the paper's granularity axis).
+    pub mean_task_cycles: f64,
+    /// Serial baseline of the instantiated program, in cycles.
+    pub serial_cycles: u64,
+    /// Measured makespan, in cycles.
+    pub total_cycles: u64,
+    /// Measured speedup over the serial baseline.
+    pub speedup: f64,
+    /// Single-core lifetime overhead of the platform/tracker pair (Task-Chain, 1 dep) — the
+    /// Figure 7 metric, reported for context.
+    pub lifetime_overhead: f64,
+    /// Measured maximum task throughput of the scheduling system at this cell's core count,
+    /// in tasks per cycle (empty-payload Task-Free probe).
+    pub mtt_tasks_per_cycle: f64,
+    /// The MTT-derived maximum speedup `min(cores, mean_task_cycles × mtt_tasks_per_cycle)`
+    /// for this cell's core count.
+    pub mtt_bound: f64,
+}
+
+impl SweepCell {
+    /// Whether the measured speedup respects the MTT-derived bound. The bound uses the
+    /// throughput measured at the cell's own core count, so no parallelisation slack is
+    /// needed; a violation is a cost-model inconsistency.
+    pub fn within_bound(&self) -> bool {
+        self.speedup <= self.mtt_bound
+    }
+}
+
+/// The complete result of one sweep, in grid order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepReport {
+    /// The sweep's name.
+    pub name: String,
+    /// The seed synthetic workloads were generated from.
+    pub seed: u64,
+    /// One entry per grid cell, in grid order (independent of how the sweep was scheduled
+    /// across workers).
+    pub cells: Vec<SweepCell>,
+}
+
+impl SweepReport {
+    /// Cells whose measured speedup exceeds the MTT-derived bound — each one is either a
+    /// model bug or a discovery.
+    pub fn bound_violations(&self) -> Vec<&SweepCell> {
+        self.cells.iter().filter(|c| !c.within_bound()).collect()
+    }
+
+    /// Machine-readable snapshot, rendered into `BENCH_sweep.json` by
+    /// [`write_json_if_requested`](Self::write_json_if_requested).
+    pub fn to_json(&self) -> Json {
+        let cells = self
+            .cells
+            .iter()
+            .map(|c| {
+                Json::obj([
+                    ("workload", Json::Str(c.workload.clone())),
+                    ("family", Json::Str(c.family.clone())),
+                    ("cores", Json::UInt(c.cores as u64)),
+                    ("platform", Json::Str(c.platform.key().to_string())),
+                    (
+                        "tracker",
+                        Json::obj([
+                            ("task_memory_entries", Json::UInt(c.tracker.task_memory_entries as u64)),
+                            (
+                                "address_table_entries",
+                                Json::UInt(c.tracker.address_table_entries as u64),
+                            ),
+                        ]),
+                    ),
+                    ("tasks", Json::UInt(c.tasks as u64)),
+                    ("mean_task_cycles", Json::Num(c.mean_task_cycles)),
+                    ("serial_cycles", Json::UInt(c.serial_cycles)),
+                    ("cycles", Json::UInt(c.total_cycles)),
+                    ("speedup_over_serial", Json::Num(c.speedup)),
+                    ("lifetime_overhead_cycles", Json::Num(c.lifetime_overhead)),
+                    ("mtt_tasks_per_cycle", Json::Num(c.mtt_tasks_per_cycle)),
+                    ("mtt_speedup_bound", Json::Num(c.mtt_bound)),
+                ])
+            })
+            .collect();
+        Json::obj([
+            ("experiment", Json::Str(self.name.clone())),
+            ("seed", Json::UInt(self.seed)),
+            ("cells", Json::Arr(cells)),
+        ])
+    }
+
+    /// Renders an aligned text table of all cells, one row per cell in grid order.
+    pub fn render_table(&self) -> String {
+        let label_width =
+            self.cells.iter().map(|c| c.workload.len()).max().unwrap_or(8).max("workload".len());
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<label_width$} | {:>5} | {:>9} | {:>13} | {:>6} | {:>8} | {:>9} | {:>6}\n",
+            "workload", "cores", "platform", "tracker", "tasks", "speedup", "MTT bound", "within"
+        ));
+        out.push_str(&"-".repeat(label_width + 76));
+        out.push('\n');
+        for c in &self.cells {
+            out.push_str(&format!(
+                "{:<label_width$} | {:>5} | {:>9} | {:>13} | {:>6} | {:>7.2}x | {:>8.2}x | {:>6}\n",
+                c.workload,
+                c.cores,
+                c.platform.key(),
+                c.tracker.label(),
+                c.tasks,
+                c.speedup,
+                c.mtt_bound,
+                if c.within_bound() { "yes" } else { "NO" },
+            ));
+        }
+        out
+    }
+
+    /// Writes `BENCH_sweep.json` into the directory named by the `TIS_BENCH_JSON` environment
+    /// variable (same contract as `tis_bench::write_fig09_json_if_requested`: unset means no
+    /// side effect, empty means the current directory).
+    ///
+    /// # Errors
+    ///
+    /// Propagates any I/O error from creating the directory or writing the file.
+    pub fn write_json_if_requested(&self) -> std::io::Result<Option<std::path::PathBuf>> {
+        let Some(dir) = std::env::var_os("TIS_BENCH_JSON") else {
+            return Ok(None);
+        };
+        let dir = if dir.is_empty() { std::path::PathBuf::from(".") } else { dir.into() };
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join("BENCH_sweep.json");
+        std::fs::write(&path, self.to_json().render())?;
+        Ok(Some(path))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(speedup: f64, bound: f64) -> SweepCell {
+        SweepCell {
+            workload: "synth-chain x10 t100".into(),
+            family: "synth-chain".into(),
+            cores: 4,
+            platform: Platform::Phentos,
+            tracker: TrackerConfig::default(),
+            tasks: 10,
+            mean_task_cycles: 100.0,
+            serial_cycles: 1_000,
+            total_cycles: 500,
+            speedup,
+            lifetime_overhead: 162.0,
+            mtt_tasks_per_cycle: 1.0 / 162.0,
+            mtt_bound: bound,
+        }
+    }
+
+    #[test]
+    fn bound_violations_are_strict() {
+        let report = SweepReport {
+            name: "t".into(),
+            seed: 1,
+            cells: vec![cell(2.0, 4.0), cell(4.0, 4.0), cell(6.0, 4.0)],
+        };
+        assert_eq!(report.bound_violations().len(), 1);
+        assert_eq!(report.bound_violations()[0].speedup, 6.0);
+        let table = report.render_table();
+        assert!(table.contains("NO"), "violations are flagged in the table:\n{table}");
+        assert!(table.contains("tm256-at2048"));
+    }
+
+    #[test]
+    fn json_round_trips_through_the_bench_parser() {
+        let report =
+            SweepReport { name: "core-scaling".into(), seed: 7, cells: vec![cell(2.0, 4.0)] };
+        let rendered = report.to_json().render();
+        let parsed = Json::parse(&rendered).unwrap();
+        assert_eq!(parsed.get("experiment").and_then(Json::as_str), Some("core-scaling"));
+        let cells = match parsed.get("cells") {
+            Some(Json::Arr(c)) => c,
+            other => panic!("cells must be an array, got {other:?}"),
+        };
+        assert_eq!(cells.len(), 1);
+        assert_eq!(cells[0].get("platform").and_then(Json::as_str), Some("phentos"));
+        assert_eq!(cells[0].get("speedup_over_serial").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(
+            cells[0].get("tracker").and_then(|t| t.get("task_memory_entries")).and_then(Json::as_f64),
+            Some(256.0)
+        );
+    }
+}

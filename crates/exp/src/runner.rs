@@ -1,0 +1,268 @@
+//! The sweep runner: evaluates grid cells through `tis_machine::engine::run_machine`,
+//! optionally fanning independent cells out across host threads.
+//!
+//! Every cell is a fully deterministic, self-contained simulation — it builds its own
+//! [`Harness`], instantiates its own program from a pure per-cell RNG stream
+//! ([`Sweep::cell_rng`]), and shares no mutable state with other cells. Workers pull cell
+//! indices from an atomic counter and write results into the cell's own slot, so the report is
+//! assembled in grid order and is **bit-identical for any worker count** (pinned by
+//! `tests/sweep_determinism.rs`).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use tis_bench::{measure_lifetime_overhead, measure_task_throughput, Harness};
+use tis_machine::mtt_speedup_bound_from_throughput;
+use tis_workloads::task_chain;
+
+use crate::grid::{CellSpec, Sweep};
+use crate::report::{SweepCell, SweepReport};
+
+/// Number of tasks in the Task-Chain probe used to measure per-platform lifetime overhead.
+const OVERHEAD_PROBE_TASKS: usize = 100;
+
+/// Scheduler-saturation probes measured once per `(tracker, cores, platform)` combination and
+/// shared by every cell at that point: the single-core lifetime overhead `Lo` (the Figure 7
+/// metric, reported for context) and the maximum task throughput `MTT` at the cell's core
+/// count, from which the cell's speedup bound `min(cores, t × MTT)` is derived. Measuring MTT
+/// *at the swept core count* — instead of assuming `1 / Lo`, which is only tight when per-task
+/// overhead serialises — is what keeps the bound honest for runtimes whose overhead
+/// parallelises across workers (the 8-core shortcut the ROADMAP's sweep item calls out).
+struct SchedulerProbes {
+    /// `Lo` per `(tracker, platform)` in cycles per task.
+    lifetime_overhead: Vec<f64>,
+    /// `MTT` per `(tracker, core_axis, platform)` in tasks per cycle.
+    throughput: Vec<f64>,
+}
+
+impl SchedulerProbes {
+    fn measure(sweep: &Sweep) -> Self {
+        let chain = task_chain(OVERHEAD_PROBE_TASKS, 1);
+        let mut lifetime_overhead =
+            Vec::with_capacity(sweep.trackers.len() * sweep.platforms.len());
+        let mut throughput =
+            Vec::with_capacity(sweep.trackers.len() * sweep.cores.len() * sweep.platforms.len());
+        for &tracker in &sweep.trackers {
+            let prototype = Harness::paper_prototype().with_tracker(tracker);
+            for &platform in &sweep.platforms {
+                lifetime_overhead.push(measure_lifetime_overhead(&prototype, platform, &chain));
+            }
+            for &cores in &sweep.cores {
+                let harness = Harness::with_cores(cores).with_tracker(tracker);
+                // Enough independent empty tasks that steady-state throughput dominates the
+                // ramp-up, at every swept core count.
+                let probe_tasks = (cores * 32).max(256);
+                for &platform in &sweep.platforms {
+                    throughput.push(measure_task_throughput(&harness, platform, probe_tasks));
+                }
+            }
+        }
+        SchedulerProbes { lifetime_overhead, throughput }
+    }
+
+    fn lifetime_overhead(&self, sweep: &Sweep, cell: &CellSpec) -> f64 {
+        self.lifetime_overhead[cell.tracker * sweep.platforms.len() + cell.platform]
+    }
+
+    fn throughput(&self, sweep: &Sweep, cell: &CellSpec) -> f64 {
+        let per_tracker = sweep.cores.len() * sweep.platforms.len();
+        self.throughput
+            [cell.tracker * per_tracker + cell.core_axis * sweep.platforms.len() + cell.platform]
+    }
+}
+
+/// Runs a sweep sequentially (one worker).
+pub fn run_sweep(sweep: &Sweep) -> SweepReport {
+    run_sweep_with_workers(sweep, 1)
+}
+
+/// Runs a sweep with `workers` host threads (clamped to the cell count; `0` is treated as 1).
+///
+/// # Panics
+///
+/// Panics if the sweep definition is invalid ([`Sweep::check`]), if any cell's simulation
+/// deadlocks or exceeds its cycle cap, or if validation is enabled and a schedule violates the
+/// reference dependence graph.
+pub fn run_sweep_with_workers(sweep: &Sweep, workers: usize) -> SweepReport {
+    sweep.check();
+    let cells = sweep.cells();
+
+    // Scheduler probes depend only on axis coordinates, not on the workload; measuring them
+    // once up front keeps the per-cell work purely cell-local. Likewise, all cells of one
+    // (workload, cores) grid point schedule the same program, so it is instantiated once here
+    // and shared, not regenerated per platform/tracker cell.
+    let probes = SchedulerProbes::measure(sweep);
+    let mut programs = Vec::with_capacity(sweep.workloads.len() * sweep.cores.len());
+    for (wi, spec) in sweep.workloads.iter().enumerate() {
+        for &cores in &sweep.cores {
+            let mut rng = sweep.cell_rng(wi, cores);
+            programs.push(spec.instantiate(cores, &mut rng));
+        }
+    }
+    let program_of = |cell: &CellSpec| &programs[cell.workload * sweep.cores.len() + cell.core_axis];
+
+    let workers = workers.max(1).min(cells.len().max(1));
+    let mut slots: Vec<Option<SweepCell>> = vec![None; cells.len()];
+    if workers <= 1 {
+        for cell in &cells {
+            slots[cell.index] = Some(run_cell(sweep, cell, program_of(cell), &probes));
+        }
+    } else {
+        let next = AtomicUsize::new(0);
+        let results = Mutex::new(&mut slots);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(cell) = cells.get(i) else { break };
+                    let done = run_cell(sweep, cell, program_of(cell), &probes);
+                    results.lock().expect("no worker panicked holding the slot lock")[cell.index] =
+                        Some(done);
+                });
+            }
+        });
+    }
+
+    SweepReport {
+        name: sweep.name.clone(),
+        seed: sweep.seed,
+        cells: slots.into_iter().map(|c| c.expect("every cell index was evaluated")).collect(),
+    }
+}
+
+/// Evaluates one cell on its grid point's shared program.
+fn run_cell(
+    sweep: &Sweep,
+    cell: &CellSpec,
+    program: &tis_taskmodel::TaskProgram,
+    probes: &SchedulerProbes,
+) -> SweepCell {
+    let lifetime_overhead = probes.lifetime_overhead(sweep, cell);
+    let tasks_per_cycle = probes.throughput(sweep, cell);
+    let spec = &sweep.workloads[cell.workload];
+    let platform = sweep.platforms[cell.platform];
+    let tracker = sweep.trackers[cell.tracker];
+    let harness = Harness::with_cores(cell.cores).with_tracker(tracker);
+    let context = || {
+        format!(
+            "sweep '{}' cell {}: {} on {} cores, {}, {}",
+            sweep.name,
+            cell.index,
+            spec.label(),
+            cell.cores,
+            platform.label(),
+            tracker.label()
+        )
+    };
+    let report = harness
+        .run(platform, &program)
+        .unwrap_or_else(|e| panic!("{} failed: {e}", context()));
+    if sweep.validate {
+        report
+            .validate_against(&program)
+            .unwrap_or_else(|e| panic!("{} produced an invalid schedule: {e}", context()));
+    }
+    let stats = program.stats(harness.machine.dram_bytes_per_cycle);
+    let serial = harness.serial_cycles(&program);
+    SweepCell {
+        workload: spec.label(),
+        family: spec.family(),
+        cores: cell.cores,
+        platform,
+        tracker,
+        tasks: stats.tasks,
+        mean_task_cycles: stats.mean_task_cycles,
+        serial_cycles: serial,
+        total_cycles: report.total_cycles,
+        speedup: report.speedup_over(serial),
+        lifetime_overhead,
+        mtt_tasks_per_cycle: tasks_per_cycle,
+        mtt_bound: mtt_speedup_bound_from_throughput(
+            stats.mean_task_cycles,
+            tasks_per_cycle,
+            cell.cores,
+        ),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::WorkloadSpec;
+    use crate::synth::{SynthFamily, SynthSpec};
+    use tis_bench::Platform;
+    use tis_picos::TrackerConfig;
+
+    fn small_sweep() -> Sweep {
+        Sweep::new("unit")
+            .over_cores([1, 4])
+            .over_platforms([Platform::Phentos, Platform::NanosSw])
+            .with_workload(WorkloadSpec::synth(SynthSpec::uniform(
+                SynthFamily::ForkJoin { width: 8 },
+                32,
+                20_000,
+            )))
+            .with_workload(WorkloadSpec::synth(SynthSpec {
+                family: SynthFamily::ErdosRenyi { density: 0.1 },
+                tasks: 24,
+                task_cycles: 10_000,
+                jitter: 0.25,
+            }))
+    }
+
+    #[test]
+    fn sequential_run_fills_every_cell_in_grid_order() {
+        let sweep = small_sweep();
+        let report = sweep.run();
+        assert_eq!(report.cells.len(), sweep.cell_count());
+        for (cell, spec) in report.cells.iter().zip(sweep.cells()) {
+            assert_eq!(cell.workload, sweep.workloads[spec.workload].label());
+            assert_eq!(cell.cores, spec.cores);
+            assert_eq!(cell.platform, sweep.platforms[spec.platform]);
+            assert!(cell.total_cycles > 0);
+            assert!(cell.speedup > 0.0);
+            assert!(cell.lifetime_overhead > 0.0);
+        }
+        // Single-core speedup can never exceed 1; the 4-core fork-join must beat single-core.
+        let single = &report.cells[0];
+        assert_eq!(single.cores, 1);
+        assert!(single.speedup <= 1.0 + 1e-9);
+        let quad = &report.cells[2];
+        assert_eq!(quad.cores, 4);
+        assert!(quad.speedup > single.speedup, "more cores, more speedup on a fork-join");
+        assert!(report.bound_violations().is_empty(), "{}", report.render_table());
+    }
+
+    #[test]
+    fn worker_count_does_not_change_the_report() {
+        let sweep = small_sweep();
+        let one = run_sweep_with_workers(&sweep, 1);
+        let many = run_sweep_with_workers(&sweep, 8);
+        assert_eq!(one, many);
+        assert_eq!(one.to_json().render(), many.to_json().render());
+    }
+
+    #[test]
+    fn tracker_axis_reaches_the_fabric() {
+        // A tracker with a single task-memory entry serialises Phentos completely: the
+        // makespan must be strictly worse than with the prototype capacities.
+        let base = Sweep::new("tracker")
+            .over_cores([4])
+            .over_trackers([TrackerConfig::default(), TrackerConfig::new(1, 16)])
+            .with_workload(WorkloadSpec::synth(SynthSpec::uniform(
+                SynthFamily::ForkJoin { width: 8 },
+                32,
+                5_000,
+            )));
+        let report = base.run();
+        assert_eq!(report.cells.len(), 2);
+        let (roomy, starved) = (&report.cells[0], &report.cells[1]);
+        assert_eq!(starved.tracker.task_memory_entries, 1);
+        assert!(
+            starved.total_cycles > roomy.total_cycles,
+            "a one-entry task memory must hurt: {} vs {}",
+            starved.total_cycles,
+            roomy.total_cycles
+        );
+    }
+}

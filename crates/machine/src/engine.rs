@@ -169,7 +169,7 @@ pub fn run_machine(
     let total_cycles = core_time
         .iter()
         .zip(core_stats.iter())
-        .filter(|(_, s)| s.total_cycles() > 0 || false)
+        .filter(|(_, s)| s.total_cycles() > 0)
         .map(|(&t, _)| t)
         .max()
         .unwrap_or_else(|| core_time.iter().copied().max().unwrap_or(0));

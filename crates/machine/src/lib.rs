@@ -38,4 +38,6 @@ pub use context::{CoreCtx, CoreStats};
 pub use cost::CostModel;
 pub use engine::{run_machine, CoreStatus, EngineError, RuntimeSystem};
 pub use fabric::{FabricStats, NullFabric, SchedulerFabric};
-pub use report::{mtt_speedup_bound, ExecutionReport, TaskLifetimeBreakdown};
+pub use report::{
+    mtt_speedup_bound, mtt_speedup_bound_from_throughput, ExecutionReport, TaskLifetimeBreakdown,
+};

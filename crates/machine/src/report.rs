@@ -121,8 +121,17 @@ impl TaskLifetimeBreakdown {
     }
 }
 
-/// The MTT-derived maximum speedup bound of Section VI-B2:
+/// The MTT-derived maximum speedup bound of Section VI-B2, in its single-core-overhead form:
 /// `MS(t) = min(cores, t / Lo)` for mean task size `t` and lifetime overhead `Lo`.
+///
+/// This is the form the paper's Figures 6 and 10 plot. It treats `1 / Lo` — the task
+/// throughput of a *single* core playing producer and consumer — as the system's maximum task
+/// throughput, which is exact for platforms whose per-task overhead serialises on a shared
+/// resource (Phentos' submission path, the AXI driver) but **pessimistic** for runtimes whose
+/// overhead is paid on the worker cores and therefore parallelises (Nanos' software paths).
+/// On the paper's 8-core prototype the distinction barely shows; on bigger machines it does,
+/// so core-count sweeps must use [`mtt_speedup_bound_from_throughput`] with an MTT measured at
+/// the swept core count instead.
 ///
 /// Returns `cores as f64` when the overhead is zero (infinite throughput).
 pub fn mtt_speedup_bound(task_cycles: f64, lifetime_overhead: f64, cores: usize) -> f64 {
@@ -130,6 +139,24 @@ pub fn mtt_speedup_bound(task_cycles: f64, lifetime_overhead: f64, cores: usize)
         return cores as f64;
     }
     (task_cycles / lifetime_overhead).min(cores as f64)
+}
+
+/// The MTT-derived maximum speedup bound in its general form: `MS(t) = min(cores, t × MTT)`
+/// where `MTT` is the **measured maximum task throughput** of the whole scheduling system (in
+/// tasks per cycle), e.g. from an empty-payload Task-Free run on the same machine. A workload
+/// of mean task size `t` cannot retire tasks faster than the scheduling system can process
+/// them, so its speedup over serial execution is capped by `t × MTT` — at any core count.
+///
+/// Returns `cores as f64` when the throughput is non-positive (treated as unmeasured).
+pub fn mtt_speedup_bound_from_throughput(
+    task_cycles: f64,
+    tasks_per_cycle: f64,
+    cores: usize,
+) -> f64 {
+    if tasks_per_cycle <= 0.0 {
+        return cores as f64;
+    }
+    (task_cycles * tasks_per_cycle).min(cores as f64)
 }
 
 #[cfg(test)]
@@ -205,6 +232,26 @@ mod tests {
         assert!(mtt_speedup_bound(10_000.0, 35_867.0, 8) < 1.0);
         // Degenerate cases.
         assert_eq!(mtt_speedup_bound(1_000.0, 0.0, 8), 8.0);
+    }
+
+    #[test]
+    fn throughput_bound_scales_with_the_swept_core_count() {
+        // A system retiring one task every 500 cycles caps 1000-cycle tasks at 2x — whether
+        // the machine has 8 or 64 cores.
+        let mtt = 1.0 / 500.0;
+        assert!((mtt_speedup_bound_from_throughput(1_000.0, mtt, 8) - 2.0).abs() < 1e-12);
+        assert!((mtt_speedup_bound_from_throughput(1_000.0, mtt, 64) - 2.0).abs() < 1e-12);
+        // Coarse tasks saturate at the core count, which must follow the sweep axis.
+        assert_eq!(mtt_speedup_bound_from_throughput(1_000_000.0, mtt, 1), 1.0);
+        assert_eq!(mtt_speedup_bound_from_throughput(1_000_000.0, mtt, 64), 64.0);
+        // Unmeasured throughput degenerates to the trivial core-count bound.
+        assert_eq!(mtt_speedup_bound_from_throughput(1_000.0, 0.0, 16), 16.0);
+        // When the single-core overhead really is the serial bottleneck the two forms agree.
+        let lo = 500.0;
+        assert!(
+            (mtt_speedup_bound(1_000.0, lo, 8) - mtt_speedup_bound_from_throughput(1_000.0, 1.0 / lo, 8)).abs()
+                < 1e-12
+        );
     }
 
     #[test]

@@ -54,6 +54,31 @@ pub struct TrackerConfig {
     pub address_table_entries: usize,
 }
 
+impl TrackerConfig {
+    /// Creates a capacity configuration. The two capacities are first-class experiment axes
+    /// (the `tis-exp` sweeps explore them the way the HTS design-space studies do), so a
+    /// dedicated constructor keeps sweep definitions terse.
+    pub const fn new(task_memory_entries: usize, address_table_entries: usize) -> Self {
+        TrackerConfig { task_memory_entries, address_table_entries }
+    }
+
+    /// Stable short label for experiment rows, e.g. `tm256-at2048`.
+    pub fn label(&self) -> String {
+        format!("tm{}-at{}", self.task_memory_entries, self.address_table_entries)
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either capacity is zero (a tracker that can hold no task or no address could
+    /// never accept a submission).
+    pub fn validate(&self) {
+        assert!(self.task_memory_entries > 0, "task memory must have entries");
+        assert!(self.address_table_entries > 0, "address table must have entries");
+    }
+}
+
 impl Default for TrackerConfig {
     fn default() -> Self {
         // The Picos VHDL prototype tracks a few hundred in-flight tasks; 256 task-memory entries
@@ -159,8 +184,7 @@ impl DependenceTracker {
     ///
     /// Panics if either capacity is zero.
     pub fn new(config: TrackerConfig) -> Self {
-        assert!(config.task_memory_entries > 0, "task memory must have entries");
-        assert!(config.address_table_entries > 0, "address table must have entries");
+        config.validate();
         let n = config.task_memory_entries;
         DependenceTracker {
             config,
@@ -490,6 +514,21 @@ mod tests {
 
     fn task(sw_id: u64, deps: Vec<Dependence>) -> SubmittedTask {
         SubmittedTask::new(sw_id, deps)
+    }
+
+    #[test]
+    fn tracker_config_helpers() {
+        let c = TrackerConfig::new(64, 512);
+        assert_eq!(c, TrackerConfig { task_memory_entries: 64, address_table_entries: 512 });
+        assert_eq!(c.label(), "tm64-at512");
+        c.validate();
+        assert_eq!(TrackerConfig::default().label(), "tm256-at2048");
+    }
+
+    #[test]
+    #[should_panic(expected = "task memory must have entries")]
+    fn zero_task_memory_is_rejected() {
+        TrackerConfig::new(0, 16).validate();
     }
 
     #[test]

@@ -69,13 +69,39 @@ impl SimRng {
     /// Mixing the label keeps component streams statistically decoupled even though they share
     /// a root seed, so adding a new consumer never perturbs existing ones.
     pub fn fork(&mut self, label: &str) -> SimRng {
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        for b in label.as_bytes() {
-            h ^= *b as u64;
-            h = h.wrapping_mul(0x1000_0000_01b3);
-        }
+        let h = fnv1a(label);
         SimRng::new(self.next_u64() ^ h)
     }
+
+    /// Derives the generator for element `index` of a named stream family **without** advancing
+    /// `self`.
+    ///
+    /// Unlike [`fork`](Self::fork), which consumes state (so the stream a consumer receives
+    /// depends on how many forks happened before it), `stream` is a pure function of
+    /// `(current state, label, index)`. This is what the `tis-exp` sweep runner uses to give
+    /// every grid cell its own RNG: any worker thread can re-derive cell `i`'s stream in any
+    /// order and always obtain the same generator, which keeps parallel sweeps bit-identical to
+    /// sequential ones.
+    pub fn stream(&self, label: &str, index: u64) -> SimRng {
+        let h = fnv1a(label);
+        // Two SplitMix64 output rounds over (state ⊕ label-hash, +index-offset) decorrelate
+        // adjacent indices and labels; a plain XOR would leave neighbouring cells on nearly
+        // identical trajectories.
+        let mut mix = SimRng::new(self.state ^ h);
+        let base = mix.next_u64();
+        let mut cell = SimRng::new(base.wrapping_add(index.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+        SimRng::new(cell.next_u64())
+    }
+}
+
+/// FNV-1a over a label, used to decouple named RNG streams.
+fn fnv1a(label: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in label.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
 }
 
 impl Default for SimRng {
@@ -156,6 +182,34 @@ mod tests {
         // Out-of-range probabilities are clamped rather than panicking.
         assert!(r.chance(2.0));
         assert!(!r.chance(-1.0));
+    }
+
+    #[test]
+    fn stream_is_pure_and_order_independent() {
+        let root = SimRng::new(1234);
+        // Deriving the same (label, index) twice — or in any order — yields the same generator,
+        // and the root is never advanced.
+        let mut a = root.stream("cell", 7);
+        let mut c = root.stream("cell", 3);
+        let mut b = root.stream("cell", 7);
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_eq!(root, SimRng::new(1234), "stream() must not mutate the parent");
+        // Different indices and labels diverge.
+        assert_ne!(a.next_u64(), c.next_u64());
+        let mut d = root.stream("other", 7);
+        let mut e = root.stream("cell", 7);
+        e.next_u64();
+        assert_ne!(d.next_u64(), e.next_u64());
+    }
+
+    #[test]
+    fn stream_indices_are_statistically_decoupled() {
+        // Adjacent indices must not produce correlated first draws.
+        let root = SimRng::new(42);
+        let mut values: Vec<u64> = (0..64).map(|i| root.stream("axis", i).next_u64()).collect();
+        values.sort_unstable();
+        values.dedup();
+        assert_eq!(values.len(), 64, "adjacent stream indices collided");
     }
 
     #[test]

@@ -45,16 +45,24 @@ pub fn blackscholes(num_options: usize, block_size: usize) -> TaskProgram {
     b.build()
 }
 
-/// The twelve blackscholes inputs of Figure 9: 4 K and 16 K options, block sizes 8–256.
-pub fn paper_inputs() -> Vec<(String, TaskProgram)> {
+/// The twelve blackscholes input labels of Figure 9, as `(label, num_options, block_size)` —
+/// the single source of truth for the catalog's blackscholes grid.
+pub fn paper_input_sizes() -> Vec<(String, usize, usize)> {
     let mut out = Vec::new();
     for &options in &[4 * 1024usize, 16 * 1024] {
         for &block in &[8usize, 16, 32, 64, 128, 256] {
-            let p = blackscholes(options, block);
-            out.push((format!("{}K B{}", options / 1024, block), p));
+            out.push((format!("{}K B{}", options / 1024, block), options, block));
         }
     }
     out
+}
+
+/// The twelve blackscholes inputs of Figure 9: 4 K and 16 K options, block sizes 8–256.
+pub fn paper_inputs() -> Vec<(String, TaskProgram)> {
+    paper_input_sizes()
+        .into_iter()
+        .map(|(label, options, block)| (label, blackscholes(options, block)))
+        .collect()
 }
 
 #[cfg(test)]

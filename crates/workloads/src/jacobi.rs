@@ -63,32 +63,49 @@ pub fn jacobi(n: usize, block_points: usize) -> TaskProgram {
 /// a per-task granularity of roughly `N × 12` cycles — the very fine tasks that motivate the
 /// paper.
 pub fn paper_inputs() -> Vec<(String, TaskProgram)> {
-    [128usize, 256, 512]
-        .iter()
-        .map(|&n| {
-            // One task per row ("B1"): n rows of n points each.
-            let mut b = ProgramBuilder::new(format!("jacobi N{n} B1"));
-            for sweep in 0..SWEEPS {
-                let (src, dst) = if sweep % 2 == 0 { (U_OLD, U_NEW) } else { (U_NEW, U_OLD) };
-                for row in 0..n {
-                    let mut deps =
-                        vec![Dependence::read(block_addr(src, row)), Dependence::write(block_addr(dst, row))];
-                    if row > 0 {
-                        deps.push(Dependence::read(block_addr(src, row - 1)));
-                    }
-                    if row + 1 < n {
-                        deps.push(Dependence::read(block_addr(src, row + 1)));
-                    }
-                    b.spawn(
-                        Payload::new(n as u64 * CYCLES_PER_POINT, n as u64 * BYTES_PER_POINT),
-                        deps,
-                    );
-                }
+    paper_inputs_scaled(1)
+}
+
+/// The three jacobi input labels of Figure 9, as `(label, n)` — the single source of truth for
+/// the catalog's jacobi grid.
+pub fn paper_input_sizes() -> Vec<(String, usize)> {
+    [128usize, 256, 512].iter().map(|&n| (format!("N{n} B1"), n)).collect()
+}
+
+/// One Figure 9 jacobi input (`N{n} B1`: one task per row, rows of `n` points) with the row
+/// count — the parallel dimension — multiplied by `scale`, keeping the per-task granularity
+/// (row length `n`) unchanged. `scale = 1` is the paper's input; larger machines use larger
+/// scales so every core still has work (see [`crate::catalog::paper_catalog_for_cores`]).
+///
+/// # Panics
+///
+/// Panics if `n` or `scale` is zero.
+pub fn paper_input(n: usize, scale: usize) -> TaskProgram {
+    assert!(n > 0 && scale > 0, "degenerate jacobi input");
+    let rows = n * scale;
+    let mut b = ProgramBuilder::new(format!("jacobi N{n} B1"));
+    for sweep in 0..SWEEPS {
+        let (src, dst) = if sweep % 2 == 0 { (U_OLD, U_NEW) } else { (U_NEW, U_OLD) };
+        for row in 0..rows {
+            let mut deps =
+                vec![Dependence::read(block_addr(src, row)), Dependence::write(block_addr(dst, row))];
+            if row > 0 {
+                deps.push(Dependence::read(block_addr(src, row - 1)));
             }
-            b.taskwait();
-            (format!("N{n} B1"), b.build())
-        })
-        .collect()
+            if row + 1 < rows {
+                deps.push(Dependence::read(block_addr(src, row + 1)));
+            }
+            b.spawn(Payload::new(n as u64 * CYCLES_PER_POINT, n as u64 * BYTES_PER_POINT), deps);
+        }
+    }
+    b.taskwait();
+    b.build()
+}
+
+/// The Figure 9 jacobi inputs with the parallel dimension multiplied by `scale` (see
+/// [`paper_input`]).
+pub fn paper_inputs_scaled(scale: usize) -> Vec<(String, TaskProgram)> {
+    paper_input_sizes().into_iter().map(|(label, n)| (label, paper_input(n, scale))).collect()
 }
 
 #[cfg(test)]

@@ -28,5 +28,5 @@ pub mod microbench;
 pub mod sparselu;
 pub mod stream;
 
-pub use catalog::{paper_catalog, WorkloadInstance};
+pub use catalog::{entry_for_cores, paper_catalog, paper_catalog_for_cores, WorkloadInstance};
 pub use microbench::{task_chain, task_free};

@@ -107,16 +107,22 @@ pub fn sparselu(nb: usize, m: usize) -> TaskProgram {
     b.build()
 }
 
-/// The ten sparseLU inputs of Figure 9 (`N32`/`N128` × `M1,2,4,8,16`), with `N` mapped to the
-/// block count as described in the module docs.
-pub fn paper_inputs() -> Vec<(String, TaskProgram)> {
+/// The ten sparseLU input labels of Figure 9, as `(label, nb, m)` with `N` mapped to the block
+/// count as described in the module docs — the single source of truth for the catalog's
+/// sparseLU grid.
+pub fn paper_input_sizes() -> Vec<(String, usize, usize)> {
     let mut out = Vec::new();
     for &(n_label, nb) in &[(32usize, 8usize), (128, 16)] {
         for &m in &[1usize, 2, 4, 8, 16] {
-            out.push((format!("N{n_label} M{m}"), sparselu(nb, m)));
+            out.push((format!("N{n_label} M{m}"), nb, m));
         }
     }
     out
+}
+
+/// The ten sparseLU inputs of Figure 9 (`N32`/`N128` × `M1,2,4,8,16`).
+pub fn paper_inputs() -> Vec<(String, TaskProgram)> {
+    paper_input_sizes().into_iter().map(|(label, nb, m)| (label, sparselu(nb, m))).collect()
 }
 
 #[cfg(test)]

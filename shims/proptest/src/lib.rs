@@ -113,6 +113,11 @@ pub mod test_runner {
             // modulo keeps the shim simple and the bias negligible at these bound sizes.
             self.next_u64() % bound
         }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
     }
 }
 
@@ -199,6 +204,24 @@ pub mod strategy {
     }
 
     int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    // Real proptest also accepts floating-point ranges; test code sampling probabilities and
+    // jitters (`0.0f64..1.0`) relies on them.
+    impl Strategy for core::ops::Range<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            self.start + rng.next_f64() * (self.end - self.start)
+        }
+    }
+
+    impl Strategy for core::ops::RangeInclusive<f64> {
+        type Value = f64;
+        fn generate(&self, rng: &mut TestRng) -> f64 {
+            // The endpoint has probability ~2^-53 in real proptest too; sampling the half-open
+            // interval keeps the shim trivial and is indistinguishable in practice.
+            *self.start() + rng.next_f64() * (*self.end() - *self.start())
+        }
+    }
 
     macro_rules! tuple_strategy {
         ($(($($s:ident),+))*) => {$(

@@ -2,7 +2,7 @@
 //! *Adding Tightly-Integrated Task Scheduling Acceleration to a RISC-V Multi-core Processor*
 //! (Morais et al., MICRO 2019).
 //!
-//! The workspace is split into nine layered crates; this crate simply re-exports all of them so
+//! The workspace is split into ten layered crates; this crate simply re-exports all of them so
 //! the top-level `examples/` and `tests/` directories have a single anchor package, and so
 //! downstream users can depend on one crate:
 //!
@@ -17,6 +17,7 @@
 //! | platform | [`nanos`] | Nanos-SW / Nanos-RV / Nanos-AXI behavioural runtime models |
 //! | input | [`workloads`] | blackscholes, jacobi, sparselu, stream, microbenches, Figure 9 catalog |
 //! | harness | [`bench`](mod@bench) | the experiment harness reproducing the paper's tables and figures |
+//! | harness | [`exp`] | declarative sweeps, synthetic task graphs, parallel sweep runner |
 //!
 //! See `README.md` for the quickstart and `ARCHITECTURE.md` for the paper-section-to-module map.
 //!
@@ -36,6 +37,7 @@
 
 pub use tis_bench as bench;
 pub use tis_core as core;
+pub use tis_exp as exp;
 pub use tis_machine as machine;
 pub use tis_mem as mem;
 pub use tis_nanos as nanos;

@@ -71,3 +71,73 @@ proptest! {
         prop_assert!(report.validate_against(&program).is_ok());
     }
 }
+
+/// Property tests for the `tis-exp` synthetic graph generators: arbitrary specs must produce
+/// valid, acyclic programs that respect their declared density bounds, and every platform must
+/// schedule them in agreement with the reference dependence graph.
+mod synth_props {
+    use super::*;
+    use tis_exp::{SynthFamily, SynthSpec, MAX_IN_DEGREE};
+    use tis_sim::SimRng;
+    use tis_taskmodel::TaskId;
+
+    fn arbitrary_spec() -> impl Strategy<Value = SynthSpec> {
+        let family = (0u8..5, 1usize..=MAX_IN_DEGREE, 0.0f64..=1.0).prop_map(|(kind, width, density)| {
+            match kind {
+                0 => SynthFamily::Chain,
+                1 => SynthFamily::Tree { arity: width },
+                2 => SynthFamily::Diamond { width },
+                3 => SynthFamily::ForkJoin { width },
+                _ => SynthFamily::ErdosRenyi { density },
+            }
+        });
+        (family, 1usize..40, 100u64..5_000, 0.0f64..0.9).prop_map(|(family, tasks, task_cycles, jitter)| {
+            SynthSpec { family, tasks, task_cycles, jitter }
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+        /// Structure: valid descriptors, forward-only (hence acyclic) edges, in-degree within
+        /// the Picos cap, and the family's declared edge bound.
+        #[test]
+        fn generated_dags_are_valid_acyclic_and_density_bounded(spec in arbitrary_spec(), seed in 0u64..1_000) {
+            let program = spec.generate(&mut SimRng::new(seed));
+            prop_assert!(program.validate().is_ok(), "descriptor constraints hold");
+            prop_assert_eq!(program.task_count(), spec.tasks);
+            let graph = program.reference_graph();
+            // Acyclicity: in this dense-id representation every edge points forward in spawn
+            // order, so a cycle is impossible iff no successor precedes its task.
+            for i in 0..graph.task_count() {
+                for s in graph.successors(TaskId(i as u64)) {
+                    prop_assert!(s.raw() as usize > i, "edge {i}->{s} points backward");
+                }
+                prop_assert!(graph.predecessor_count(TaskId(i as u64)) <= MAX_IN_DEGREE);
+            }
+            prop_assert!(
+                graph.edge_count() <= spec.max_edges(),
+                "{} edges exceed the declared bound {} for {:?}",
+                graph.edge_count(), spec.max_edges(), spec.family
+            );
+        }
+
+        /// Execution: every platform schedules every synthetic family correctly.
+        #[test]
+        fn every_platform_schedules_synthetic_graphs_correctly(spec in arbitrary_spec(), seed in 0u64..1_000) {
+            let program = spec.generate(&mut SimRng::new(seed));
+            let harness = Harness::with_cores(2);
+            for platform in Platform::ALL {
+                let report = harness
+                    .run(platform, &program)
+                    .unwrap_or_else(|e| panic!("{} deadlocked on {}: {e}", platform.label(), program.name()));
+                prop_assert_eq!(report.tasks_retired as usize, spec.tasks);
+                if let Err(e) = report.validate_against(&program) {
+                    return Err(TestCaseError::fail(
+                        format!("{} violated dependences on {}: {e}", platform.label(), program.name()),
+                    ));
+                }
+            }
+        }
+    }
+}

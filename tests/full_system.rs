@@ -74,6 +74,40 @@ fn eight_core_phentos_reaches_paper_scale_speedups_on_coarse_blackscholes() {
 }
 
 #[test]
+fn core_count_extremes_work_on_every_platform() {
+    // Regression guard for hardcoded 8-core assumptions anywhere in the stack: the exact same
+    // code paths must hold at one core (fully serialised: no worker, the main thread does
+    // everything) and at 64 cores (eight times the paper's prototype). Every platform must
+    // complete, retire every task, and produce a valid schedule at both extremes.
+    for cores in [1usize, 64] {
+        let harness = Harness::with_cores(cores);
+        let w = instance("blackscholes", "4K B64", blackscholes(4 * 1024, 64));
+        // evaluate_workload panics internally on an invalid schedule.
+        let r = evaluate_workload(&harness, &w, &Platform::ALL);
+        for p in Platform::ALL {
+            let s = r.speedup(p).unwrap();
+            assert!(s > 0.0, "{} did not finish on {cores} cores", p.label());
+            assert!(
+                s <= cores as f64 + 0.01,
+                "{} exceeds the machine's parallelism on {cores} cores: {s:.2}",
+                p.label()
+            );
+        }
+    }
+    // The 64-core machine must actually use its width on a wide workload: with the catalog's
+    // core-count context (512 independent blocks), Phentos lands far beyond the 8-core ceiling.
+    let harness = Harness::with_cores(64);
+    let w64 = tis::workloads::paper_catalog_for_cores(64)
+        .into_iter()
+        .find(|w| w.benchmark == "blackscholes" && w.input == "4K B64")
+        .expect("catalog entry exists");
+    let w64 = instance("blackscholes", "4K B64 (64-core context)", w64.program);
+    let r = evaluate_workload(&harness, &w64, &[Platform::Phentos]);
+    let s = r.speedup(Platform::Phentos).unwrap();
+    assert!(s > 30.0, "64-core Phentos should scale far beyond the 8-core ceiling, got {s:.2}");
+}
+
+#[test]
 fn core_count_scaling_improves_phentos_makespan() {
     let program = blackscholes(4 * 1024, 64);
     let mut previous = u64::MAX;

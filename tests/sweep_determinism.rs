@@ -1,0 +1,74 @@
+//! Pins the `tis-exp` determinism invariant: a sweep's report — down to the rendered JSON
+//! bytes — is identical no matter how many host workers evaluate it, and identical across
+//! repeated runs. This is what makes `BENCH_sweep.json` artifacts comparable between CI runs
+//! and makes the parallel runner safe to use for anything that feeds the bench-diff tool.
+
+use tis::bench::Platform;
+use tis::exp::{run_sweep_with_workers, Sweep, SynthFamily, SynthSpec, WorkloadSpec};
+use tis::picos::TrackerConfig;
+
+fn reference_sweep() -> Sweep {
+    Sweep::new("determinism")
+        .over_cores([1, 4, 16])
+        .over_platforms([Platform::Phentos, Platform::NanosSw])
+        .over_trackers([TrackerConfig::default(), TrackerConfig::new(32, 256)])
+        .with_workload(WorkloadSpec::synth(SynthSpec {
+            family: SynthFamily::ErdosRenyi { density: 0.08 },
+            tasks: 48,
+            task_cycles: 5_000,
+            jitter: 0.5,
+        }))
+        .with_workload(WorkloadSpec::synth(SynthSpec::uniform(
+            SynthFamily::Tree { arity: 2 },
+            40,
+            8_000,
+        )))
+}
+
+#[test]
+fn worker_count_never_changes_the_report() {
+    let sweep = reference_sweep();
+    let baseline = run_sweep_with_workers(&sweep, 1);
+    assert_eq!(baseline.cells.len(), sweep.cell_count());
+    let baseline_json = baseline.to_json().render();
+    for workers in [2, 3, 8, 64] {
+        let parallel = run_sweep_with_workers(&sweep, workers);
+        assert_eq!(
+            baseline_json,
+            parallel.to_json().render(),
+            "{workers}-worker sweep diverged from the sequential run"
+        );
+        assert_eq!(baseline, parallel);
+    }
+}
+
+#[test]
+fn repeated_runs_are_bit_identical_and_seeds_matter() {
+    let sweep = reference_sweep();
+    let a = run_sweep_with_workers(&sweep, 4);
+    let b = run_sweep_with_workers(&sweep, 4);
+    assert_eq!(a.to_json().render(), b.to_json().render());
+
+    // A different seed regenerates the synthetic programs: cell shape survives, numbers move.
+    let reseeded = reference_sweep().with_seed(0xBAD_5EED).run_parallel(4);
+    assert_eq!(reseeded.cells.len(), a.cells.len());
+    assert!(
+        a.cells.iter().zip(&reseeded.cells).any(|(x, y)| x.total_cycles != y.total_cycles),
+        "a different seed must produce different synthetic workloads"
+    );
+}
+
+#[test]
+fn grid_order_is_workload_cores_tracker_platform() {
+    let report = reference_sweep().run_parallel(8);
+    // Spot-check the documented grid order on the first platform-fastest stride.
+    assert_eq!(report.cells[0].platform, Platform::Phentos);
+    assert_eq!(report.cells[1].platform, Platform::NanosSw);
+    assert_eq!(report.cells[0].tracker, TrackerConfig::default());
+    assert_eq!(report.cells[2].tracker, TrackerConfig::new(32, 256));
+    assert_eq!(report.cells[0].cores, 1);
+    assert_eq!(report.cells[4].cores, 4);
+    let per_workload = 3 * 2 * 2;
+    assert!(report.cells[0].workload.starts_with("synth-er"));
+    assert!(report.cells[per_workload].workload.starts_with("synth-tree"));
+}

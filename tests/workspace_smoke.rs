@@ -56,4 +56,5 @@ fn facade_reexports_every_layer() {
     let _ = tis::core::TisConfig::default();
     let _ = tis::workloads::task_free(1, 1);
     let _ = tis::bench::Platform::ALL;
+    let _ = tis::exp::Sweep::new("smoke");
 }

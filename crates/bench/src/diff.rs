@@ -152,6 +152,9 @@ fn element_key(item: &Json, index: usize) -> String {
     if let Some(cores) = item.get("cores").and_then(Json::as_f64) {
         key.push_str(&format!(" c{cores:.0}"));
     }
+    if let Some(memory) = by("memory") {
+        key.push_str(&format!(" {memory}"));
+    }
     if let Some(platform) = by("platform") {
         key.push_str(&format!(" {platform}"));
     }

@@ -105,6 +105,14 @@ impl Harness {
         self
     }
 
+    /// The same system with the given coherence interconnect model — the memory-model axis of
+    /// the `tis-exp` sweeps. The default [`Harness::paper_prototype`] keeps the snooping bus
+    /// every figure reproduction is pinned to.
+    pub fn with_memory_model(mut self, model: tis_machine::MemoryModel) -> Self {
+        self.machine.memory_model = model;
+        self
+    }
+
     /// Number of cores in the configured machine.
     pub fn cores(&self) -> usize {
         self.machine.cores

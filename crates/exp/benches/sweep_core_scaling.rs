@@ -6,7 +6,7 @@
 //! beyond 8 cores for runtimes whose per-task overhead parallelises across workers).
 //!
 //! Run with `cargo bench -p tis-exp --bench sweep_core_scaling`. Set `TIS_BENCH_JSON=<dir>` to
-//! also write the machine-readable `BENCH_sweep.json` artifact, and `TIS_SWEEP_WORKERS=<n>` to
+//! also write the machine-readable `BENCH_sweep_core-scaling.json` artifact, and `TIS_SWEEP_WORKERS=<n>` to
 //! override the host thread count (the report is bit-identical for any worker count).
 //!
 //! The bench exits non-zero if any cell's measured speedup exceeds its MTT bound — the bound
@@ -93,7 +93,7 @@ fn main() {
         Ok(Some(path)) => println!("wrote machine-readable results to {}", path.display()),
         Ok(None) => {}
         Err(e) => {
-            eprintln!("failed to write BENCH_sweep.json: {e}");
+            eprintln!("failed to write the sweep artifact: {e}");
             std::process::exit(1);
         }
     }

@@ -1,13 +1,14 @@
 //! Declarative sweep definitions: a cartesian grid over the design space.
 //!
 //! A [`Sweep`] names the axes the related design-space-exploration literature varies — core
-//! count, runtime/fabric platform, Picos tracker capacities, workload — and expands them into a
-//! flat list of [`CellSpec`]s in a fixed **grid order** (workloads ▸ cores ▸ trackers ▸
-//! platforms). Grid order is part of the contract: the runner may evaluate cells on any worker
-//! in any order, but reports are always assembled in grid order, so sweep output is
-//! bit-identical regardless of parallelism.
+//! count, memory-system model, runtime/fabric platform, Picos tracker capacities, workload —
+//! and expands them into a flat list of [`CellSpec`]s in a fixed **grid order** (workloads ▸
+//! cores ▸ memory models ▸ trackers ▸ platforms). Grid order is part of the contract: the
+//! runner may evaluate cells on any worker in any order, but reports are always assembled in
+//! grid order, so sweep output is bit-identical regardless of parallelism.
 
 use tis_bench::Platform;
+use tis_machine::MemoryModel;
 use tis_picos::TrackerConfig;
 use tis_sim::SimRng;
 use tis_taskmodel::TaskProgram;
@@ -145,6 +146,8 @@ pub struct CellSpec {
     pub core_axis: usize,
     /// Resolved core count.
     pub cores: usize,
+    /// Index into [`Sweep::memory_models`].
+    pub memory: usize,
     /// Index into [`Sweep::trackers`].
     pub tracker: usize,
     /// Index into [`Sweep::platforms`].
@@ -172,12 +175,15 @@ pub struct CellSpec {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Sweep {
-    /// Experiment name (recorded in reports and `BENCH_sweep.json`).
+    /// Experiment name (recorded in reports and the `BENCH_sweep_<name>.json` artifact).
     pub name: String,
     /// Root seed for synthetic workload generation.
     pub seed: u64,
     /// Core-count axis.
     pub cores: Vec<usize>,
+    /// Memory-system model axis (the paper's snooping bus, the directory/NoC model, or both
+    /// side by side — the `sweep_memory_scaling` experiment).
+    pub memory_models: Vec<MemoryModel>,
     /// Platform axis.
     pub platforms: Vec<Platform>,
     /// Picos tracker-capacity axis (applied to both RoCC- and AXI-attached Picos).
@@ -191,13 +197,15 @@ pub struct Sweep {
 }
 
 impl Sweep {
-    /// Creates a sweep with the paper's defaults on every axis: 8 cores, the Phentos platform,
-    /// the prototype tracker capacities, no workloads, validation on.
+    /// Creates a sweep with the paper's defaults on every axis: 8 cores, the snooping-bus
+    /// memory model, the Phentos platform, the prototype tracker capacities, no workloads,
+    /// validation on.
     pub fn new(name: impl Into<String>) -> Self {
         Sweep {
             name: name.into(),
             seed: 0x5EED_5EED_5EED_5EED,
             cores: vec![8],
+            memory_models: vec![MemoryModel::SnoopBus],
             platforms: vec![Platform::Phentos],
             trackers: vec![TrackerConfig::default()],
             workloads: Vec::new(),
@@ -208,6 +216,12 @@ impl Sweep {
     /// Replaces the core-count axis.
     pub fn over_cores(mut self, cores: impl IntoIterator<Item = usize>) -> Self {
         self.cores = cores.into_iter().collect();
+        self
+    }
+
+    /// Replaces the memory-model axis.
+    pub fn over_memory_models(mut self, models: impl IntoIterator<Item = MemoryModel>) -> Self {
+        self.memory_models = models.into_iter().collect();
         self
     }
 
@@ -244,24 +258,32 @@ impl Sweep {
 
     /// Number of grid cells.
     pub fn cell_count(&self) -> usize {
-        self.workloads.len() * self.cores.len() * self.trackers.len() * self.platforms.len()
+        self.workloads.len()
+            * self.cores.len()
+            * self.memory_models.len()
+            * self.trackers.len()
+            * self.platforms.len()
     }
 
-    /// Expands the grid into cells, in grid order (workloads ▸ cores ▸ trackers ▸ platforms).
+    /// Expands the grid into cells, in grid order (workloads ▸ cores ▸ memory models ▸
+    /// trackers ▸ platforms).
     pub fn cells(&self) -> Vec<CellSpec> {
         let mut out = Vec::with_capacity(self.cell_count());
         for (wi, _) in self.workloads.iter().enumerate() {
             for (ci, &cores) in self.cores.iter().enumerate() {
-                for (ti, _) in self.trackers.iter().enumerate() {
-                    for (pi, _) in self.platforms.iter().enumerate() {
-                        out.push(CellSpec {
-                            index: out.len(),
-                            workload: wi,
-                            core_axis: ci,
-                            cores,
-                            tracker: ti,
-                            platform: pi,
-                        });
+                for (mi, _) in self.memory_models.iter().enumerate() {
+                    for (ti, _) in self.trackers.iter().enumerate() {
+                        for (pi, _) in self.platforms.iter().enumerate() {
+                            out.push(CellSpec {
+                                index: out.len(),
+                                workload: wi,
+                                core_axis: ci,
+                                cores,
+                                memory: mi,
+                                tracker: ti,
+                                platform: pi,
+                            });
+                        }
                     }
                 }
             }
@@ -270,9 +292,9 @@ impl Sweep {
     }
 
     /// The RNG stream for a cell's workload instantiation. Depends only on the sweep seed and
-    /// the cell's `(workload, cores)` coordinates — *not* on tracker or platform — so every
-    /// platform/tracker combination of one workload×cores point schedules the **same**
-    /// program, and parallel evaluation order cannot perturb generation.
+    /// the cell's `(workload, cores)` coordinates — *not* on memory model, tracker or platform
+    /// — so every memory/platform/tracker combination of one workload×cores point schedules
+    /// the **same** program, and parallel evaluation order cannot perturb generation.
     pub fn cell_rng(&self, workload: usize, cores: usize) -> SimRng {
         SimRng::new(self.seed).stream("sweep-workload", workload as u64).stream("cores", cores as u64)
     }
@@ -286,6 +308,11 @@ impl Sweep {
     pub fn check(&self) {
         assert!(!self.workloads.is_empty(), "sweep '{}' has no workloads", self.name);
         assert!(!self.cores.is_empty(), "sweep '{}' has an empty core axis", self.name);
+        assert!(
+            !self.memory_models.is_empty(),
+            "sweep '{}' has an empty memory-model axis",
+            self.name
+        );
         assert!(!self.platforms.is_empty(), "sweep '{}' has an empty platform axis", self.name);
         assert!(!self.trackers.is_empty(), "sweep '{}' has an empty tracker axis", self.name);
         for &c in &self.cores {
@@ -334,7 +361,27 @@ mod tests {
         assert_eq!((cells[8].workload, cells[8].cores, cells[8].tracker, cells[8].platform), (1, 2, 0, 0));
         for (i, c) in cells.iter().enumerate() {
             assert_eq!(c.index, i);
+            assert_eq!(c.memory, 0, "a single-entry memory axis stays at index 0");
         }
+        sweep.check();
+    }
+
+    #[test]
+    fn memory_axis_sits_between_cores_and_trackers() {
+        let sweep = Sweep::new("mem-order")
+            .over_cores([2, 4])
+            .over_memory_models([MemoryModel::SnoopBus, MemoryModel::directory_mesh()])
+            .over_trackers([TrackerConfig::default(), TrackerConfig::new(64, 256)])
+            .over_platforms([Platform::Phentos, Platform::NanosSw])
+            .with_workload(WorkloadSpec::synth(SynthSpec::uniform(SynthFamily::Chain, 10, 100)));
+        assert_eq!(sweep.cell_count(), 2 * 2 * 2 * 2);
+        let cells = sweep.cells();
+        // Memory varies slower than trackers/platforms, faster than cores.
+        assert_eq!((cells[0].memory, cells[0].tracker, cells[0].platform), (0, 0, 0));
+        assert_eq!((cells[3].memory, cells[3].tracker, cells[3].platform), (0, 1, 1));
+        assert_eq!((cells[4].memory, cells[4].tracker, cells[4].platform), (1, 0, 0));
+        assert_eq!(cells[7].cores, 2);
+        assert_eq!((cells[8].cores, cells[8].memory), (4, 0));
         sweep.check();
     }
 

@@ -7,20 +7,22 @@
 //! simulation* as the core activity instead. This crate adds that layer on top of the existing
 //! stack:
 //!
-//! * [`grid`] — the [`Sweep`] builder: a cartesian grid over core count, platform, Picos
-//!   tracker capacities and workload, expanded into cells in a fixed grid order;
+//! * [`grid`] — the [`Sweep`] builder: a cartesian grid over core count, memory-system model
+//!   (snooping bus vs directory/NoC), platform, Picos tracker capacities and workload,
+//!   expanded into cells in a fixed grid order;
 //! * [`synth`] — deterministic synthetic task-graph families (chain, tree, diamond, layered
 //!   fork-join, windowed Erdős–Rényi), seeded from [`tis_sim::SimRng`] streams so workloads go
 //!   far beyond the fixed catalog while staying perfectly reproducible;
 //! * [`runner`] — evaluates cells through `tis_machine::engine::run_machine`, optionally on N
 //!   host threads; results are merged in grid order so output is bit-identical for any worker
 //!   count;
-//! * [`report`] — structured [`SweepReport`] rows, text tables, and the `BENCH_sweep.json`
+//! * [`report`] — structured [`SweepReport`] rows, text tables, and the `BENCH_sweep_<name>.json`
 //!   artifact (written via the same `TIS_BENCH_JSON` contract as the figure benches).
 //!
-//! The `sweep_core_scaling` bench target is the flagship consumer: the paper-style
-//! "beyond 8 cores" table (2→64 cores, measured speedup vs MTT bound, across platforms and
-//! catalog + synthetic workload families).
+//! Three curated bench targets consume this engine in CI: `sweep_core_scaling` (the
+//! paper-style "beyond 8 cores" table — 2→64 cores, measured speedup vs MTT bound),
+//! `sweep_tracker_capacity` (Picos task-memory/address-table sizing at 8 cores) and
+//! `sweep_memory_scaling` (snooping bus vs directory/NoC memory latency from 2→64 cores).
 //!
 //! # Example
 //!
@@ -53,3 +55,5 @@ pub use grid::{CellSpec, Sweep, WorkloadSpec};
 pub use report::{SweepCell, SweepReport};
 pub use runner::{run_sweep, run_sweep_with_workers};
 pub use synth::{SynthFamily, SynthSpec, ER_WINDOW, MAX_IN_DEGREE};
+// The memory-model axis values, re-exported so sweep definitions need no extra dependency.
+pub use tis_machine::{MemoryModel, NocConfig};

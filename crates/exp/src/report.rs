@@ -1,6 +1,7 @@
 //! Structured sweep results and their machine-readable serialisation.
 
 use tis_bench::{Json, Platform};
+use tis_machine::MemoryModel;
 use tis_picos::TrackerConfig;
 
 /// The measurements of one grid cell.
@@ -12,6 +13,8 @@ pub struct SweepCell {
     pub family: String,
     /// Core count of the simulated machine.
     pub cores: usize,
+    /// Memory-system model the cell was simulated on.
+    pub memory: MemoryModel,
     /// Platform that ran the cell.
     pub platform: Platform,
     /// Picos tracker capacities in effect.
@@ -35,6 +38,13 @@ pub struct SweepCell {
     /// The MTT-derived maximum speedup `min(cores, mean_task_cycles × mtt_tasks_per_cycle)`
     /// for this cell's core count.
     pub mtt_bound: f64,
+    /// Number of coherent memory accesses the runtimes issued during the cell's run.
+    pub mem_accesses: u64,
+    /// Total stall cycles those accesses charged — the metric `sweep_memory_scaling` compares
+    /// between the snooping-bus and directory/NoC models.
+    pub mem_stall_cycles: u64,
+    /// Mean stall cycles per access (`mem_stall_cycles / mem_accesses`).
+    pub mean_mem_latency: f64,
 }
 
 impl SweepCell {
@@ -65,7 +75,7 @@ impl SweepReport {
         self.cells.iter().filter(|c| !c.within_bound()).collect()
     }
 
-    /// Machine-readable snapshot, rendered into `BENCH_sweep.json` by
+    /// Machine-readable snapshot, rendered into [`Self::artifact_filename`] by
     /// [`write_json_if_requested`](Self::write_json_if_requested).
     pub fn to_json(&self) -> Json {
         let cells = self
@@ -76,6 +86,7 @@ impl SweepReport {
                     ("workload", Json::Str(c.workload.clone())),
                     ("family", Json::Str(c.family.clone())),
                     ("cores", Json::UInt(c.cores as u64)),
+                    ("memory", Json::Str(c.memory.key().to_string())),
                     ("platform", Json::Str(c.platform.key().to_string())),
                     (
                         "tracker",
@@ -95,6 +106,9 @@ impl SweepReport {
                     ("lifetime_overhead_cycles", Json::Num(c.lifetime_overhead)),
                     ("mtt_tasks_per_cycle", Json::Num(c.mtt_tasks_per_cycle)),
                     ("mtt_speedup_bound", Json::Num(c.mtt_bound)),
+                    ("mem_accesses", Json::UInt(c.mem_accesses)),
+                    ("mem_stall_cycles", Json::UInt(c.mem_stall_cycles)),
+                    ("mean_mem_latency", Json::Num(c.mean_mem_latency)),
                 ])
             })
             .collect();
@@ -111,30 +125,44 @@ impl SweepReport {
             self.cells.iter().map(|c| c.workload.len()).max().unwrap_or(8).max("workload".len());
         let mut out = String::new();
         out.push_str(&format!(
-            "{:<label_width$} | {:>5} | {:>9} | {:>13} | {:>6} | {:>8} | {:>9} | {:>6}\n",
-            "workload", "cores", "platform", "tracker", "tasks", "speedup", "MTT bound", "within"
+            "{:<label_width$} | {:>5} | {:>9} | {:>9} | {:>13} | {:>6} | {:>8} | {:>9} | {:>8} | {:>6}\n",
+            "workload", "cores", "memory", "platform", "tracker", "tasks", "speedup", "MTT bound", "mem lat", "within"
         ));
-        out.push_str(&"-".repeat(label_width + 76));
+        out.push_str(&"-".repeat(label_width + 99));
         out.push('\n');
         for c in &self.cells {
             out.push_str(&format!(
-                "{:<label_width$} | {:>5} | {:>9} | {:>13} | {:>6} | {:>7.2}x | {:>8.2}x | {:>6}\n",
+                "{:<label_width$} | {:>5} | {:>9} | {:>9} | {:>13} | {:>6} | {:>7.2}x | {:>8.2}x | {:>8.2} | {:>6}\n",
                 c.workload,
                 c.cores,
+                c.memory.key(),
                 c.platform.key(),
                 c.tracker.label(),
                 c.tasks,
                 c.speedup,
                 c.mtt_bound,
+                c.mean_mem_latency,
                 if c.within_bound() { "yes" } else { "NO" },
             ));
         }
         out
     }
 
-    /// Writes `BENCH_sweep.json` into the directory named by the `TIS_BENCH_JSON` environment
-    /// variable (same contract as `tis_bench::write_fig09_json_if_requested`: unset means no
-    /// side effect, empty means the current directory).
+    /// The artifact filename this report writes: `BENCH_sweep_<name>.json`, with the sweep name
+    /// sanitised to `[A-Za-z0-9_-]`. Per-sweep names let CI collect several sweeps' artifacts
+    /// into one directory without collisions.
+    pub fn artifact_filename(&self) -> String {
+        let sanitized: String = self
+            .name
+            .chars()
+            .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' { c } else { '-' })
+            .collect();
+        format!("BENCH_sweep_{sanitized}.json")
+    }
+
+    /// Writes [`Self::artifact_filename`] into the directory named by the `TIS_BENCH_JSON`
+    /// environment variable (same contract as `tis_bench::write_fig09_json_if_requested`:
+    /// unset means no side effect, empty means the current directory).
     ///
     /// # Errors
     ///
@@ -145,7 +173,7 @@ impl SweepReport {
         };
         let dir = if dir.is_empty() { std::path::PathBuf::from(".") } else { dir.into() };
         std::fs::create_dir_all(&dir)?;
-        let path = dir.join("BENCH_sweep.json");
+        let path = dir.join(self.artifact_filename());
         std::fs::write(&path, self.to_json().render())?;
         Ok(Some(path))
     }
@@ -160,6 +188,7 @@ mod tests {
             workload: "synth-chain x10 t100".into(),
             family: "synth-chain".into(),
             cores: 4,
+            memory: MemoryModel::SnoopBus,
             platform: Platform::Phentos,
             tracker: TrackerConfig::default(),
             tasks: 10,
@@ -170,6 +199,9 @@ mod tests {
             lifetime_overhead: 162.0,
             mtt_tasks_per_cycle: 1.0 / 162.0,
             mtt_bound: bound,
+            mem_accesses: 120,
+            mem_stall_cycles: 600,
+            mean_mem_latency: 5.0,
         }
     }
 
@@ -200,10 +232,33 @@ mod tests {
         };
         assert_eq!(cells.len(), 1);
         assert_eq!(cells[0].get("platform").and_then(Json::as_str), Some("phentos"));
+        assert_eq!(cells[0].get("memory").and_then(Json::as_str), Some("snoop-bus"));
         assert_eq!(cells[0].get("speedup_over_serial").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(cells[0].get("mem_stall_cycles").and_then(Json::as_f64), Some(600.0));
+        assert_eq!(cells[0].get("mean_mem_latency").and_then(Json::as_f64), Some(5.0));
         assert_eq!(
             cells[0].get("tracker").and_then(|t| t.get("task_memory_entries")).and_then(Json::as_f64),
             Some(256.0)
         );
+    }
+
+    #[test]
+    fn artifact_filenames_are_per_sweep_and_sanitised() {
+        let mut report = SweepReport { name: "core-scaling".into(), seed: 1, cells: vec![] };
+        assert_eq!(report.artifact_filename(), "BENCH_sweep_core-scaling.json");
+        report.name = "weird name/π".into();
+        assert_eq!(report.artifact_filename(), "BENCH_sweep_weird-name--.json");
+    }
+
+    #[test]
+    fn table_shows_the_memory_model_column() {
+        let mut dir_cell = cell(2.0, 4.0);
+        dir_cell.memory = MemoryModel::directory_mesh();
+        let report =
+            SweepReport { name: "t".into(), seed: 1, cells: vec![cell(2.0, 4.0), dir_cell] };
+        let table = report.render_table();
+        assert!(table.contains("snoop-bus"), "table names the bus model:\n{table}");
+        assert!(table.contains("dir-mesh"), "table names the mesh model:\n{table}");
+        assert!(table.contains("mem lat"), "table carries the memory-latency column:\n{table}");
     }
 }

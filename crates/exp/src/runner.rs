@@ -21,39 +21,51 @@ use crate::report::{SweepCell, SweepReport};
 /// Number of tasks in the Task-Chain probe used to measure per-platform lifetime overhead.
 const OVERHEAD_PROBE_TASKS: usize = 100;
 
-/// Scheduler-saturation probes measured once per `(tracker, cores, platform)` combination and
-/// shared by every cell at that point: the single-core lifetime overhead `Lo` (the Figure 7
-/// metric, reported for context) and the maximum task throughput `MTT` at the cell's core
-/// count, from which the cell's speedup bound `min(cores, t × MTT)` is derived. Measuring MTT
-/// *at the swept core count* — instead of assuming `1 / Lo`, which is only tight when per-task
-/// overhead serialises — is what keeps the bound honest for runtimes whose overhead
-/// parallelises across workers (the 8-core shortcut the ROADMAP's sweep item calls out).
+/// Scheduler-saturation probes measured once per `(memory model, tracker, cores, platform)`
+/// combination and shared by every cell at that point: the single-core lifetime overhead `Lo`
+/// (the Figure 7 metric, reported for context) and the maximum task throughput `MTT` at the
+/// cell's core count, from which the cell's speedup bound `min(cores, t × MTT)` is derived.
+/// Measuring MTT *at the swept core count* — instead of assuming `1 / Lo`, which is only tight
+/// when per-task overhead serialises — is what keeps the bound honest for runtimes whose
+/// overhead parallelises across workers (the 8-core shortcut the ROADMAP's sweep item calls
+/// out). The memory model is part of the probe coordinates because directory/NoC latencies
+/// slow the scheduling paths themselves: a bound measured on the snooping bus would be
+/// inconsistent with cells simulated on the mesh.
 struct SchedulerProbes {
-    /// `Lo` per `(tracker, platform)` in cycles per task.
+    /// `Lo` per `(memory, tracker, platform)` in cycles per task.
     lifetime_overhead: Vec<f64>,
-    /// `MTT` per `(tracker, core_axis, platform)` in tasks per cycle.
+    /// `MTT` per `(memory, tracker, core_axis, platform)` in tasks per cycle.
     throughput: Vec<f64>,
 }
 
 impl SchedulerProbes {
     fn measure(sweep: &Sweep) -> Self {
         let chain = task_chain(OVERHEAD_PROBE_TASKS, 1);
-        let mut lifetime_overhead =
-            Vec::with_capacity(sweep.trackers.len() * sweep.platforms.len());
-        let mut throughput =
-            Vec::with_capacity(sweep.trackers.len() * sweep.cores.len() * sweep.platforms.len());
-        for &tracker in &sweep.trackers {
-            let prototype = Harness::paper_prototype().with_tracker(tracker);
-            for &platform in &sweep.platforms {
-                lifetime_overhead.push(measure_lifetime_overhead(&prototype, platform, &chain));
-            }
-            for &cores in &sweep.cores {
-                let harness = Harness::with_cores(cores).with_tracker(tracker);
-                // Enough independent empty tasks that steady-state throughput dominates the
-                // ramp-up, at every swept core count.
-                let probe_tasks = (cores * 32).max(256);
+        let mut lifetime_overhead = Vec::with_capacity(
+            sweep.memory_models.len() * sweep.trackers.len() * sweep.platforms.len(),
+        );
+        let mut throughput = Vec::with_capacity(
+            sweep.memory_models.len()
+                * sweep.trackers.len()
+                * sweep.cores.len()
+                * sweep.platforms.len(),
+        );
+        for &memory in &sweep.memory_models {
+            for &tracker in &sweep.trackers {
+                let prototype =
+                    Harness::paper_prototype().with_tracker(tracker).with_memory_model(memory);
                 for &platform in &sweep.platforms {
-                    throughput.push(measure_task_throughput(&harness, platform, probe_tasks));
+                    lifetime_overhead.push(measure_lifetime_overhead(&prototype, platform, &chain));
+                }
+                for &cores in &sweep.cores {
+                    let harness =
+                        Harness::with_cores(cores).with_tracker(tracker).with_memory_model(memory);
+                    // Enough independent empty tasks that steady-state throughput dominates the
+                    // ramp-up, at every swept core count.
+                    let probe_tasks = (cores * 32).max(256);
+                    for &platform in &sweep.platforms {
+                        throughput.push(measure_task_throughput(&harness, platform, probe_tasks));
+                    }
                 }
             }
         }
@@ -61,13 +73,18 @@ impl SchedulerProbes {
     }
 
     fn lifetime_overhead(&self, sweep: &Sweep, cell: &CellSpec) -> f64 {
-        self.lifetime_overhead[cell.tracker * sweep.platforms.len() + cell.platform]
+        let per_memory = sweep.trackers.len() * sweep.platforms.len();
+        self.lifetime_overhead
+            [cell.memory * per_memory + cell.tracker * sweep.platforms.len() + cell.platform]
     }
 
     fn throughput(&self, sweep: &Sweep, cell: &CellSpec) -> f64 {
         let per_tracker = sweep.cores.len() * sweep.platforms.len();
-        self.throughput
-            [cell.tracker * per_tracker + cell.core_axis * sweep.platforms.len() + cell.platform]
+        let per_memory = sweep.trackers.len() * per_tracker;
+        self.throughput[cell.memory * per_memory
+            + cell.tracker * per_tracker
+            + cell.core_axis * sweep.platforms.len()
+            + cell.platform]
     }
 }
 
@@ -142,14 +159,17 @@ fn run_cell(
     let spec = &sweep.workloads[cell.workload];
     let platform = sweep.platforms[cell.platform];
     let tracker = sweep.trackers[cell.tracker];
-    let harness = Harness::with_cores(cell.cores).with_tracker(tracker);
+    let memory = sweep.memory_models[cell.memory];
+    let harness =
+        Harness::with_cores(cell.cores).with_tracker(tracker).with_memory_model(memory);
     let context = || {
         format!(
-            "sweep '{}' cell {}: {} on {} cores, {}, {}",
+            "sweep '{}' cell {}: {} on {} cores, {}, {}, {}",
             sweep.name,
             cell.index,
             spec.label(),
             cell.cores,
+            memory.label(),
             platform.label(),
             tracker.label()
         )
@@ -168,6 +188,7 @@ fn run_cell(
         workload: spec.label(),
         family: spec.family(),
         cores: cell.cores,
+        memory,
         platform,
         tracker,
         tasks: stats.tasks,
@@ -182,6 +203,9 @@ fn run_cell(
             tasks_per_cycle,
             cell.cores,
         ),
+        mem_accesses: report.memory_stats.accesses,
+        mem_stall_cycles: report.memory_stats.stall_cycles,
+        mean_mem_latency: report.memory_stats.mean_access_latency(),
     }
 }
 

@@ -1,6 +1,6 @@
 //! Machine configuration.
 
-use tis_mem::{CacheConfig, MemLatencies};
+use tis_mem::{CacheConfig, MemLatencies, MemoryModel};
 use tis_sim::Frequency;
 
 use crate::cost::CostModel;
@@ -8,7 +8,8 @@ use crate::cost::CostModel;
 /// Configuration of the simulated multi-core machine.
 ///
 /// The default reproduces the paper's prototype (Section VI-A1): eight in-order cores at 80 MHz,
-/// eight-way 32 KB private L1 data caches with MESI coherence, no shared L2, and 667 MHz DRAM.
+/// eight-way 32 KB private L1 data caches with MESI coherence over a snooping bus, no shared
+/// L2, and 667 MHz DRAM.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct MachineConfig {
     /// Number of cores (and hardware threads; one runtime thread is pinned per core).
@@ -21,6 +22,9 @@ pub struct MachineConfig {
     pub l1: CacheConfig,
     /// Latency parameters of the coherent memory system.
     pub mem_latencies: MemLatencies,
+    /// Coherence interconnect model: the paper's snooping bus (default, faithful at 8 cores)
+    /// or the directory/NoC model that keeps latencies honest on big meshes.
+    pub memory_model: MemoryModel,
     /// Effective shared DRAM bandwidth available to task payloads, in bytes per core cycle.
     pub dram_bytes_per_cycle: f64,
     /// Cycle costs of software-level operations (calls, locks, syscalls, MMIO…).
@@ -38,6 +42,7 @@ impl MachineConfig {
             memory_clock: Frequency::ZCU102_DDR,
             l1: CacheConfig::rocket_l1d(),
             mem_latencies: MemLatencies::default(),
+            memory_model: MemoryModel::SnoopBus,
             dram_bytes_per_cycle: 16.0,
             costs: CostModel::default(),
             max_cycles: 20_000_000_000,
@@ -48,6 +53,12 @@ impl MachineConfig {
     /// throughput requirements grow with the number of cores).
     pub fn rocket_with_cores(cores: usize) -> Self {
         MachineConfig { cores, ..Self::rocket_octacore() }
+    }
+
+    /// Same machine with the given coherence interconnect model.
+    pub fn with_memory_model(mut self, model: MemoryModel) -> Self {
+        self.memory_model = model;
+        self
     }
 
     /// A small two-core configuration handy for fast unit tests.
@@ -89,6 +100,15 @@ mod tests {
         assert_eq!(c.core_clock.mhz(), 80);
         assert_eq!(c.memory_clock.mhz(), 667);
         assert_eq!(c.l1, CacheConfig::rocket_l1d());
+        assert_eq!(c.memory_model, MemoryModel::SnoopBus, "figures are pinned to the snoop model");
+        c.validate();
+    }
+
+    #[test]
+    fn memory_model_override() {
+        let c = MachineConfig::rocket_with_cores(64).with_memory_model(MemoryModel::directory_mesh());
+        assert_eq!(c.cores, 64);
+        assert_eq!(c.memory_model, MemoryModel::directory_mesh());
         c.validate();
     }
 

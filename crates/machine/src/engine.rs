@@ -111,7 +111,7 @@ pub fn run_machine(
 ) -> Result<ExecutionReport, EngineError> {
     cfg.validate();
     let cores = cfg.cores;
-    let mut mem = MemorySystem::new(cores, cfg.l1, cfg.mem_latencies);
+    let mut mem = MemorySystem::with_model(cores, cfg.l1, cfg.mem_latencies, cfg.memory_model);
     let mut dram = BandwidthModel::new(cfg.dram_bytes_per_cycle);
     let mut core_time: Vec<Cycle> = vec![0; cores];
     let mut core_stats: Vec<CoreStats> = vec![CoreStats::default(); cores];
@@ -265,6 +265,18 @@ mod tests {
         assert_eq!(report.cores, 2);
         assert_eq!(report.runtime, "toy");
         assert!(report.core_stats.iter().all(|s| s.runtime_cycles == 500));
+    }
+
+    #[test]
+    fn toy_runtime_runs_under_the_directory_model_too() {
+        let cfg =
+            MachineConfig::small_test().with_memory_model(tis_mem::MemoryModel::directory_mesh());
+        let mut rt = ToyRuntime::new(cfg.cores, 5);
+        let mut fabric = NullFabric::new();
+        let report = run_machine(&cfg, &mut rt, &mut fabric).unwrap();
+        assert_eq!(report.tasks_retired, 10);
+        assert_eq!(report.total_cycles, 500, "a memory-silent runtime is model-independent");
+        assert_eq!(report.memory_stats.bus_transactions, 0);
     }
 
     #[test]

@@ -17,6 +17,14 @@
 //! * [`bandwidth`] — the shared DRAM channel used to charge task *payload* traffic, so that
 //!   memory-bound workloads stop scaling before compute-bound ones.
 //!
+//! Beyond the prototype's single snoop domain, a second, selectable interconnect model keeps
+//! large-core-count results honest (choose per [`MemorySystem::with_model`] / [`MemoryModel`]):
+//!
+//! * [`directory`] — a directory-based coherence protocol as a pure transition table: per-line
+//!   sharer bitsets, home-tile bookkeeping, invalidation fan-out;
+//! * [`noc`] — the 2D-mesh NoC latency model the directory's messages travel over (hop counts
+//!   from a row-major core→tile mapping, per-hop + injection latency, bandwidth-free).
+//!
 //! # Example
 //!
 //! ```
@@ -35,11 +43,15 @@
 pub mod addr;
 pub mod bandwidth;
 pub mod cache;
+pub mod directory;
 pub mod mesi;
+pub mod noc;
 pub mod system;
 
 pub use addr::{line_of, Addr, LINE_SIZE};
 pub use bandwidth::BandwidthModel;
 pub use cache::{CacheConfig, CacheStats, L1Cache};
+pub use directory::{DirState, SharerSet};
 pub use mesi::{AccessKind, MesiState};
-pub use system::{MemLatencies, MemoryAccessOutcome, MemoryStats, MemorySystem};
+pub use noc::{Mesh, NocConfig};
+pub use system::{MemLatencies, MemoryAccessOutcome, MemoryModel, MemoryStats, MemorySystem};

@@ -1,0 +1,179 @@
+//! A parameterised 2D-mesh network-on-chip latency model.
+//!
+//! The paper's prototype keeps all eight cores in one snoop domain, which stops being realistic
+//! well before 64 cores: at that scale coherence traffic travels a packet-switched mesh, and
+//! every protocol message pays per-hop router/link latency on top of a fixed network-interface
+//! injection cost (the ESP SoC methodology and the HTS scheduler-vs-memory study both model
+//! exactly this). This module provides the latency side of that story as a **bandwidth-free
+//! first cut**: deterministic hop counts on a near-square mesh, no link contention.
+//!
+//! Cores are mapped to tiles row-major on a `width × height` mesh chosen by [`mesh_dims`]
+//! (width = ⌈√cores⌉), and a message from tile A to tile B traverses their Manhattan distance in
+//! hops ([`Mesh::hops`]). The [`NocConfig`] prices one message as
+//! `injection + hops × per_hop` ([`NocConfig::message_latency`]); protocol-level costs (the
+//! directory lookup at the home tile, per-invalidation fan-out serialisation) also live here so
+//! the directory protocol in [`crate::directory`] stays purely functional.
+
+use tis_sim::Cycle;
+
+/// Latency parameters of the mesh NoC, in core cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NocConfig {
+    /// Router traversal + link latency per hop.
+    pub per_hop: Cycle,
+    /// Network-interface injection/ejection overhead per message (charged once per message,
+    /// covering both ends).
+    pub injection: Cycle,
+    /// Directory access at the home tile (SRAM lookup + state update).
+    pub directory_lookup: Cycle,
+    /// Serialisation at the home tile per invalidation it fans out (the invalidations
+    /// themselves travel in parallel; the sender issues them one per cycle-ish).
+    pub per_invalidation: Cycle,
+}
+
+impl Default for NocConfig {
+    fn default() -> Self {
+        // Calibrated to the same 80 MHz core clock as `MemLatencies::default()`: a 3-cycle
+        // router+link pipeline, a 4-cycle network interface, a 6-cycle directory SRAM access.
+        NocConfig { per_hop: 3, injection: 4, directory_lookup: 6, per_invalidation: 2 }
+    }
+}
+
+impl NocConfig {
+    /// Latency of one message traversing `hops` hops: `injection + hops × per_hop`.
+    pub fn message_latency(&self, hops: u64) -> Cycle {
+        self.injection + hops * self.per_hop
+    }
+}
+
+/// A near-square 2D mesh with cores mapped to tiles row-major.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Mesh {
+    /// Number of cores placed on the mesh.
+    pub cores: usize,
+    /// Mesh width in tiles.
+    pub width: usize,
+    /// Mesh height in tiles (the last row may be partially populated).
+    pub height: usize,
+}
+
+/// Chooses the mesh geometry for `cores` cores: width = ⌈√cores⌉, height = ⌈cores / width⌉.
+/// 8 cores get a 3×3 mesh with one empty tile; 64 cores get the classic 8×8.
+///
+/// # Panics
+///
+/// Panics if `cores` is zero.
+pub fn mesh_dims(cores: usize) -> (usize, usize) {
+    assert!(cores > 0, "a mesh needs at least one core");
+    let width = (cores as f64).sqrt().ceil() as usize;
+    let height = cores.div_ceil(width);
+    (width, height)
+}
+
+impl Mesh {
+    /// Creates the mesh for `cores` cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero.
+    pub fn new(cores: usize) -> Self {
+        let (width, height) = mesh_dims(cores);
+        Mesh { cores, width, height }
+    }
+
+    /// Tile coordinates of a core (row-major placement).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn tile_of(&self, core: usize) -> (usize, usize) {
+        assert!(core < self.cores, "core index out of range");
+        (core % self.width, core / self.width)
+    }
+
+    /// Manhattan hop distance between two cores' tiles.
+    pub fn hops(&self, from: usize, to: usize) -> u64 {
+        let (fx, fy) = self.tile_of(from);
+        let (tx, ty) = self.tile_of(to);
+        (fx.abs_diff(tx) + fy.abs_diff(ty)) as u64
+    }
+
+    /// The mesh diameter in hops (corner to corner).
+    pub fn diameter(&self) -> u64 {
+        (self.width - 1 + (self.height - 1)) as u64
+    }
+
+    /// The **home tile** of a cache line: directory state is interleaved across all tiles at
+    /// line granularity, so consecutive lines live on consecutive tiles.
+    pub fn home_of(&self, line: u64) -> usize {
+        (line % self.cores as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mesh_dims_are_near_square() {
+        assert_eq!(mesh_dims(1), (1, 1));
+        assert_eq!(mesh_dims(2), (2, 1));
+        assert_eq!(mesh_dims(4), (2, 2));
+        assert_eq!(mesh_dims(8), (3, 3));
+        assert_eq!(mesh_dims(16), (4, 4));
+        assert_eq!(mesh_dims(64), (8, 8));
+        assert_eq!(mesh_dims(6), (3, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one core")]
+    fn zero_core_mesh_panics() {
+        mesh_dims(0);
+    }
+
+    #[test]
+    fn row_major_tiles_and_manhattan_hops() {
+        let m = Mesh::new(8); // 3x3, core 7 at (1, 2)
+        assert_eq!(m.tile_of(0), (0, 0));
+        assert_eq!(m.tile_of(4), (1, 1));
+        assert_eq!(m.tile_of(7), (1, 2));
+        assert_eq!(m.hops(0, 0), 0);
+        assert_eq!(m.hops(0, 1), 1);
+        assert_eq!(m.hops(0, 4), 2);
+        assert_eq!(m.hops(0, 7), 3);
+        assert_eq!(m.hops(7, 0), 3, "hops are symmetric");
+    }
+
+    #[test]
+    fn diameter_grows_with_the_machine() {
+        assert_eq!(Mesh::new(2).diameter(), 1);
+        assert_eq!(Mesh::new(8).diameter(), 4);
+        assert_eq!(Mesh::new(64).diameter(), 14);
+        assert!(Mesh::new(64).diameter() > Mesh::new(8).diameter());
+    }
+
+    #[test]
+    fn homes_are_interleaved_over_all_tiles() {
+        let m = Mesh::new(4);
+        assert_eq!(m.home_of(0), 0);
+        assert_eq!(m.home_of(1), 1);
+        assert_eq!(m.home_of(4), 0);
+        assert_eq!(m.home_of(7), 3);
+        // Every core is home to some line.
+        let homes: std::collections::HashSet<usize> = (0..100).map(|l| m.home_of(l)).collect();
+        assert_eq!(homes.len(), 4);
+    }
+
+    #[test]
+    fn message_latency_formula() {
+        let noc = NocConfig::default();
+        assert_eq!(noc.message_latency(0), noc.injection);
+        assert_eq!(noc.message_latency(5), noc.injection + 5 * noc.per_hop);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn tile_of_out_of_range_panics() {
+        Mesh::new(4).tile_of(4);
+    }
+}

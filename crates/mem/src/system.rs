@@ -1,25 +1,74 @@
 //! The multi-core coherent memory system.
 //!
-//! [`MemorySystem`] glues the per-core [`L1Cache`]s together with a snooping bus and a DRAM
-//! backend, reproducing the coherence behaviour the paper leans on (Section V-B):
+//! [`MemorySystem`] glues the per-core [`L1Cache`]s together with a coherence interconnect and
+//! a DRAM backend. Two interconnect models are selectable via [`MemoryModel`]:
 //!
-//! * there is **no shared L2**, so a line that is dirty in one core's cache can only reach
-//!   another core by being written back to main memory and re-fetched — this is why cache-line
-//!   bouncing on shared runtime data is so expensive on the prototype;
-//! * the memory clock (667 MHz) is much faster than the 80 MHz core clock, so plain DRAM misses
-//!   are comparatively cheap;
-//! * upgrades (a core writing a Shared line) cost a bus transaction that invalidates every other
-//!   copy.
+//! * [`MemoryModel::SnoopBus`] — the paper's prototype (Section V-B): a snooping bus with
+//!   **no shared L2**, so a line that is dirty in one core's cache can only reach another core
+//!   by being written back to main memory and re-fetched — this is why cache-line bouncing on
+//!   shared runtime data is so expensive on the prototype. The memory clock (667 MHz) is much
+//!   faster than the 80 MHz core clock, so plain DRAM misses are comparatively cheap, and
+//!   upgrades (a core writing a Shared line) cost a bus transaction that invalidates every
+//!   other copy. Faithful at 8 cores, *optimistic* beyond one snoop domain.
+//! * [`MemoryModel::DirectoryMesh`] — a directory protocol ([`crate::directory`]) over a 2D
+//!   mesh NoC ([`crate::noc`]): misses travel to the line's home tile, the directory's sharer
+//!   bitset routes downgrades/recalls/invalidations point-to-point, and every message pays
+//!   per-hop latency. Functionally MESI-equivalent (same states, same hit/miss/bounce
+//!   outcomes — pinned by the differential suite in `tests/mem_model_equivalence.rs`), but
+//!   with latencies that grow with the mesh diameter, which is what makes 64-core results
+//!   defensible.
 //!
 //! Every runtime in the workspace performs its metadata accesses through this model, so the
 //! difference between, say, Phentos' per-core metadata layout and Nanos' centralised queues shows
 //! up as genuine simulated coherence traffic rather than as a hand-tuned constant.
 
+use std::collections::HashMap;
+
 use tis_sim::Cycle;
 
-use crate::addr::{lines_touched, Addr, LINE_SIZE};
+use crate::addr::{line_of, lines_touched, Addr, LINE_SIZE};
 use crate::cache::{CacheConfig, CacheStats, L1Cache};
+use crate::directory::{dir_transition, DirAction, DirOp, DirState};
 use crate::mesi::{local_transition, snoop_transition, AccessKind, BusOp, LocalAction, MesiState, SnoopAction};
+use crate::noc::{Mesh, NocConfig};
+
+/// Which coherence interconnect the [`MemorySystem`] simulates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemoryModel {
+    /// The paper's single snoop domain: MESI over a broadcast bus, no shared L2. The default,
+    /// and the model every figure reproduction is pinned to.
+    SnoopBus,
+    /// Directory-based MESI over a 2D-mesh NoC with the given latency parameters. Selectable
+    /// per [`crate::noc::NocConfig`]; functionally equivalent to [`MemoryModel::SnoopBus`] but
+    /// with distance-dependent latencies.
+    DirectoryMesh(NocConfig),
+}
+
+impl Default for MemoryModel {
+    fn default() -> Self {
+        MemoryModel::SnoopBus
+    }
+}
+
+impl MemoryModel {
+    /// The directory/NoC model with default mesh latencies.
+    pub fn directory_mesh() -> Self {
+        MemoryModel::DirectoryMesh(NocConfig::default())
+    }
+
+    /// Stable lower-case key used in machine-readable output and sweep-row labels.
+    pub fn key(self) -> &'static str {
+        match self {
+            MemoryModel::SnoopBus => "snoop-bus",
+            MemoryModel::DirectoryMesh(_) => "dir-mesh",
+        }
+    }
+
+    /// Human-readable label (same as [`MemoryModel::key`]).
+    pub fn label(self) -> &'static str {
+        self.key()
+    }
+}
 
 /// Latency parameters of the memory system, in core cycles.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -75,10 +124,32 @@ pub struct MemoryStats {
     pub dram_fetches: u64,
     /// Number of dirty lines written back to DRAM.
     pub dram_writebacks: u64,
-    /// Number of snoop-bus transactions.
+    /// Number of snoop-bus transactions (always zero under [`MemoryModel::DirectoryMesh`]).
     pub bus_transactions: u64,
     /// Number of accesses that found the line dirty in a remote cache.
     pub dirty_bounces: u64,
+    /// Number of processor accesses observed ([`MemorySystem::access`] calls).
+    pub accesses: u64,
+    /// Total stall cycles charged to cores across all accesses — the memory-latency metric the
+    /// `sweep_memory_scaling` experiment compares across models.
+    pub stall_cycles: u64,
+    /// Number of NoC messages sent (always zero under [`MemoryModel::SnoopBus`]).
+    pub noc_messages: u64,
+    /// Total hops traversed by NoC messages.
+    pub noc_hop_total: u64,
+    /// Number of point-to-point invalidations fanned out by directory homes.
+    pub invalidations: u64,
+}
+
+impl MemoryStats {
+    /// Mean stall cycles per processor access, or zero when idle.
+    pub fn mean_access_latency(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.stall_cycles as f64 / self.accesses as f64
+        }
+    }
 }
 
 /// The coherent multi-core memory system.
@@ -86,29 +157,62 @@ pub struct MemoryStats {
 pub struct MemorySystem {
     caches: Vec<L1Cache>,
     latencies: MemLatencies,
+    model: MemoryModel,
+    mesh: Mesh,
+    /// Per-line directory state, keyed by line number; only populated under
+    /// [`MemoryModel::DirectoryMesh`]. Entries are removed when a line returns to `Uncached`,
+    /// so the map tracks exactly the lines some cache holds.
+    directory: HashMap<u64, DirState>,
     bus_free_at: Cycle,
     dram_fetches: u64,
     dram_writebacks: u64,
     bus_transactions: u64,
     dirty_bounces: u64,
+    accesses: u64,
+    stall_cycles: u64,
+    noc_messages: u64,
+    noc_hop_total: u64,
+    invalidations: u64,
 }
 
 impl MemorySystem {
-    /// Creates a memory system with `cores` private L1 caches.
+    /// Creates a memory system with `cores` private L1 caches on the default snooping bus.
     ///
     /// # Panics
     ///
     /// Panics if `cores` is zero.
     pub fn new(cores: usize, cache: CacheConfig, latencies: MemLatencies) -> Self {
+        Self::with_model(cores, cache, latencies, MemoryModel::SnoopBus)
+    }
+
+    /// Creates a memory system with the given coherence interconnect model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero.
+    pub fn with_model(
+        cores: usize,
+        cache: CacheConfig,
+        latencies: MemLatencies,
+        model: MemoryModel,
+    ) -> Self {
         assert!(cores > 0, "a machine needs at least one core");
         MemorySystem {
             caches: (0..cores).map(|_| L1Cache::new(cache)).collect(),
             latencies,
+            model,
+            mesh: Mesh::new(cores),
+            directory: HashMap::new(),
             bus_free_at: 0,
             dram_fetches: 0,
             dram_writebacks: 0,
             bus_transactions: 0,
             dirty_bounces: 0,
+            accesses: 0,
+            stall_cycles: 0,
+            noc_messages: 0,
+            noc_hop_total: 0,
+            invalidations: 0,
         }
     }
 
@@ -120,6 +224,11 @@ impl MemorySystem {
     /// The latency parameters in use.
     pub fn latencies(&self) -> MemLatencies {
         self.latencies
+    }
+
+    /// The coherence interconnect model in use.
+    pub fn model(&self) -> MemoryModel {
+        self.model
     }
 
     /// Immutable view of one core's cache (for tests and statistics).
@@ -162,6 +271,8 @@ impl MemorySystem {
         if kind == AccessKind::Atomic {
             latency += self.latencies.atomic_extra;
         }
+        self.accesses += 1;
+        self.stall_cycles += latency;
         MemoryAccessOutcome {
             latency,
             l1_hit: all_hit,
@@ -172,6 +283,20 @@ impl MemorySystem {
 
     /// Access of a single line; returns (latency, was_hit, remote_was_dirty).
     fn access_line(
+        &mut self,
+        core: usize,
+        line_addr: Addr,
+        kind: AccessKind,
+        now: Cycle,
+    ) -> (Cycle, bool, bool) {
+        match self.model {
+            MemoryModel::SnoopBus => self.access_line_snoop(core, line_addr, kind, now),
+            MemoryModel::DirectoryMesh(noc) => self.access_line_directory(core, line_addr, kind, noc),
+        }
+    }
+
+    /// Snoop-bus access of a single line (the paper's prototype path).
+    fn access_line_snoop(
         &mut self,
         core: usize,
         line_addr: Addr,
@@ -200,7 +325,12 @@ impl MemorySystem {
                 let (mut lat, dirty, _) =
                     self.bus_transaction(core, line_addr, BusOp::BusReadExclusive, now);
                 if had_line {
-                    // Upgrade: the data is already local, only the invalidation round trip counts.
+                    // Upgrade: the data is already local, only the invalidation round trip
+                    // counts — so the data-less transaction performs no DRAM fetch. The bus
+                    // charged one unconditionally (its latency is min'd away just below);
+                    // correct the counter so both memory models report identical DRAM traffic
+                    // on identical traces.
+                    self.dram_fetches -= 1;
                     self.caches[core].note_upgrade();
                     lat = lat.min(self.latencies.upgrade + self.wait_for_bus(now));
                     self.caches[core].touch(line_addr, MesiState::Modified);
@@ -210,6 +340,147 @@ impl MemorySystem {
                 }
                 (lat, false, dirty)
             }
+        }
+    }
+
+    /// Directory/NoC access of a single line. Functionally identical to the snoop path — same
+    /// local MESI transitions, same install states, same dirty-bounce semantics — but every
+    /// coherence action is routed through the line's home tile and priced in mesh hops.
+    fn access_line_directory(
+        &mut self,
+        core: usize,
+        line_addr: Addr,
+        kind: AccessKind,
+        noc: NocConfig,
+    ) -> (Cycle, bool, bool) {
+        let state = self.caches[core].state_of(line_addr);
+        let (action, new_state) = local_transition(state, kind);
+        match action {
+            LocalAction::Hit => {
+                self.caches[core].note_hit();
+                self.caches[core].touch(line_addr, new_state);
+                (self.latencies.l1_hit, true, false)
+            }
+            LocalAction::IssueBusRead => {
+                let (lat, dirty, was_uncached) =
+                    self.directory_transaction(core, line_addr, DirOp::GetS(core), noc);
+                self.caches[core].note_miss();
+                // Same rule as the snoop model's zero-sharer answer: a cold line installs
+                // Exclusive, a line someone else holds installs Shared.
+                let install_state =
+                    if was_uncached { MesiState::Exclusive } else { MesiState::Shared };
+                let final_state = if new_state == MesiState::Shared { install_state } else { new_state };
+                self.install_with_eviction(core, line_addr, final_state);
+                (lat, false, dirty)
+            }
+            LocalAction::IssueBusReadExclusive => {
+                let had_line = state == MesiState::Shared;
+                let (lat, dirty, _) =
+                    self.directory_transaction(core, line_addr, DirOp::GetM(core), noc);
+                if had_line {
+                    self.caches[core].note_upgrade();
+                    self.caches[core].touch(line_addr, MesiState::Modified);
+                } else {
+                    self.caches[core].note_miss();
+                    self.install_with_eviction(core, line_addr, MesiState::Modified);
+                }
+                (lat, false, dirty)
+            }
+        }
+    }
+
+    /// Sends a request to the line's home tile and orchestrates the resulting directory
+    /// action: owner downgrade/recall (through memory, as the no-L2 hierarchy demands),
+    /// invalidation fan-out, memory fetch. Returns (latency, remote_dirty, line_was_uncached).
+    fn directory_transaction(
+        &mut self,
+        requester: usize,
+        line_addr: Addr,
+        op: DirOp,
+        noc: NocConfig,
+    ) -> (Cycle, bool, bool) {
+        let line = line_of(line_addr);
+        let home = self.mesh.home_of(line);
+        let dir_state = self.directory.get(&line).copied().unwrap_or(DirState::Uncached);
+        let was_uncached = dir_state == DirState::Uncached;
+        let (action, next) = dir_transition(dir_state, op);
+
+        // Request to the home tile, directory lookup, response back to the requester.
+        let req_hops = self.mesh.hops(requester, home);
+        let mut latency = 2 * noc.message_latency(req_hops) + noc.directory_lookup;
+        self.note_noc(2, 2 * req_hops);
+        let mut remote_dirty = false;
+
+        match action {
+            DirAction::FetchFromMemory => {
+                latency += self.latencies.dram_fetch;
+                self.dram_fetches += 1;
+            }
+            DirAction::DowngradeOwner(owner) | DirAction::RecallOwner(owner) => {
+                // Forward to the owner and wait for its acknowledgement.
+                let fwd_hops = self.mesh.hops(home, owner);
+                latency += 2 * noc.message_latency(fwd_hops);
+                self.note_noc(2, 2 * fwd_hops);
+                let owner_state = self.caches[owner].state_of(line_addr);
+                let dirty = owner_state.is_dirty();
+                if dirty {
+                    // No shared L2: the dirty line goes through DRAM before the refetch.
+                    remote_dirty = true;
+                    self.dram_writebacks += 1;
+                    latency += self.latencies.writeback;
+                }
+                let owner_next = if matches!(action, DirAction::DowngradeOwner(_)) {
+                    MesiState::Shared
+                } else {
+                    MesiState::Invalid
+                };
+                self.caches[owner].apply_snoop(line_addr, owner_next, dirty);
+                latency += self.latencies.dram_fetch;
+                self.dram_fetches += 1;
+            }
+            DirAction::InvalidateForUpgrade(sharers) | DirAction::InvalidateAndFetch(sharers) => {
+                let count = sharers.count() as u64;
+                self.invalidations += count;
+                let mut max_hops = 0;
+                let mut hop_sum = 0;
+                for s in sharers.iter() {
+                    let h = self.mesh.hops(home, s);
+                    max_hops = max_hops.max(h);
+                    hop_sum += h;
+                    self.caches[s].apply_snoop(line_addr, MesiState::Invalid, false);
+                }
+                if count > 0 {
+                    // Invalidations serialise at the home's NI, travel in parallel, and the
+                    // home waits for the farthest acknowledgement.
+                    latency += noc.per_invalidation * count + 2 * noc.message_latency(max_hops);
+                    self.note_noc(2 * count, 2 * hop_sum);
+                }
+                if matches!(action, DirAction::InvalidateAndFetch(_)) {
+                    latency += self.latencies.dram_fetch;
+                    self.dram_fetches += 1;
+                }
+            }
+            DirAction::None => {}
+        }
+        if remote_dirty {
+            self.dirty_bounces += 1;
+        }
+        self.set_directory(line, next);
+        (latency, remote_dirty, was_uncached)
+    }
+
+    /// Records NoC traffic statistics.
+    fn note_noc(&mut self, messages: u64, hops: u64) {
+        self.noc_messages += messages;
+        self.noc_hop_total += hops;
+    }
+
+    /// Writes a line's directory state back, dropping `Uncached` entries.
+    fn set_directory(&mut self, line: u64, state: DirState) {
+        if state == DirState::Uncached {
+            self.directory.remove(&line);
+        } else {
+            self.directory.insert(line, state);
         }
     }
 
@@ -277,6 +548,14 @@ impl MemorySystem {
             if ev.dirty {
                 self.dram_writebacks += 1;
             }
+            if matches!(self.model, MemoryModel::DirectoryMesh(_)) {
+                // Every eviction (clean or dirty) notifies the home, keeping the directory
+                // precise. Put messages are fire-and-forget: no latency charged, same as the
+                // snoop model's silent evictions.
+                let dir_state = self.directory.get(&ev.line).copied().unwrap_or(DirState::Uncached);
+                let (_, next) = dir_transition(dir_state, DirOp::Evict(core));
+                self.set_directory(ev.line, next);
+            }
         }
     }
 
@@ -288,20 +567,26 @@ impl MemorySystem {
             dram_writebacks: self.dram_writebacks,
             bus_transactions: self.bus_transactions,
             dirty_bounces: self.dirty_bounces,
+            accesses: self.accesses,
+            stall_cycles: self.stall_cycles,
+            noc_messages: self.noc_messages,
+            noc_hop_total: self.noc_hop_total,
+            invalidations: self.invalidations,
         }
     }
 
-    /// Checks the fundamental MESI coherence invariants across all caches and returns an error
-    /// message describing the first violation found, if any. Used by property tests.
+    /// Checks the fundamental MESI coherence invariants across all caches — and, under
+    /// [`MemoryModel::DirectoryMesh`], that the directory is *precise* (its sharer sets and
+    /// owners match the caches' actual resident states exactly). Returns an error message
+    /// describing the first violation found, if any. Used by property tests.
     pub fn check_coherence_invariants(&self) -> Result<(), String> {
-        use std::collections::HashMap;
         let mut owners: HashMap<u64, Vec<(usize, MesiState)>> = HashMap::new();
         for (i, c) in self.caches.iter().enumerate() {
             for (line, state) in c.resident() {
                 owners.entry(line).or_default().push((i, state));
             }
         }
-        for (line, holders) in owners {
+        for (&line, holders) in &owners {
             let exclusive_like = holders
                 .iter()
                 .filter(|(_, s)| matches!(s, MesiState::Modified | MesiState::Exclusive))
@@ -314,6 +599,59 @@ impl MemorySystem {
                     "line {line:#x} is both exclusively owned and shared ({} holders)",
                     holders.len()
                 ));
+            }
+        }
+        if matches!(self.model, MemoryModel::DirectoryMesh(_)) {
+            self.check_directory_precision(&owners)?;
+        }
+        Ok(())
+    }
+
+    /// Directory-model extension of the invariant check: every resident line is recorded at
+    /// its home with exactly the right holders, and the directory records no ghost lines.
+    fn check_directory_precision(
+        &self,
+        owners: &HashMap<u64, Vec<(usize, MesiState)>>,
+    ) -> Result<(), String> {
+        for (&line, holders) in owners {
+            match self.directory.get(&line) {
+                None => {
+                    return Err(format!(
+                        "line {line:#x} is resident in {} cache(s) but Uncached in the directory",
+                        holders.len()
+                    ));
+                }
+                Some(DirState::Owned(owner)) => {
+                    let [(holder, state)] = holders.as_slice() else {
+                        return Err(format!(
+                            "line {line:#x} is directory-Owned but held by {} caches",
+                            holders.len()
+                        ));
+                    };
+                    if holder != owner || !matches!(state, MesiState::Modified | MesiState::Exclusive) {
+                        return Err(format!(
+                            "line {line:#x}: directory says core {owner} owns it, cache says core {holder} holds it {state:?}"
+                        ));
+                    }
+                }
+                Some(DirState::Shared(sharers)) => {
+                    if holders.len() != sharers.count()
+                        || holders.iter().any(|(c, s)| *s != MesiState::Shared || !sharers.contains(*c))
+                    {
+                        return Err(format!(
+                            "line {line:#x}: directory sharer set {:?} disagrees with cache holders {holders:?}",
+                            sharers.iter().collect::<Vec<_>>()
+                        ));
+                    }
+                }
+                Some(DirState::Uncached) => {
+                    return Err(format!("line {line:#x} has an explicit Uncached directory entry"));
+                }
+            }
+        }
+        for &line in self.directory.keys() {
+            if !owners.contains_key(&line) {
+                return Err(format!("directory records ghost line {line:#x} no cache holds"));
             }
         }
         Ok(())
@@ -449,6 +787,117 @@ mod tests {
     fn out_of_range_core_panics() {
         let mut m = sys(2);
         m.access(5, 0x0, AccessKind::Read, 8, 0);
+    }
+
+    fn dir_sys(cores: usize) -> MemorySystem {
+        MemorySystem::with_model(
+            cores,
+            CacheConfig::rocket_l1d(),
+            MemLatencies::default(),
+            MemoryModel::directory_mesh(),
+        )
+    }
+
+    #[test]
+    fn model_selection_and_keys() {
+        assert_eq!(sys(2).model(), MemoryModel::SnoopBus);
+        assert_eq!(dir_sys(2).model(), MemoryModel::directory_mesh());
+        assert_eq!(MemoryModel::SnoopBus.key(), "snoop-bus");
+        assert_eq!(MemoryModel::directory_mesh().key(), "dir-mesh");
+        assert_eq!(MemoryModel::default(), MemoryModel::SnoopBus);
+    }
+
+    #[test]
+    fn directory_dirty_line_still_bounces_through_memory() {
+        // The no-L2 rule survives the interconnect swap: a dirty line moves between cores
+        // through DRAM under the directory exactly as under the snooping bus.
+        let mut m = dir_sys(4);
+        let lat = MemLatencies::default();
+        m.access(0, 0x2000, AccessKind::Write, 8, 0);
+        let r = m.access(1, 0x2000, AccessKind::Read, 8, 50);
+        assert!(r.remote_dirty);
+        assert!(r.latency >= lat.writeback + lat.dram_fetch);
+        let stats = m.stats();
+        assert_eq!(stats.dirty_bounces, 1);
+        assert!(stats.dram_writebacks >= 1);
+        assert_eq!(stats.bus_transactions, 0, "no bus in the mesh model");
+        assert!(stats.noc_messages > 0, "coherence travelled the NoC");
+    }
+
+    #[test]
+    fn directory_upgrade_fans_out_invalidations() {
+        let mut m = dir_sys(4);
+        for core in 0..4 {
+            m.access(core, 0x3000, AccessKind::Read, 8, core as u64 * 10);
+        }
+        let w = m.access(2, 0x3000, AccessKind::Write, 8, 100);
+        assert!(w.latency < MemLatencies::default().dram_fetch + 50, "upgrade does not refetch");
+        for core in [0usize, 1, 3] {
+            assert_eq!(m.cache(core).state_of(0x3000), MesiState::Invalid);
+        }
+        assert_eq!(m.cache(2).state_of(0x3000), MesiState::Modified);
+        assert_eq!(m.stats().invalidations, 3);
+        m.check_coherence_invariants().expect("directory stays precise");
+    }
+
+    #[test]
+    fn directory_cold_read_installs_exclusive() {
+        let mut m = dir_sys(2);
+        m.access(0, 0x1000, AccessKind::Read, 8, 0);
+        assert_eq!(m.cache(0).state_of(0x1000), MesiState::Exclusive);
+        // The silent E->M upgrade then hits locally, exactly as on the bus.
+        let w = m.access(0, 0x1000, AccessKind::Write, 8, 10);
+        assert!(w.l1_hit);
+    }
+
+    #[test]
+    fn directory_miss_latency_grows_with_mesh_distance() {
+        // Same cold miss, increasingly distant home tile: a 64-core mesh pays more hops than a
+        // 4-core one. Line 0's home is core 0; request it from the farthest corner.
+        let mut small = dir_sys(4);
+        let mut large = dir_sys(64);
+        let near = small.access(3, 0, AccessKind::Read, 8, 0);
+        let far = large.access(63, 0, AccessKind::Read, 8, 0);
+        assert!(
+            far.latency > near.latency,
+            "64-core corner-to-corner miss ({}) must out-pay the 4-core one ({})",
+            far.latency,
+            near.latency
+        );
+    }
+
+    #[test]
+    fn directory_invariants_hold_after_random_traffic_at_64_cores() {
+        let mut m = dir_sys(64);
+        let mut rng = tis_sim::SimRng::new(99);
+        for i in 0..8000u64 {
+            let core = (rng.next_u64() % 64) as usize;
+            let addr = 0x1_0000 + (rng.next_u64() % 96) * 8;
+            let kind = match rng.next_u64() % 3 {
+                0 => AccessKind::Read,
+                1 => AccessKind::Write,
+                _ => AccessKind::Atomic,
+            };
+            m.access(core, addr, kind, 8, i * 3);
+        }
+        m.check_coherence_invariants().expect("directory invariants must hold at 64 cores");
+        let stats = m.stats();
+        assert!(stats.accesses == 8000);
+        assert!(stats.stall_cycles > 0);
+        assert!(stats.mean_access_latency() > 1.0);
+    }
+
+    #[test]
+    fn stats_track_stalls_and_accesses_in_both_models() {
+        for mut m in [sys(2), dir_sys(2)] {
+            let a = m.access(0, 0x100, AccessKind::Read, 8, 0);
+            let b = m.access(0, 0x100, AccessKind::Read, 8, 50);
+            let stats = m.stats();
+            assert_eq!(stats.accesses, 2);
+            assert_eq!(stats.stall_cycles, a.latency + b.latency);
+            assert!((stats.mean_access_latency() - (a.latency + b.latency) as f64 / 2.0).abs() < 1e-12);
+        }
+        assert_eq!(MemoryStats::default().mean_access_latency(), 0.0);
     }
 
     #[test]

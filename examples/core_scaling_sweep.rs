@@ -2,7 +2,7 @@
 //! and platform, run it on host threads, and read the grid back.
 //!
 //! This is a scaled-down sibling of the `sweep_core_scaling` bench target (which runs the full
-//! 2→64-core grid and writes `BENCH_sweep.json`); it finishes in a few seconds.
+//! 2→64-core grid and writes `BENCH_sweep_core-scaling.json`); it finishes in a few seconds.
 //!
 //! Run with `cargo run --release --example core_scaling_sweep`.
 

@@ -1,0 +1,194 @@
+//! Golden pins for the paper-figure reproductions.
+//!
+//! Every PR so far has claimed "fig07/fig09 cycle counts bit-identical" and verified it by
+//! hand; this test makes that claim a tier-1 regression check. The simulator is fully
+//! deterministic, so these are exact `u64` equality assertions, not tolerances: **any** change
+//! to the default (snooping-bus) model, the cost model, the runtimes or the workload
+//! generators that moves a single cycle fails here.
+//!
+//! # Re-pinning
+//!
+//! The constant tables below are the *single* place to update after an intentional model
+//! change. Run
+//!
+//! ```text
+//! TIS_REPIN=1 cargo test --test figure_pins -- --nocapture
+//! ```
+//!
+//! and paste the printed tables over `FIG07_PINS` / `FIG09_PINS`, then say in the PR *why* the
+//! numbers moved. A mismatching run prints the same tables in its panic message.
+
+use tis::bench::{figure7_workloads, Harness, Platform};
+use tis::machine::MachineConfig;
+use tis::workloads::entry_for_cores;
+
+/// Task count of the pinned Figure 7 microbenchmarks (matches the fig07 bench target, so the
+/// pinned totals divided by 150 are exactly the printed overheads).
+const FIG07_TASKS: usize = 150;
+
+/// Pinned Figure 7 makespans: `(platform key, workload label, total cycles)` of a single-core
+/// run, in `Platform::ALL` × `figure7_workloads` order.
+const FIG07_PINS: &[(&str, &str, u64)] = &[
+    ("phentos", "Task-Free 1 dep", 16399),
+    ("phentos", "Task-Free 15 deps", 23679),
+    ("phentos", "Task-Chain 1 dep", 24296),
+    ("phentos", "Task-Chain 15 deps", 31946),
+    ("nanos-rv", "Task-Free 1 dep", 1767567),
+    ("nanos-rv", "Task-Free 15 deps", 1835649),
+    ("nanos-rv", "Task-Chain 1 dep", 1767567),
+    ("nanos-rv", "Task-Chain 15 deps", 1771767),
+    ("nanos-axi", "Task-Free 1 dep", 2373867),
+    ("nanos-axi", "Task-Free 15 deps", 2653373),
+    ("nanos-axi", "Task-Chain 1 dep", 2373867),
+    ("nanos-axi", "Task-Chain 15 deps", 2562867),
+    ("nanos-sw", "Task-Free 1 dep", 3577305),
+    ("nanos-sw", "Task-Free 15 deps", 15501682),
+    ("nanos-sw", "Task-Chain 1 dep", 3573763),
+    ("nanos-sw", "Task-Chain 15 deps", 15498278),
+];
+
+/// The Figure 9 catalog rows pinned here: one entry per benchmark family, at the paper's
+/// 8-core configuration, across the three Figure 9 platforms.
+const FIG09_ENTRIES: &[(&str, &str)] = &[
+    ("blackscholes", "4K B64"),
+    ("jacobi", "N128 B1"),
+    ("sparselu", "N32 M4"),
+    ("stream-barr", "64"),
+    ("stream-deps", "64"),
+];
+
+/// Pinned Figure 9 makespans: `(benchmark, input, platform key, total cycles)` at 8 cores, in
+/// `FIG09_ENTRIES` × `Platform::FIGURE9` order.
+const FIG09_PINS: &[(&str, &str, &str, u64)] = &[
+    ("blackscholes", "4K B64", "nanos-sw", 1359414),
+    ("blackscholes", "4K B64", "nanos-rv", 363061),
+    ("blackscholes", "4K B64", "phentos", 187302),
+    ("jacobi", "N128 B1", "nanos-sw", 38024881),
+    ("jacobi", "N128 B1", "nanos-rv", 5132823),
+    ("jacobi", "N128 B1", "phentos", 231582),
+    ("sparselu", "N32 M4", "nanos-sw", 4914667),
+    ("sparselu", "N32 M4", "nanos-rv", 896277),
+    ("sparselu", "N32 M4", "phentos", 8205),
+    ("stream-barr", "64", "nanos-sw", 29645364),
+    ("stream-barr", "64", "nanos-rv", 5542192),
+    ("stream-barr", "64", "phentos", 1386176),
+    ("stream-deps", "64", "nanos-sw", 29346071),
+    ("stream-deps", "64", "nanos-rv", 5140053),
+    ("stream-deps", "64", "phentos", 1316243),
+];
+
+fn fig07_measured() -> Vec<(String, String, u64)> {
+    let prototype = Harness::paper_prototype();
+    let single = Harness {
+        machine: MachineConfig { cores: 1, ..prototype.machine },
+        ..prototype
+    };
+    let mut out = Vec::new();
+    for platform in Platform::ALL {
+        for (label, program) in figure7_workloads(FIG07_TASKS) {
+            let report = single
+                .run(platform, &program)
+                .unwrap_or_else(|e| panic!("fig07 {label} on {}: {e}", platform.label()));
+            out.push((platform.key().to_string(), label.to_string(), report.total_cycles));
+        }
+    }
+    out
+}
+
+fn fig09_measured() -> Vec<(String, String, String, u64)> {
+    let harness = Harness::paper_prototype();
+    let mut out = Vec::new();
+    for &(benchmark, input) in FIG09_ENTRIES {
+        let w = entry_for_cores(benchmark, input, harness.cores())
+            .unwrap_or_else(|| panic!("no catalog entry '{benchmark} {input}'"));
+        for platform in Platform::FIGURE9 {
+            let report = harness
+                .run(platform, &w.program)
+                .unwrap_or_else(|e| panic!("fig09 {benchmark} {input} on {}: {e}", platform.label()));
+            out.push((
+                benchmark.to_string(),
+                input.to_string(),
+                platform.key().to_string(),
+                report.total_cycles,
+            ));
+        }
+    }
+    out
+}
+
+fn render_fig07(rows: &[(String, String, u64)]) -> String {
+    let mut s = String::from("const FIG07_PINS: &[(&str, &str, u64)] = &[\n");
+    for (p, w, c) in rows {
+        s.push_str(&format!("    (\"{p}\", \"{w}\", {c}),\n"));
+    }
+    s.push_str("];");
+    s
+}
+
+fn render_fig09(rows: &[(String, String, String, u64)]) -> String {
+    let mut s = String::from("const FIG09_PINS: &[(&str, &str, &str, u64)] = &[\n");
+    for (b, i, p, c) in rows {
+        s.push_str(&format!("    (\"{b}\", \"{i}\", \"{p}\", {c}),\n"));
+    }
+    s.push_str("];");
+    s
+}
+
+fn repin_requested() -> bool {
+    std::env::var_os("TIS_REPIN").is_some_and(|v| !v.is_empty())
+}
+
+#[test]
+fn fig07_cycle_counts_are_pinned() {
+    let measured = fig07_measured();
+    if repin_requested() {
+        println!("// paste into tests/figure_pins.rs:\n{}", render_fig07(&measured));
+        return;
+    }
+    let current: Vec<(&str, &str, u64)> =
+        measured.iter().map(|(p, w, c)| (p.as_str(), w.as_str(), *c)).collect();
+    assert_eq!(
+        current.as_slice(),
+        FIG07_PINS,
+        "Figure 7 cycle counts moved. If intentional, re-pin (see module docs) with:\n\n{}\n",
+        render_fig07(&measured)
+    );
+}
+
+#[test]
+fn fig09_cycle_counts_are_pinned() {
+    let measured = fig09_measured();
+    if repin_requested() {
+        println!("// paste into tests/figure_pins.rs:\n{}", render_fig09(&measured));
+        return;
+    }
+    let current: Vec<(&str, &str, &str, u64)> = measured
+        .iter()
+        .map(|(b, i, p, c)| (b.as_str(), i.as_str(), p.as_str(), *c))
+        .collect();
+    assert_eq!(
+        current.as_slice(),
+        FIG09_PINS,
+        "Figure 9 cycle counts moved. If intentional, re-pin (see module docs) with:\n\n{}\n",
+        render_fig09(&measured)
+    );
+}
+
+#[test]
+fn pins_follow_the_papers_platform_ordering() {
+    // Structural sanity on the pinned data itself (catches hand-edited pins): within each
+    // fig07 workload, Phentos is fastest and Nanos-SW slowest, mirroring Figure 7's ordering.
+    for (_, workload, phentos_cycles) in FIG07_PINS.iter().filter(|(p, _, _)| *p == "phentos") {
+        let sw = FIG07_PINS
+            .iter()
+            .find(|(p, w, _)| *p == "nanos-sw" && w == workload)
+            .expect("every workload is pinned for every platform");
+        assert!(
+            sw.2 > *phentos_cycles,
+            "{workload}: Nanos-SW ({}) must be slower than Phentos ({phentos_cycles})",
+            sw.2
+        );
+    }
+    assert_eq!(FIG07_PINS.len(), 16, "4 platforms x 4 microbenchmarks");
+    assert_eq!(FIG09_PINS.len(), FIG09_ENTRIES.len() * 3, "entries x 3 platforms");
+}

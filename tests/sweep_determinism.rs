@@ -1,15 +1,16 @@
 //! Pins the `tis-exp` determinism invariant: a sweep's report — down to the rendered JSON
 //! bytes — is identical no matter how many host workers evaluate it, and identical across
-//! repeated runs. This is what makes `BENCH_sweep.json` artifacts comparable between CI runs
+//! repeated runs. This is what makes `BENCH_sweep_<name>.json` artifacts comparable between CI runs
 //! and makes the parallel runner safe to use for anything that feeds the bench-diff tool.
 
 use tis::bench::Platform;
-use tis::exp::{run_sweep_with_workers, Sweep, SynthFamily, SynthSpec, WorkloadSpec};
+use tis::exp::{run_sweep_with_workers, MemoryModel, Sweep, SynthFamily, SynthSpec, WorkloadSpec};
 use tis::picos::TrackerConfig;
 
 fn reference_sweep() -> Sweep {
     Sweep::new("determinism")
         .over_cores([1, 4, 16])
+        .over_memory_models([MemoryModel::SnoopBus, MemoryModel::directory_mesh()])
         .over_platforms([Platform::Phentos, Platform::NanosSw])
         .over_trackers([TrackerConfig::default(), TrackerConfig::new(32, 256)])
         .with_workload(WorkloadSpec::synth(SynthSpec {
@@ -59,16 +60,45 @@ fn repeated_runs_are_bit_identical_and_seeds_matter() {
 }
 
 #[test]
-fn grid_order_is_workload_cores_tracker_platform() {
+fn grid_order_is_workload_cores_memory_tracker_platform() {
     let report = reference_sweep().run_parallel(8);
     // Spot-check the documented grid order on the first platform-fastest stride.
     assert_eq!(report.cells[0].platform, Platform::Phentos);
     assert_eq!(report.cells[1].platform, Platform::NanosSw);
     assert_eq!(report.cells[0].tracker, TrackerConfig::default());
     assert_eq!(report.cells[2].tracker, TrackerConfig::new(32, 256));
+    assert_eq!(report.cells[0].memory, MemoryModel::SnoopBus);
+    assert_eq!(report.cells[4].memory, MemoryModel::directory_mesh());
     assert_eq!(report.cells[0].cores, 1);
-    assert_eq!(report.cells[4].cores, 4);
-    let per_workload = 3 * 2 * 2;
+    assert_eq!(report.cells[8].cores, 4);
+    let per_workload = 3 * 2 * 2 * 2;
     assert!(report.cells[0].workload.starts_with("synth-er"));
     assert!(report.cells[per_workload].workload.starts_with("synth-tree"));
+}
+
+#[test]
+fn memory_models_share_one_program_but_report_different_latencies() {
+    // Within one (workload, cores, tracker, platform) point, the two memory-model cells must
+    // describe the same program (same tasks, same serial baseline) — the axis changes the
+    // interconnect, never the workload — while mean memory latency genuinely moves.
+    let report = reference_sweep().run_parallel(4);
+    let mut compared = 0;
+    for pair in report.cells.chunks(8) {
+        // Grid order: 4 (tracker x platform) cells on SnoopBus, then the same 4 on the mesh.
+        for i in 0..4 {
+            let (bus, mesh) = (&pair[i], &pair[i + 4]);
+            assert_eq!(bus.memory, MemoryModel::SnoopBus);
+            assert_eq!(mesh.memory, MemoryModel::directory_mesh());
+            assert_eq!(bus.workload, mesh.workload);
+            assert_eq!(bus.cores, mesh.cores);
+            assert_eq!(bus.platform, mesh.platform);
+            assert_eq!(bus.tracker, mesh.tracker);
+            assert_eq!(bus.tasks, mesh.tasks, "the axis must not perturb workload generation");
+            assert_eq!(bus.serial_cycles, mesh.serial_cycles);
+            if bus.mean_mem_latency != mesh.mean_mem_latency {
+                compared += 1;
+            }
+        }
+    }
+    assert!(compared > 0, "the interconnect swap must move at least some memory latencies");
 }

@@ -138,8 +138,9 @@ impl BenchDiff {
 
 /// Key for an array element: prefer a human-stable identity over the positional index, so
 /// reordered or extended artifacts still line up. Catalog rows are keyed by benchmark+input;
-/// sweep cells additionally carry their axis coordinates (core count, platform, tracker
-/// capacities), because one sweep emits many cells sharing a workload label.
+/// sweep cells additionally carry their axis coordinates (core count, memory model,
+/// NoC-contention point, platform, tracker capacities), because one sweep emits many cells
+/// sharing a workload label.
 fn element_key(item: &Json, index: usize) -> String {
     let by = |k: &str| item.get(k).and_then(Json::as_str).map(str::to_string);
     let base = match (by("benchmark"), by("input")) {
@@ -154,6 +155,9 @@ fn element_key(item: &Json, index: usize) -> String {
     }
     if let Some(memory) = by("memory") {
         key.push_str(&format!(" {memory}"));
+    }
+    if let Some(noc) = by("noc") {
+        key.push_str(&format!(" {noc}"));
     }
     if let Some(platform) = by("platform") {
         key.push_str(&format!(" {platform}"));
@@ -392,6 +396,37 @@ mod tests {
         assert_eq!(changed.len(), 1);
         assert_eq!(changed[0].path, "[probe#1].cycles");
         assert_eq!((changed[0].before, changed[0].after), (20.0, 25.0));
+    }
+
+    #[test]
+    fn cells_differing_only_in_the_noc_coordinate_pair_by_it() {
+        // A contention sweep emits cells identical in every axis except the NoC parameter
+        // point; the `noc` coordinate must keep their trajectories label-stable.
+        let cell = |noc: &str, cycles: u64| {
+            Json::obj([
+                ("workload", Json::Str("synth-er(d=0.3) x192 t4000".into())),
+                ("cores", Json::UInt(64)),
+                ("memory", Json::Str("dir-mesh-c".into())),
+                ("noc", Json::Str(noc.to_string())),
+                ("platform", Json::Str("phentos".into())),
+                ("cycles", Json::UInt(cycles)),
+            ])
+        };
+        let sweep = |a: u64, b: u64| {
+            Json::obj([(
+                "cells",
+                Json::Arr(vec![cell("bw8-buf4-flit16", a), cell("bw4-buf2-flit16", b)]),
+            )])
+        };
+        let d = diff(&sweep(1_000, 2_000), &sweep(1_000, 2_500));
+        let changed: Vec<&DiffRow> = d.changed().collect();
+        assert_eq!(changed.len(), 1, "only the narrow-link cell changed: {changed:?}");
+        assert!(
+            changed[0].path.contains("bw4-buf2-flit16"),
+            "path names the contention point: {}",
+            changed[0].path
+        );
+        assert!(d.only_before.is_empty() && d.only_after.is_empty());
     }
 
     #[test]

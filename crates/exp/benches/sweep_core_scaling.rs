@@ -13,7 +13,7 @@
 //! is the model's own consistency check, so a violation is a cost-model bug.
 
 use tis_bench::Platform;
-use tis_exp::{run_sweep_with_workers, Sweep, SynthFamily, SynthSpec, WorkloadSpec};
+use tis_exp::{run_sweep_with_workers, workers_from_env, Sweep, SynthFamily, SynthSpec, WorkloadSpec};
 
 fn main() {
     let sweep = Sweep::new("core-scaling")
@@ -37,10 +37,7 @@ fn main() {
             jitter: 0.25,
         }));
 
-    let workers = std::env::var("TIS_SWEEP_WORKERS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
+    let workers = workers_from_env();
     let report = run_sweep_with_workers(&sweep, workers);
 
     println!(

@@ -17,7 +17,7 @@
 //! whole point of the second model is that distance is not free.
 
 use tis_bench::Platform;
-use tis_exp::{run_sweep_with_workers, MemoryModel, Sweep, SynthFamily, SynthSpec, WorkloadSpec};
+use tis_exp::{run_sweep_with_workers, workers_from_env, MemoryModel, Sweep, SynthFamily, SynthSpec, WorkloadSpec};
 
 fn main() {
     let cores = [2usize, 4, 8, 16, 32, 64];
@@ -35,10 +35,7 @@ fn main() {
             jitter: 0.25,
         }));
 
-    let workers = std::env::var("TIS_SWEEP_WORKERS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1));
+    let workers = workers_from_env();
     let report = run_sweep_with_workers(&sweep, workers);
 
     println!(

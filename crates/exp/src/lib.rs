@@ -19,10 +19,11 @@
 //! * [`report`] — structured [`SweepReport`] rows, text tables, and the `BENCH_sweep_<name>.json`
 //!   artifact (written via the same `TIS_BENCH_JSON` contract as the figure benches).
 //!
-//! Three curated bench targets consume this engine in CI: `sweep_core_scaling` (the
+//! Four curated bench targets consume this engine in CI: `sweep_core_scaling` (the
 //! paper-style "beyond 8 cores" table — 2→64 cores, measured speedup vs MTT bound),
-//! `sweep_tracker_capacity` (Picos task-memory/address-table sizing at 8 cores) and
-//! `sweep_memory_scaling` (snooping bus vs directory/NoC memory latency from 2→64 cores).
+//! `sweep_tracker_capacity` (Picos task-memory/address-table sizing at 8 cores),
+//! `sweep_memory_scaling` (snooping bus vs directory/NoC memory latency from 2→64 cores)
+//! and `sweep_noc_contention` (ideal vs contended mesh links from 8→64 cores).
 //!
 //! # Example
 //!
@@ -53,7 +54,7 @@ pub mod synth;
 
 pub use grid::{CellSpec, Sweep, WorkloadSpec};
 pub use report::{SweepCell, SweepReport};
-pub use runner::{run_sweep, run_sweep_with_workers};
+pub use runner::{run_sweep, run_sweep_with_workers, workers_from_env};
 pub use synth::{SynthFamily, SynthSpec, ER_WINDOW, MAX_IN_DEGREE};
 // The memory-model axis values, re-exported so sweep definitions need no extra dependency.
-pub use tis_machine::{MemoryModel, NocConfig};
+pub use tis_machine::{LinkContention, MemoryModel, NocConfig, NocContention};

@@ -45,6 +45,12 @@ pub struct SweepCell {
     pub mem_stall_cycles: u64,
     /// Mean stall cycles per access (`mem_stall_cycles / mem_accesses`).
     pub mean_mem_latency: f64,
+    /// Total cycles NoC messages spent queueing for busy links — non-zero only on a contended
+    /// directory mesh; the metric `sweep_noc_contention` tracks.
+    pub noc_link_wait_cycles: u64,
+    /// Maximum observed occupancy of one directed mesh link, in flits (zero off the contended
+    /// mesh).
+    pub max_link_occupancy: u64,
 }
 
 impl SweepCell {
@@ -87,6 +93,10 @@ impl SweepReport {
                     ("family", Json::Str(c.family.clone())),
                     ("cores", Json::UInt(c.cores as u64)),
                     ("memory", Json::Str(c.memory.key().to_string())),
+                    // The NoC-contention coordinate ("none" / "ideal" / the link-parameter
+                    // key): part of the cell's identity, so `bench-diff` keeps rows
+                    // label-stable when a sweep varies the contention sub-axis.
+                    ("noc", Json::Str(c.memory.noc_key())),
                     ("platform", Json::Str(c.platform.key().to_string())),
                     (
                         "tracker",
@@ -109,6 +119,8 @@ impl SweepReport {
                     ("mem_accesses", Json::UInt(c.mem_accesses)),
                     ("mem_stall_cycles", Json::UInt(c.mem_stall_cycles)),
                     ("mean_mem_latency", Json::Num(c.mean_mem_latency)),
+                    ("noc_link_wait_cycles", Json::UInt(c.noc_link_wait_cycles)),
+                    ("max_link_occupancy", Json::UInt(c.max_link_occupancy)),
                 ])
             })
             .collect();
@@ -119,23 +131,33 @@ impl SweepReport {
         ])
     }
 
-    /// Renders an aligned text table of all cells, one row per cell in grid order.
+    /// Renders an aligned text table of all cells, one row per cell in grid order. The `noc`
+    /// column carries the contention coordinate, so two contended cells at different link
+    /// parameter points stay distinguishable in text output, not just in JSON.
     pub fn render_table(&self) -> String {
         let label_width =
             self.cells.iter().map(|c| c.workload.len()).max().unwrap_or(8).max("workload".len());
+        let noc_width = self
+            .cells
+            .iter()
+            .map(|c| c.memory.noc_key().len())
+            .max()
+            .unwrap_or(3)
+            .max("noc".len());
         let mut out = String::new();
         out.push_str(&format!(
-            "{:<label_width$} | {:>5} | {:>9} | {:>9} | {:>13} | {:>6} | {:>8} | {:>9} | {:>8} | {:>6}\n",
-            "workload", "cores", "memory", "platform", "tracker", "tasks", "speedup", "MTT bound", "mem lat", "within"
+            "{:<label_width$} | {:>5} | {:>10} | {:>noc_width$} | {:>9} | {:>13} | {:>6} | {:>8} | {:>9} | {:>8} | {:>6}\n",
+            "workload", "cores", "memory", "noc", "platform", "tracker", "tasks", "speedup", "MTT bound", "mem lat", "within"
         ));
-        out.push_str(&"-".repeat(label_width + 99));
+        out.push_str(&"-".repeat(label_width + noc_width + 103));
         out.push('\n');
         for c in &self.cells {
             out.push_str(&format!(
-                "{:<label_width$} | {:>5} | {:>9} | {:>9} | {:>13} | {:>6} | {:>7.2}x | {:>8.2}x | {:>8.2} | {:>6}\n",
+                "{:<label_width$} | {:>5} | {:>10} | {:>noc_width$} | {:>9} | {:>13} | {:>6} | {:>7.2}x | {:>8.2}x | {:>8.2} | {:>6}\n",
                 c.workload,
                 c.cores,
                 c.memory.key(),
+                c.memory.noc_key(),
                 c.platform.key(),
                 c.tracker.label(),
                 c.tasks,
@@ -202,6 +224,8 @@ mod tests {
             mem_accesses: 120,
             mem_stall_cycles: 600,
             mean_mem_latency: 5.0,
+            noc_link_wait_cycles: 0,
+            max_link_occupancy: 0,
         }
     }
 
@@ -233,6 +257,9 @@ mod tests {
         assert_eq!(cells.len(), 1);
         assert_eq!(cells[0].get("platform").and_then(Json::as_str), Some("phentos"));
         assert_eq!(cells[0].get("memory").and_then(Json::as_str), Some("snoop-bus"));
+        assert_eq!(cells[0].get("noc").and_then(Json::as_str), Some("none"));
+        assert_eq!(cells[0].get("noc_link_wait_cycles").and_then(Json::as_f64), Some(0.0));
+        assert_eq!(cells[0].get("max_link_occupancy").and_then(Json::as_f64), Some(0.0));
         assert_eq!(cells[0].get("speedup_over_serial").and_then(Json::as_f64), Some(2.0));
         assert_eq!(cells[0].get("mem_stall_cycles").and_then(Json::as_f64), Some(600.0));
         assert_eq!(cells[0].get("mean_mem_latency").and_then(Json::as_f64), Some(5.0));
@@ -254,11 +281,35 @@ mod tests {
     fn table_shows_the_memory_model_column() {
         let mut dir_cell = cell(2.0, 4.0);
         dir_cell.memory = MemoryModel::directory_mesh();
-        let report =
-            SweepReport { name: "t".into(), seed: 1, cells: vec![cell(2.0, 4.0), dir_cell] };
+        let mut contended_cell = cell(2.0, 4.0);
+        contended_cell.memory = MemoryModel::directory_mesh_contended();
+        let report = SweepReport {
+            name: "t".into(),
+            seed: 1,
+            cells: vec![cell(2.0, 4.0), dir_cell, contended_cell],
+        };
         let table = report.render_table();
         assert!(table.contains("snoop-bus"), "table names the bus model:\n{table}");
         assert!(table.contains("dir-mesh"), "table names the mesh model:\n{table}");
+        assert!(table.contains("dir-mesh-c"), "table names the contended mesh:\n{table}");
         assert!(table.contains("mem lat"), "table carries the memory-latency column:\n{table}");
+    }
+
+    #[test]
+    fn json_carries_the_noc_coordinate_per_model() {
+        let mut contended_cell = cell(2.0, 4.0);
+        contended_cell.memory = MemoryModel::directory_mesh_contended();
+        contended_cell.noc_link_wait_cycles = 1234;
+        contended_cell.max_link_occupancy = 17;
+        let report = SweepReport { name: "noc".into(), seed: 1, cells: vec![contended_cell] };
+        let parsed = Json::parse(&report.to_json().render()).unwrap();
+        let cells = match parsed.get("cells") {
+            Some(Json::Arr(c)) => c,
+            other => panic!("cells must be an array, got {other:?}"),
+        };
+        assert_eq!(cells[0].get("memory").and_then(Json::as_str), Some("dir-mesh-c"));
+        assert_eq!(cells[0].get("noc").and_then(Json::as_str), Some("bw8-buf4-flit16"));
+        assert_eq!(cells[0].get("noc_link_wait_cycles").and_then(Json::as_f64), Some(1234.0));
+        assert_eq!(cells[0].get("max_link_occupancy").and_then(Json::as_f64), Some(17.0));
     }
 }

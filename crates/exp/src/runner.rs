@@ -93,6 +93,16 @@ pub fn run_sweep(sweep: &Sweep) -> SweepReport {
     run_sweep_with_workers(sweep, 1)
 }
 
+/// Worker count for the curated sweep benches: the `TIS_SWEEP_WORKERS` environment variable
+/// when set to a valid number, otherwise the host's available parallelism (1 as a last
+/// resort). One place, so the policy cannot diverge between bench targets.
+pub fn workers_from_env() -> usize {
+    std::env::var("TIS_SWEEP_WORKERS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+}
+
 /// Runs a sweep with `workers` host threads (clamped to the cell count; `0` is treated as 1).
 ///
 /// # Panics
@@ -206,6 +216,8 @@ fn run_cell(
         mem_accesses: report.memory_stats.accesses,
         mem_stall_cycles: report.memory_stats.stall_cycles,
         mean_mem_latency: report.memory_stats.mean_access_latency(),
+        noc_link_wait_cycles: report.memory_stats.noc_link_wait_cycles,
+        max_link_occupancy: report.memory_stats.max_link_occupancy,
     }
 }
 

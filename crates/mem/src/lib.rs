@@ -22,8 +22,10 @@
 //!
 //! * [`directory`] — a directory-based coherence protocol as a pure transition table: per-line
 //!   sharer bitsets, home-tile bookkeeping, invalidation fan-out;
-//! * [`noc`] — the 2D-mesh NoC latency model the directory's messages travel over (hop counts
-//!   from a row-major core→tile mapping, per-hop + injection latency, bandwidth-free).
+//! * [`noc`] — the 2D-mesh NoC the directory's messages travel over: hop counts from a
+//!   row-major core→tile mapping with per-hop + injection latency, and a selectable
+//!   link-contention tier ([`NocContention`]) that adds per-link bandwidth, flit-sized
+//!   messages, XY routing and finite router buffers with upstream back-pressure.
 //!
 //! # Example
 //!
@@ -53,5 +55,5 @@ pub use bandwidth::BandwidthModel;
 pub use cache::{CacheConfig, CacheStats, L1Cache};
 pub use directory::{DirState, SharerSet};
 pub use mesi::{AccessKind, MesiState};
-pub use noc::{Mesh, NocConfig};
+pub use noc::{LinkContention, Mesh, NocConfig, NocContention, NocTraffic};
 pub use system::{MemLatencies, MemoryAccessOutcome, MemoryModel, MemoryStats, MemorySystem};

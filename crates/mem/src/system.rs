@@ -30,7 +30,7 @@ use crate::addr::{line_of, lines_touched, Addr, LINE_SIZE};
 use crate::cache::{CacheConfig, CacheStats, L1Cache};
 use crate::directory::{dir_transition, DirAction, DirOp, DirState};
 use crate::mesi::{local_transition, snoop_transition, AccessKind, BusOp, LocalAction, MesiState, SnoopAction};
-use crate::noc::{Mesh, NocConfig};
+use crate::noc::{Mesh, NocConfig, NocContention, NocTraffic, CTRL_MSG_BYTES, DATA_MSG_BYTES};
 
 /// Which coherence interconnect the [`MemorySystem`] simulates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -51,22 +51,44 @@ impl Default for MemoryModel {
 }
 
 impl MemoryModel {
-    /// The directory/NoC model with default mesh latencies.
+    /// The directory/NoC model with default mesh latencies and the ideal (contention-free)
+    /// link model.
     pub fn directory_mesh() -> Self {
         MemoryModel::DirectoryMesh(NocConfig::default())
     }
 
-    /// Stable lower-case key used in machine-readable output and sweep-row labels.
+    /// The directory/NoC model with the default contended link parameters (finite link
+    /// bandwidth and router buffers — see [`crate::noc::LinkContention`]).
+    pub fn directory_mesh_contended() -> Self {
+        MemoryModel::DirectoryMesh(NocConfig::contended())
+    }
+
+    /// Stable lower-case key used in machine-readable output and sweep-row labels. The
+    /// contended mesh gets its own key so sweep rows and `bench-diff` cell identities never
+    /// conflate the two link models.
     pub fn key(self) -> &'static str {
         match self {
             MemoryModel::SnoopBus => "snoop-bus",
-            MemoryModel::DirectoryMesh(_) => "dir-mesh",
+            MemoryModel::DirectoryMesh(noc) => match noc.contention {
+                NocContention::Ideal => "dir-mesh",
+                NocContention::Contended(_) => "dir-mesh-c",
+            },
         }
     }
 
     /// Human-readable label (same as [`MemoryModel::key`]).
     pub fn label(self) -> &'static str {
         self.key()
+    }
+
+    /// Key of the NoC-contention coordinate for machine-readable output: `none` for the
+    /// snooping bus (no NoC at all), `ideal` for the contention-free mesh, or the
+    /// parameter-bearing [`crate::noc::LinkContention::key_string`] for a contended mesh.
+    pub fn noc_key(self) -> String {
+        match self {
+            MemoryModel::SnoopBus => "none".to_string(),
+            MemoryModel::DirectoryMesh(noc) => noc.contention.key_string(),
+        }
     }
 }
 
@@ -139,6 +161,15 @@ pub struct MemoryStats {
     pub noc_hop_total: u64,
     /// Number of point-to-point invalidations fanned out by directory homes.
     pub invalidations: u64,
+    /// Total cycles NoC messages spent queueing for busy links. Non-zero only under a
+    /// [`MemoryModel::DirectoryMesh`] with [`NocContention::Contended`] links — the headline
+    /// contention metric of the `sweep_noc_contention` experiment.
+    pub noc_link_wait_cycles: u64,
+    /// Maximum observed occupancy of any one directed link, in flits: queued work ahead of an
+    /// arriving message plus that message's own flits (zero under the bus or the ideal mesh).
+    pub max_link_occupancy: u64,
+    /// Total flits carried by NoC messages under the contended link model (zero otherwise).
+    pub noc_flits: u64,
 }
 
 impl MemoryStats {
@@ -163,6 +194,10 @@ pub struct MemorySystem {
     /// [`MemoryModel::DirectoryMesh`]. Entries are removed when a line returns to `Uncached`,
     /// so the map tracks exactly the lines some cache holds.
     directory: HashMap<u64, DirState>,
+    /// Per-link occupancy state; populated only under a [`MemoryModel::DirectoryMesh`] whose
+    /// [`NocConfig::contention`] is [`NocContention::Contended`]. `None` means messages are
+    /// priced by the closed-form ideal formula, bit-identical to the bandwidth-free model.
+    noc: Option<NocTraffic>,
     bus_free_at: Cycle,
     dram_fetches: u64,
     dram_writebacks: u64,
@@ -197,12 +232,20 @@ impl MemorySystem {
         model: MemoryModel,
     ) -> Self {
         assert!(cores > 0, "a machine needs at least one core");
+        let mesh = Mesh::new(cores);
+        let noc = match model {
+            MemoryModel::DirectoryMesh(NocConfig { contention: NocContention::Contended(params), .. }) => {
+                Some(NocTraffic::new(&mesh, params))
+            }
+            _ => None,
+        };
         MemorySystem {
             caches: (0..cores).map(|_| L1Cache::new(cache)).collect(),
             latencies,
             model,
-            mesh: Mesh::new(cores),
+            mesh,
             directory: HashMap::new(),
+            noc,
             bus_free_at: 0,
             dram_fetches: 0,
             dram_writebacks: 0,
@@ -291,7 +334,9 @@ impl MemorySystem {
     ) -> (Cycle, bool, bool) {
         match self.model {
             MemoryModel::SnoopBus => self.access_line_snoop(core, line_addr, kind, now),
-            MemoryModel::DirectoryMesh(noc) => self.access_line_directory(core, line_addr, kind, noc),
+            MemoryModel::DirectoryMesh(noc) => {
+                self.access_line_directory(core, line_addr, kind, noc, now)
+            }
         }
     }
 
@@ -317,7 +362,7 @@ impl MemorySystem {
                 // If no other cache holds the line we may install it Exclusive (the E state).
                 let install_state = if sharers == 0 { MesiState::Exclusive } else { MesiState::Shared };
                 let final_state = if new_state == MesiState::Shared { install_state } else { new_state };
-                self.install_with_eviction(core, line_addr, final_state);
+                self.install_with_eviction(core, line_addr, final_state, now);
                 (lat, false, dirty)
             }
             LocalAction::IssueBusReadExclusive => {
@@ -336,7 +381,7 @@ impl MemorySystem {
                     self.caches[core].touch(line_addr, MesiState::Modified);
                 } else {
                     self.caches[core].note_miss();
-                    self.install_with_eviction(core, line_addr, MesiState::Modified);
+                    self.install_with_eviction(core, line_addr, MesiState::Modified, now);
                 }
                 (lat, false, dirty)
             }
@@ -352,6 +397,7 @@ impl MemorySystem {
         line_addr: Addr,
         kind: AccessKind,
         noc: NocConfig,
+        now: Cycle,
     ) -> (Cycle, bool, bool) {
         let state = self.caches[core].state_of(line_addr);
         let (action, new_state) = local_transition(state, kind);
@@ -363,41 +409,65 @@ impl MemorySystem {
             }
             LocalAction::IssueBusRead => {
                 let (lat, dirty, was_uncached) =
-                    self.directory_transaction(core, line_addr, DirOp::GetS(core), noc);
+                    self.directory_transaction(core, line_addr, DirOp::GetS(core), noc, now);
                 self.caches[core].note_miss();
                 // Same rule as the snoop model's zero-sharer answer: a cold line installs
                 // Exclusive, a line someone else holds installs Shared.
                 let install_state =
                     if was_uncached { MesiState::Exclusive } else { MesiState::Shared };
                 let final_state = if new_state == MesiState::Shared { install_state } else { new_state };
-                self.install_with_eviction(core, line_addr, final_state);
+                // The eviction (and its Put notification) happens when the fill arrives, one
+                // transaction latency after the access started.
+                self.install_with_eviction(core, line_addr, final_state, now + lat);
                 (lat, false, dirty)
             }
             LocalAction::IssueBusReadExclusive => {
                 let had_line = state == MesiState::Shared;
                 let (lat, dirty, _) =
-                    self.directory_transaction(core, line_addr, DirOp::GetM(core), noc);
+                    self.directory_transaction(core, line_addr, DirOp::GetM(core), noc, now);
                 if had_line {
                     self.caches[core].note_upgrade();
                     self.caches[core].touch(line_addr, MesiState::Modified);
                 } else {
                     self.caches[core].note_miss();
-                    self.install_with_eviction(core, line_addr, MesiState::Modified);
+                    self.install_with_eviction(core, line_addr, MesiState::Modified, now + lat);
                 }
                 (lat, false, dirty)
             }
         }
     }
 
+    /// Sends one protocol message over the NoC and returns its latency. Under the ideal link
+    /// model this is the closed-form [`NocConfig::message_latency`] — bit-identical to the
+    /// bandwidth-free model, regardless of `bytes` or `now`. Under
+    /// [`NocContention::Contended`] the message walks its XY route through the per-link FIFO
+    /// state, paying serialisation proportional to `bytes` and queueing behind concurrent
+    /// traffic. Traffic statistics are recorded either way.
+    fn noc_send(&mut self, from: usize, to: usize, bytes: u64, noc: &NocConfig, now: Cycle) -> Cycle {
+        let hops = self.mesh.hops(from, to);
+        self.note_noc(1, hops);
+        match &mut self.noc {
+            Some(traffic) => traffic.send(&self.mesh, noc, from, to, bytes, now),
+            None => noc.message_latency(hops),
+        }
+    }
+
     /// Sends a request to the line's home tile and orchestrates the resulting directory
     /// action: owner downgrade/recall (through memory, as the no-L2 hierarchy demands),
     /// invalidation fan-out, memory fetch. Returns (latency, remote_dirty, line_was_uncached).
+    ///
+    /// Every protocol leg is an explicit [`MemorySystem::noc_send`] with its true payload
+    /// size — control-sized requests/acks/invalidations, data-sized fill responses and dirty
+    /// writebacks — so under [`NocContention::Contended`] each leg loads the links it crosses.
+    /// Under the ideal model the per-leg sum telescopes to exactly the closed-form pricing of
+    /// the bandwidth-free model (pinned by `tests/figure_pins.rs`).
     fn directory_transaction(
         &mut self,
         requester: usize,
         line_addr: Addr,
         op: DirOp,
         noc: NocConfig,
+        now: Cycle,
     ) -> (Cycle, bool, bool) {
         let line = line_of(line_addr);
         let home = self.mesh.home_of(line);
@@ -405,24 +475,28 @@ impl MemorySystem {
         let was_uncached = dir_state == DirState::Uncached;
         let (action, next) = dir_transition(dir_state, op);
 
-        // Request to the home tile, directory lookup, response back to the requester.
-        let req_hops = self.mesh.hops(requester, home);
-        let mut latency = 2 * noc.message_latency(req_hops) + noc.directory_lookup;
-        self.note_noc(2, 2 * req_hops);
+        // Request to the home tile (control-sized), directory lookup; the response travels
+        // back to the requester at the end of the transaction, data-sized when a line fill
+        // rides along.
+        let mut latency = self.noc_send(requester, home, CTRL_MSG_BYTES, &noc, now);
+        latency += noc.directory_lookup;
         let mut remote_dirty = false;
+        let mut data_response = false;
 
         match action {
             DirAction::FetchFromMemory => {
                 latency += self.latencies.dram_fetch;
                 self.dram_fetches += 1;
+                data_response = true;
             }
             DirAction::DowngradeOwner(owner) | DirAction::RecallOwner(owner) => {
-                // Forward to the owner and wait for its acknowledgement.
-                let fwd_hops = self.mesh.hops(home, owner);
-                latency += 2 * noc.message_latency(fwd_hops);
-                self.note_noc(2, 2 * fwd_hops);
+                // Forward to the owner; its reply carries the dirty line when a writeback is
+                // due, so the bounce costs proportionally to the payload on contended links.
+                latency += self.noc_send(home, owner, CTRL_MSG_BYTES, &noc, now + latency);
                 let owner_state = self.caches[owner].state_of(line_addr);
                 let dirty = owner_state.is_dirty();
+                let reply = if dirty { DATA_MSG_BYTES } else { CTRL_MSG_BYTES };
+                latency += self.noc_send(owner, home, reply, &noc, now + latency);
                 if dirty {
                     // No shared L2: the dirty line goes through DRAM before the refetch.
                     remote_dirty = true;
@@ -437,31 +511,37 @@ impl MemorySystem {
                 self.caches[owner].apply_snoop(line_addr, owner_next, dirty);
                 latency += self.latencies.dram_fetch;
                 self.dram_fetches += 1;
+                data_response = true;
             }
             DirAction::InvalidateForUpgrade(sharers) | DirAction::InvalidateAndFetch(sharers) => {
                 let count = sharers.count() as u64;
                 self.invalidations += count;
-                let mut max_hops = 0;
-                let mut hop_sum = 0;
-                for s in sharers.iter() {
-                    let h = self.mesh.hops(home, s);
-                    max_hops = max_hops.max(h);
-                    hop_sum += h;
+                // Invalidations serialise at the home's NI (the k-th leaves k×per_invalidation
+                // after the first), travel in parallel, and the home waits for the farthest
+                // acknowledgement round trip. Each invalidation and each ack is a
+                // control-sized message on its own XY route; the ack only enters the mesh
+                // once the invalidation has reached the sharer.
+                let mut max_round_trip = 0;
+                for (k, s) in sharers.iter().enumerate() {
                     self.caches[s].apply_snoop(line_addr, MesiState::Invalid, false);
+                    let issue = now + latency + k as u64 * noc.per_invalidation;
+                    let inv = self.noc_send(home, s, CTRL_MSG_BYTES, &noc, issue);
+                    let ack = self.noc_send(s, home, CTRL_MSG_BYTES, &noc, issue + inv);
+                    max_round_trip = max_round_trip.max(inv + ack);
                 }
                 if count > 0 {
-                    // Invalidations serialise at the home's NI, travel in parallel, and the
-                    // home waits for the farthest acknowledgement.
-                    latency += noc.per_invalidation * count + 2 * noc.message_latency(max_hops);
-                    self.note_noc(2 * count, 2 * hop_sum);
+                    latency += noc.per_invalidation * count + max_round_trip;
                 }
                 if matches!(action, DirAction::InvalidateAndFetch(_)) {
                     latency += self.latencies.dram_fetch;
                     self.dram_fetches += 1;
+                    data_response = true;
                 }
             }
             DirAction::None => {}
         }
+        let response = if data_response { DATA_MSG_BYTES } else { CTRL_MSG_BYTES };
+        latency += self.noc_send(home, requester, response, &noc, now + latency);
         if remote_dirty {
             self.dirty_bounces += 1;
         }
@@ -543,15 +623,22 @@ impl MemorySystem {
         (latency, remote_dirty, sharers)
     }
 
-    fn install_with_eviction(&mut self, core: usize, line_addr: Addr, state: MesiState) {
+    fn install_with_eviction(&mut self, core: usize, line_addr: Addr, state: MesiState, now: Cycle) {
         if let Some(ev) = self.caches[core].install(line_addr, state) {
             if ev.dirty {
                 self.dram_writebacks += 1;
             }
-            if matches!(self.model, MemoryModel::DirectoryMesh(_)) {
+            if let MemoryModel::DirectoryMesh(noc) = self.model {
                 // Every eviction (clean or dirty) notifies the home, keeping the directory
-                // precise. Put messages are fire-and-forget: no latency charged, same as the
-                // snoop model's silent evictions.
+                // precise. Put messages are fire-and-forget: no latency is charged to the
+                // evicting core, same as the snoop model's silent evictions — but on a
+                // contended mesh the notification still occupies links (data-sized when it
+                // carries a dirty line), so heavy eviction traffic slows everyone else. The
+                // message is counted under both link tiers, so noc_messages/noc_hop_total
+                // stay comparable across the ideal-vs-contended axis.
+                let home = self.mesh.home_of(ev.line);
+                let bytes = if ev.dirty { DATA_MSG_BYTES } else { CTRL_MSG_BYTES };
+                self.noc_send(core, home, bytes, &noc, now);
                 let dir_state = self.directory.get(&ev.line).copied().unwrap_or(DirState::Uncached);
                 let (_, next) = dir_transition(dir_state, DirOp::Evict(core));
                 self.set_directory(ev.line, next);
@@ -572,6 +659,9 @@ impl MemorySystem {
             noc_messages: self.noc_messages,
             noc_hop_total: self.noc_hop_total,
             invalidations: self.invalidations,
+            noc_link_wait_cycles: self.noc.as_ref().map_or(0, NocTraffic::link_wait_cycles),
+            max_link_occupancy: self.noc.as_ref().map_or(0, NocTraffic::max_link_occupancy),
+            noc_flits: self.noc.as_ref().map_or(0, NocTraffic::flits),
         }
     }
 
@@ -885,6 +975,87 @@ mod tests {
         assert!(stats.accesses == 8000);
         assert!(stats.stall_cycles > 0);
         assert!(stats.mean_access_latency() > 1.0);
+    }
+
+    fn contended_sys(cores: usize) -> MemorySystem {
+        MemorySystem::with_model(
+            cores,
+            CacheConfig::rocket_l1d(),
+            MemLatencies::default(),
+            MemoryModel::directory_mesh_contended(),
+        )
+    }
+
+    #[test]
+    fn contended_mesh_is_functionally_identical_and_never_faster() {
+        // Contention changes *when*, never *what*: the same random trace through the ideal and
+        // the contended mesh must produce identical functional outcomes and identical resident
+        // states, with contended per-access latency >= ideal (queueing and serialisation only
+        // ever add cycles).
+        let mut ideal = dir_sys(16);
+        let mut contended = contended_sys(16);
+        let mut rng = tis_sim::SimRng::new(7);
+        let mut total_ideal = 0u64;
+        let mut total_contended = 0u64;
+        for i in 0..4000u64 {
+            let core = (rng.next_u64() % 16) as usize;
+            let addr = 0x1_0000 + (rng.next_u64() % 64) * 8;
+            let kind = match rng.next_u64() % 3 {
+                0 => AccessKind::Read,
+                1 => AccessKind::Write,
+                _ => AccessKind::Atomic,
+            };
+            let a = ideal.access(core, addr, kind, 8, i * 3);
+            let b = contended.access(core, addr, kind, 8, i * 3);
+            assert_eq!(
+                (a.l1_hit, a.remote_dirty, a.lines),
+                (b.l1_hit, b.remote_dirty, b.lines),
+                "functional outcome diverged at access {i}"
+            );
+            assert!(
+                b.latency >= a.latency,
+                "contended access {i} ({}) beat the ideal mesh ({})",
+                b.latency,
+                a.latency
+            );
+            total_ideal += a.latency;
+            total_contended += b.latency;
+        }
+        assert!(total_contended > total_ideal, "a 16-core hotspot trace must queue somewhere");
+        contended.check_coherence_invariants().expect("contention must not break coherence");
+        let stats = contended.stats();
+        assert!(stats.noc_link_wait_cycles > 0, "queueing must be observed");
+        assert!(stats.max_link_occupancy > 0);
+        assert!(stats.noc_flits >= stats.noc_messages, "every message carries >= 1 flit");
+        let ideal_stats = ideal.stats();
+        assert_eq!(ideal_stats.noc_link_wait_cycles, 0, "the ideal mesh never queues");
+        assert_eq!(ideal_stats.max_link_occupancy, 0);
+        assert_eq!(ideal_stats.noc_flits, 0);
+    }
+
+    #[test]
+    fn contended_uncontended_miss_pays_serialisation_over_ideal() {
+        // A single cold miss on an otherwise idle mesh: the contended latency exceeds the
+        // ideal one by exactly the wormhole serialisation of the request (control) and
+        // response (data) messages — no queueing on idle links.
+        let mut ideal = dir_sys(4);
+        let mut contended = contended_sys(4);
+        let a = ideal.access(3, 0, AccessKind::Read, 8, 0);
+        let b = contended.access(3, 0, AccessKind::Read, 8, 0);
+        let params = crate::noc::LinkContention::default();
+        let expected =
+            params.serialization(CTRL_MSG_BYTES) + params.serialization(DATA_MSG_BYTES);
+        assert_eq!(b.latency, a.latency + expected);
+        assert_eq!(contended.stats().noc_link_wait_cycles, 0);
+    }
+
+    #[test]
+    fn memory_model_keys_distinguish_contention() {
+        assert_eq!(MemoryModel::directory_mesh_contended().key(), "dir-mesh-c");
+        assert_eq!(MemoryModel::directory_mesh().key(), "dir-mesh");
+        assert_eq!(MemoryModel::SnoopBus.noc_key(), "none");
+        assert_eq!(MemoryModel::directory_mesh().noc_key(), "ideal");
+        assert_eq!(MemoryModel::directory_mesh_contended().noc_key(), "bw8-buf4-flit16");
     }
 
     #[test]

@@ -1,0 +1,82 @@
+//! Quickstart for the NoC-contention axis: run the same dense workload on the same mesh with
+//! ideal and contended links side by side, and read the contention penalty off the grid.
+//!
+//! This is a scaled-down sibling of the `sweep_noc_contention` bench target (which runs the
+//! full 8→64-core grid with its scaling gates and writes
+//! `BENCH_sweep_noc-contention.json`); it finishes in a few seconds.
+//!
+//! Run with `cargo run --release --example noc_contention_sweep`.
+
+use tis::bench::Platform;
+use tis::exp::{
+    run_sweep_with_workers, LinkContention, MemoryModel, NocConfig, NocContention, Sweep,
+    SynthFamily, SynthSpec, WorkloadSpec,
+};
+
+fn main() {
+    // Three link models on the same directory mesh: ideal (infinite bandwidth, the PR 4
+    // baseline), the default contended point (8 B/cycle links, 4-flit buffers), and a
+    // deliberately starved mesh with half the bandwidth and unbuffered routers.
+    let starved = MemoryModel::DirectoryMesh(NocConfig {
+        contention: NocContention::Contended(LinkContention {
+            link_bytes_per_cycle: 4,
+            buffer_flits: 0,
+            flit_bytes: 16,
+        }),
+        ..NocConfig::default()
+    });
+    let sweep = Sweep::new("noc-quickstart")
+        .over_cores([8, 16])
+        .over_memory_models([
+            MemoryModel::directory_mesh(),
+            MemoryModel::directory_mesh_contended(),
+            starved,
+        ])
+        .over_platforms([Platform::Phentos])
+        .with_workload(WorkloadSpec::synth(SynthSpec {
+            family: SynthFamily::ErdosRenyi { density: 0.1 },
+            tasks: 128,
+            task_cycles: 6_000,
+            jitter: 0.25,
+        }));
+
+    let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let report = run_sweep_with_workers(&sweep, workers);
+
+    print!("{}", report.render_table());
+    println!();
+    println!("per-cell NoC traffic (the contended mesh queues, the ideal one never does):");
+    for cell in &report.cells {
+        println!(
+            "  {:>10} cores={:<2} {:<16} link wait {:>8} cyc, max link occupancy {:>4} flits",
+            cell.memory.key(),
+            cell.cores,
+            cell.memory.noc_key(),
+            cell.noc_link_wait_cycles,
+            cell.max_link_occupancy,
+        );
+    }
+    println!();
+
+    // The headline number: how much the default contention point inflates mean memory latency
+    // on a dense DAG once the machine outgrows one snoop domain.
+    for &cores in &[8usize, 16] {
+        let find = |model: MemoryModel| {
+            report
+                .cells
+                .iter()
+                .find(|c| c.cores == cores && c.memory == model)
+                .expect("grid is complete")
+        };
+        let ideal = find(MemoryModel::directory_mesh());
+        let contended = find(MemoryModel::directory_mesh_contended());
+        println!(
+            "{cores} cores: contended/ideal mean memory latency = {:.2}x",
+            contended.mean_mem_latency / ideal.mean_mem_latency
+        );
+    }
+    assert!(
+        report.bound_violations().is_empty(),
+        "every measured speedup must sit below its MTT bound"
+    );
+}

@@ -31,6 +31,37 @@
 //! let report = Harness::default().run(Platform::Phentos, &program).unwrap();
 //! assert!(report.total_cycles > 0);
 //! ```
+//!
+//! # Example: the NoC-contention sub-axis
+//!
+//! This is the README's "NoC contention" snippet, kept compiling and passing here so the
+//! README can never rot:
+//!
+//! ```
+//! use tis::bench::Platform;
+//! use tis::exp::{MemoryModel, Sweep, SynthFamily, SynthSpec, WorkloadSpec};
+//!
+//! // Ideal vs contended mesh links on the same dense DAG, same 16-core machine:
+//! // the contention penalty is the ratio of the two cells' mean memory latencies.
+//! let report = Sweep::new("noc-demo")
+//!     .over_cores([16])
+//!     .over_memory_models([
+//!         MemoryModel::directory_mesh(),           // infinite links (PR 4 baseline)
+//!         MemoryModel::directory_mesh_contended(), // 8 B/cycle links, 4-flit buffers
+//!     ])
+//!     .over_platforms([Platform::Phentos])
+//!     .with_workload(WorkloadSpec::synth(SynthSpec {
+//!         family: SynthFamily::ErdosRenyi { density: 0.1 },
+//!         tasks: 64,
+//!         task_cycles: 6_000,
+//!         jitter: 0.25,
+//!     }))
+//!     .run();
+//! let (ideal, contended) = (&report.cells[0], &report.cells[1]);
+//! assert!(contended.mean_mem_latency > ideal.mean_mem_latency);
+//! assert!(contended.noc_link_wait_cycles > 0, "contended links queue");
+//! assert_eq!(ideal.noc_link_wait_cycles, 0, "ideal links never do");
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -19,7 +19,7 @@
 //! numbers moved. A mismatching run prints the same tables in its panic message.
 
 use tis::bench::{figure7_workloads, Harness, Platform};
-use tis::machine::MachineConfig;
+use tis::machine::{MachineConfig, MemoryModel};
 use tis::workloads::entry_for_cores;
 
 /// Task count of the pinned Figure 7 microbenchmarks (matches the fig07 bench target, so the
@@ -77,8 +77,51 @@ const FIG09_PINS: &[(&str, &str, &str, u64)] = &[
     ("stream-deps", "64", "phentos", 1316243),
 ];
 
-fn fig07_measured() -> Vec<(String, String, u64)> {
-    let prototype = Harness::paper_prototype();
+/// Pinned Figure 7 makespans under `MemoryModel::directory_mesh()` (the ideal, contention-free
+/// NoC). These guard the *other* model's latency path: any change to the directory protocol,
+/// the mesh geometry, or the `NocContention::Ideal` message pricing that moves a single cycle
+/// fails here — in particular, adding contention modelling must leave the `Ideal` fallback
+/// bit-identical.
+const FIG07_DIR_MESH_PINS: &[(&str, &str, u64)] = &[
+    ("phentos", "Task-Free 1 dep", 18527),
+    ("phentos", "Task-Free 15 deps", 27907),
+    ("phentos", "Task-Chain 1 dep", 26424),
+    ("phentos", "Task-Chain 15 deps", 36174),
+    ("nanos-rv", "Task-Free 1 dep", 1772019),
+    ("nanos-rv", "Task-Free 15 deps", 1840101),
+    ("nanos-rv", "Task-Chain 1 dep", 1772019),
+    ("nanos-rv", "Task-Chain 15 deps", 1776219),
+    ("nanos-axi", "Task-Free 1 dep", 2378319),
+    ("nanos-axi", "Task-Free 15 deps", 2657825),
+    ("nanos-axi", "Task-Chain 1 dep", 2378319),
+    ("nanos-axi", "Task-Chain 15 deps", 2567319),
+    ("nanos-sw", "Task-Free 1 dep", 3583941),
+    ("nanos-sw", "Task-Free 15 deps", 15541904),
+    ("nanos-sw", "Task-Chain 1 dep", 3578243),
+    ("nanos-sw", "Task-Chain 15 deps", 15536428),
+];
+
+/// Pinned Figure 9 makespans under `MemoryModel::directory_mesh()` at 8 cores.
+const FIG09_DIR_MESH_PINS: &[(&str, &str, &str, u64)] = &[
+    ("blackscholes", "4K B64", "nanos-sw", 1370167),
+    ("blackscholes", "4K B64", "nanos-rv", 362147),
+    ("blackscholes", "4K B64", "phentos", 187989),
+    ("jacobi", "N128 B1", "nanos-sw", 38196283),
+    ("jacobi", "N128 B1", "nanos-rv", 5168411),
+    ("jacobi", "N128 B1", "phentos", 240410),
+    ("sparselu", "N32 M4", "nanos-sw", 4953277),
+    ("sparselu", "N32 M4", "nanos-rv", 893859),
+    ("sparselu", "N32 M4", "phentos", 12107),
+    ("stream-barr", "64", "nanos-sw", 29835182),
+    ("stream-barr", "64", "nanos-rv", 5653666),
+    ("stream-barr", "64", "phentos", 1386363),
+    ("stream-deps", "64", "nanos-sw", 29578807),
+    ("stream-deps", "64", "nanos-rv", 5175350),
+    ("stream-deps", "64", "phentos", 1316409),
+];
+
+fn fig07_measured_on(model: MemoryModel) -> Vec<(String, String, u64)> {
+    let prototype = Harness::paper_prototype().with_memory_model(model);
     let single = Harness {
         machine: MachineConfig { cores: 1, ..prototype.machine },
         ..prototype
@@ -95,8 +138,12 @@ fn fig07_measured() -> Vec<(String, String, u64)> {
     out
 }
 
-fn fig09_measured() -> Vec<(String, String, String, u64)> {
-    let harness = Harness::paper_prototype();
+fn fig07_measured() -> Vec<(String, String, u64)> {
+    fig07_measured_on(MemoryModel::SnoopBus)
+}
+
+fn fig09_measured_on(model: MemoryModel) -> Vec<(String, String, String, u64)> {
+    let harness = Harness::paper_prototype().with_memory_model(model);
     let mut out = Vec::new();
     for &(benchmark, input) in FIG09_ENTRIES {
         let w = entry_for_cores(benchmark, input, harness.cores())
@@ -114,6 +161,10 @@ fn fig09_measured() -> Vec<(String, String, String, u64)> {
         }
     }
     out
+}
+
+fn fig09_measured() -> Vec<(String, String, String, u64)> {
+    fig09_measured_on(MemoryModel::SnoopBus)
 }
 
 fn render_fig07(rows: &[(String, String, u64)]) -> String {
@@ -175,6 +226,50 @@ fn fig09_cycle_counts_are_pinned() {
 }
 
 #[test]
+fn fig07_cycle_counts_are_pinned_under_ideal_directory_mesh() {
+    let measured = fig07_measured_on(MemoryModel::directory_mesh());
+    if repin_requested() {
+        println!(
+            "// paste into tests/figure_pins.rs:\n{}",
+            render_fig07(&measured).replace("FIG07_PINS", "FIG07_DIR_MESH_PINS")
+        );
+        return;
+    }
+    let current: Vec<(&str, &str, u64)> =
+        measured.iter().map(|(p, w, c)| (p.as_str(), w.as_str(), *c)).collect();
+    assert_eq!(
+        current.as_slice(),
+        FIG07_DIR_MESH_PINS,
+        "Figure 7 cycle counts moved under the ideal directory/NoC model. If intentional, \
+         re-pin (see module docs) with:\n\n{}\n",
+        render_fig07(&measured).replace("FIG07_PINS", "FIG07_DIR_MESH_PINS")
+    );
+}
+
+#[test]
+fn fig09_cycle_counts_are_pinned_under_ideal_directory_mesh() {
+    let measured = fig09_measured_on(MemoryModel::directory_mesh());
+    if repin_requested() {
+        println!(
+            "// paste into tests/figure_pins.rs:\n{}",
+            render_fig09(&measured).replace("FIG09_PINS", "FIG09_DIR_MESH_PINS")
+        );
+        return;
+    }
+    let current: Vec<(&str, &str, &str, u64)> = measured
+        .iter()
+        .map(|(b, i, p, c)| (b.as_str(), i.as_str(), p.as_str(), *c))
+        .collect();
+    assert_eq!(
+        current.as_slice(),
+        FIG09_DIR_MESH_PINS,
+        "Figure 9 cycle counts moved under the ideal directory/NoC model. If intentional, \
+         re-pin (see module docs) with:\n\n{}\n",
+        render_fig09(&measured).replace("FIG09_PINS", "FIG09_DIR_MESH_PINS")
+    );
+}
+
+#[test]
 fn pins_follow_the_papers_platform_ordering() {
     // Structural sanity on the pinned data itself (catches hand-edited pins): within each
     // fig07 workload, Phentos is fastest and Nanos-SW slowest, mirroring Figure 7's ordering.
@@ -191,4 +286,6 @@ fn pins_follow_the_papers_platform_ordering() {
     }
     assert_eq!(FIG07_PINS.len(), 16, "4 platforms x 4 microbenchmarks");
     assert_eq!(FIG09_PINS.len(), FIG09_ENTRIES.len() * 3, "entries x 3 platforms");
+    assert_eq!(FIG07_DIR_MESH_PINS.len(), FIG07_PINS.len(), "mesh pins cover the same grid");
+    assert_eq!(FIG09_DIR_MESH_PINS.len(), FIG09_PINS.len(), "mesh pins cover the same grid");
 }

@@ -13,18 +13,26 @@
 //!
 //! Latencies are deliberately **not** compared: distance-dependent NoC costs are the whole
 //! point of the second model.
+//!
+//! The contended mesh (`MemoryModel::directory_mesh_contended()`) rides the same traces as a
+//! third participant: link bandwidth and finite buffers may only change *when* things happen,
+//! never *what* happens, so its functional outcomes and resident states must match the other
+//! two models step for step, and its per-access latency must never beat the ideal mesh's.
 
 use tis::mem::{
     AccessKind, CacheConfig, MemLatencies, MemoryModel, MemorySystem, LINE_SIZE,
 };
 use tis::sim::SimRng;
 
-/// Builds the snooping reference and the directory candidate with identical geometry.
-fn pair(cores: usize, cache: CacheConfig) -> (MemorySystem, MemorySystem) {
+/// Builds the snooping reference, the ideal-mesh candidate and the contended-mesh candidate
+/// with identical geometry.
+fn trio(cores: usize, cache: CacheConfig) -> (MemorySystem, MemorySystem, MemorySystem) {
     let lat = MemLatencies::default();
     let snoop = MemorySystem::with_model(cores, cache, lat, MemoryModel::SnoopBus);
     let dir = MemorySystem::with_model(cores, cache, lat, MemoryModel::directory_mesh());
-    (snoop, dir)
+    let contended =
+        MemorySystem::with_model(cores, cache, lat, MemoryModel::directory_mesh_contended());
+    (snoop, dir, contended)
 }
 
 fn kind_of(sel: u64) -> AccessKind {
@@ -53,31 +61,50 @@ fn assert_same_resident_states(snoop: &MemorySystem, dir: &MemorySystem, step: u
 /// Each model advances its own clock by its own latency, so timing feedback (bus queueing in
 /// the snoop model) is exercised rather than bypassed.
 fn drive_trace(cores: usize, cache: CacheConfig, trace: &[(usize, u64, AccessKind)]) {
-    let (mut snoop, mut dir) = pair(cores, cache);
-    let (mut now_snoop, mut now_dir) = (0u64, 0u64);
+    let (mut snoop, mut dir, mut contended) = trio(cores, cache);
+    let (mut now_snoop, mut now_dir, mut now_contended) = (0u64, 0u64, 0u64);
     for (step, &(core, line, kind)) in trace.iter().enumerate() {
         let addr = line * LINE_SIZE;
         let a = snoop.access(core, addr, kind, 8, now_snoop);
         let b = dir.access(core, addr, kind, 8, now_dir);
+        let c = contended.access(core, addr, kind, 8, now_contended);
         now_snoop += a.latency.max(1);
         now_dir += b.latency.max(1);
+        now_contended += c.latency.max(1);
         assert_eq!(
             (a.l1_hit, a.remote_dirty, a.lines),
             (b.l1_hit, b.remote_dirty, b.lines),
             "step {step} (core {core}, line {line:#x}, {kind:?}) observed different outcomes"
         );
+        assert_eq!(
+            (b.l1_hit, b.remote_dirty, b.lines),
+            (c.l1_hit, c.remote_dirty, c.lines),
+            "step {step} (core {core}, line {line:#x}, {kind:?}): contention changed function"
+        );
+        assert!(
+            c.latency >= b.latency,
+            "step {step}: the contended mesh ({}) beat the ideal mesh ({})",
+            c.latency,
+            b.latency
+        );
         assert_same_resident_states(&snoop, &dir, step);
+        assert_same_resident_states(&dir, &contended, step);
         snoop.check_coherence_invariants().expect("snoop invariants");
         dir.check_coherence_invariants().expect("directory invariants");
+        contended.check_coherence_invariants().expect("contended-mesh invariants");
     }
-    // Coherence *traffic* must agree too: both models moved the same lines through memory
+    // Coherence *traffic* must agree too: all models moved the same lines through memory
     // the same number of times (fetches, writebacks and dirty bounces are protocol-level
     // facts, not interconnect choices).
-    let (sa, sb) = (snoop.stats(), dir.stats());
+    let (sa, sb, sc) = (snoop.stats(), dir.stats(), contended.stats());
     assert_eq!(sa.dirty_bounces, sb.dirty_bounces, "dirty-bounce counts diverged");
     assert_eq!(sa.dram_fetches, sb.dram_fetches, "DRAM fetch counts diverged");
     assert_eq!(sa.dram_writebacks, sb.dram_writebacks, "DRAM writeback counts diverged");
     assert_eq!(sa.accesses, sb.accesses);
+    assert_eq!(sb.dirty_bounces, sc.dirty_bounces, "contention changed dirty bounces");
+    assert_eq!(sb.dram_fetches, sc.dram_fetches, "contention changed DRAM fetches");
+    assert_eq!(sb.dram_writebacks, sc.dram_writebacks, "contention changed writebacks");
+    assert_eq!(sb.invalidations, sc.invalidations, "contention changed invalidation fan-out");
 }
 
 #[test]

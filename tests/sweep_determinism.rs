@@ -10,7 +10,11 @@ use tis::picos::TrackerConfig;
 fn reference_sweep() -> Sweep {
     Sweep::new("determinism")
         .over_cores([1, 4, 16])
-        .over_memory_models([MemoryModel::SnoopBus, MemoryModel::directory_mesh()])
+        .over_memory_models([
+            MemoryModel::SnoopBus,
+            MemoryModel::directory_mesh(),
+            MemoryModel::directory_mesh_contended(),
+        ])
         .over_platforms([Platform::Phentos, Platform::NanosSw])
         .over_trackers([TrackerConfig::default(), TrackerConfig::new(32, 256)])
         .with_workload(WorkloadSpec::synth(SynthSpec {
@@ -69,9 +73,10 @@ fn grid_order_is_workload_cores_memory_tracker_platform() {
     assert_eq!(report.cells[2].tracker, TrackerConfig::new(32, 256));
     assert_eq!(report.cells[0].memory, MemoryModel::SnoopBus);
     assert_eq!(report.cells[4].memory, MemoryModel::directory_mesh());
+    assert_eq!(report.cells[8].memory, MemoryModel::directory_mesh_contended());
     assert_eq!(report.cells[0].cores, 1);
-    assert_eq!(report.cells[8].cores, 4);
-    let per_workload = 3 * 2 * 2 * 2;
+    assert_eq!(report.cells[12].cores, 4);
+    let per_workload = 3 * 3 * 2 * 2;
     assert!(report.cells[0].workload.starts_with("synth-er"));
     assert!(report.cells[per_workload].workload.starts_with("synth-tree"));
 }
@@ -83,22 +88,33 @@ fn memory_models_share_one_program_but_report_different_latencies() {
     // interconnect, never the workload — while mean memory latency genuinely moves.
     let report = reference_sweep().run_parallel(4);
     let mut compared = 0;
-    for pair in report.cells.chunks(8) {
-        // Grid order: 4 (tracker x platform) cells on SnoopBus, then the same 4 on the mesh.
+    let mut contention_moved = 0;
+    for group in report.cells.chunks(12) {
+        // Grid order: 4 (tracker x platform) cells on SnoopBus, the same 4 on the ideal mesh,
+        // then the same 4 on the contended mesh.
         for i in 0..4 {
-            let (bus, mesh) = (&pair[i], &pair[i + 4]);
+            let (bus, mesh, contended) = (&group[i], &group[i + 4], &group[i + 8]);
             assert_eq!(bus.memory, MemoryModel::SnoopBus);
             assert_eq!(mesh.memory, MemoryModel::directory_mesh());
-            assert_eq!(bus.workload, mesh.workload);
-            assert_eq!(bus.cores, mesh.cores);
-            assert_eq!(bus.platform, mesh.platform);
-            assert_eq!(bus.tracker, mesh.tracker);
-            assert_eq!(bus.tasks, mesh.tasks, "the axis must not perturb workload generation");
-            assert_eq!(bus.serial_cycles, mesh.serial_cycles);
+            assert_eq!(contended.memory, MemoryModel::directory_mesh_contended());
+            for cell in [mesh, contended] {
+                assert_eq!(bus.workload, cell.workload);
+                assert_eq!(bus.cores, cell.cores);
+                assert_eq!(bus.platform, cell.platform);
+                assert_eq!(bus.tracker, cell.tracker);
+                assert_eq!(bus.tasks, cell.tasks, "the axis must not perturb workload generation");
+                assert_eq!(bus.serial_cycles, cell.serial_cycles);
+            }
             if bus.mean_mem_latency != mesh.mean_mem_latency {
                 compared += 1;
             }
+            if contended.noc_link_wait_cycles > 0 {
+                contention_moved += 1;
+            }
+            assert_eq!(bus.noc_link_wait_cycles, 0, "the bus has no NoC links");
+            assert_eq!(mesh.noc_link_wait_cycles, 0, "the ideal mesh never queues");
         }
     }
     assert!(compared > 0, "the interconnect swap must move at least some memory latencies");
+    assert!(contention_moved > 0, "the contended mesh must observe link queueing somewhere");
 }

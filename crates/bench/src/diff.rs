@@ -170,6 +170,9 @@ fn element_key(item: &Json, index: usize) -> String {
             key.push_str(&format!(" tm{tm:.0}-at{at:.0}"));
         }
     }
+    if let Some(fault) = by("fault") {
+        key.push_str(&format!(" {fault}"));
+    }
     key
 }
 
@@ -424,6 +427,42 @@ mod tests {
         assert!(
             changed[0].path.contains("bw4-buf2-flit16"),
             "path names the contention point: {}",
+            changed[0].path
+        );
+        assert!(d.only_before.is_empty() && d.only_after.is_empty());
+    }
+
+    #[test]
+    fn cells_differing_only_in_the_fault_schedule_pair_by_it() {
+        // A fault-injection sweep emits a fault-free cell (no `fault` key at all) next to
+        // engaging cells distinguished only by their fault schedule.
+        let cell = |fault: Option<&str>, cycles: u64| {
+            let mut pairs = vec![
+                ("workload".to_string(), Json::Str("blackscholes 4K B64".into())),
+                ("cores".to_string(), Json::UInt(8)),
+                ("platform".to_string(), Json::Str("phentos".into())),
+                ("cycles".to_string(), Json::UInt(cycles)),
+            ];
+            if let Some(f) = fault {
+                pairs.push(("fault".to_string(), Json::Str(f.to_string())));
+            }
+            Json::Obj(pairs)
+        };
+        let sweep = |clean: u64, faulted: u64| {
+            Json::obj([(
+                "cells",
+                Json::Arr(vec![
+                    cell(None, clean),
+                    cell(Some("s1-drop20000-delay50000-dead0-loss10000-r3"), faulted),
+                ]),
+            )])
+        };
+        let d = diff(&sweep(1_000, 2_000), &sweep(1_000, 2_500));
+        let changed: Vec<&DiffRow> = d.changed().collect();
+        assert_eq!(changed.len(), 1, "only the faulted cell changed: {changed:?}");
+        assert!(
+            changed[0].path.contains("drop20000"),
+            "path names the fault schedule: {}",
             changed[0].path
         );
         assert!(d.only_before.is_empty() && d.only_after.is_empty());

@@ -113,6 +113,18 @@ impl Harness {
         self
     }
 
+    /// The same system with the given deterministic fault schedule — the fault axis of the
+    /// `tis-exp` sweeps. Message faults apply to the machine's NoC (mesh models only); tracker
+    /// losses apply to **both** Picos-backed fabrics, mirroring [`Harness::with_tracker`]. The
+    /// default [`tis_machine::FaultConfig::none`] constructs no fault layer at all, keeping
+    /// every fault-free result bit-identical to the pre-fault harness.
+    pub fn with_faults(mut self, fault: tis_machine::FaultConfig) -> Self {
+        self.machine.fault = fault;
+        self.tis.picos.fault = fault;
+        self.axi.picos.fault = fault;
+        self
+    }
+
     /// Number of cores in the configured machine.
     pub fn cores(&self) -> usize {
         self.machine.cores

@@ -1,14 +1,15 @@
 //! Declarative sweep definitions: a cartesian grid over the design space.
 //!
 //! A [`Sweep`] names the axes the related design-space-exploration literature varies — core
-//! count, memory-system model, runtime/fabric platform, Picos tracker capacities, workload —
-//! and expands them into a flat list of [`CellSpec`]s in a fixed **grid order** (workloads ▸
-//! cores ▸ memory models ▸ trackers ▸ platforms). Grid order is part of the contract: the
+//! count, memory-system model, runtime/fabric platform, Picos tracker capacities, fault
+//! schedule, workload — and expands them into a flat list of [`CellSpec`]s in a fixed **grid
+//! order** (workloads ▸ cores ▸ memory models ▸ trackers ▸ faults ▸ platforms). Grid order is
+//! part of the contract: the
 //! runner may evaluate cells on any worker in any order, but reports are always assembled in
 //! grid order, so sweep output is bit-identical regardless of parallelism.
 
 use tis_bench::Platform;
-use tis_machine::MemoryModel;
+use tis_machine::{FaultConfig, MemoryModel};
 use tis_picos::TrackerConfig;
 use tis_sim::SimRng;
 use tis_taskmodel::TaskProgram;
@@ -150,6 +151,8 @@ pub struct CellSpec {
     pub memory: usize,
     /// Index into [`Sweep::trackers`].
     pub tracker: usize,
+    /// Index into [`Sweep::faults`].
+    pub fault: usize,
     /// Index into [`Sweep::platforms`].
     pub platform: usize,
 }
@@ -188,6 +191,10 @@ pub struct Sweep {
     pub platforms: Vec<Platform>,
     /// Picos tracker-capacity axis (applied to both RoCC- and AXI-attached Picos).
     pub trackers: Vec<TrackerConfig>,
+    /// Deterministic fault-schedule axis (NoC message faults plus tracker-entry losses; see
+    /// `tis-fault`). The default single [`FaultConfig::none`] entry constructs no fault layer
+    /// at all, so fault-free sweeps stay bit-identical to the pre-fault engine.
+    pub faults: Vec<FaultConfig>,
     /// Workload axis.
     pub workloads: Vec<WorkloadSpec>,
     /// Whether every cell's schedule is validated against the reference dependence graph
@@ -208,6 +215,7 @@ impl Sweep {
             memory_models: vec![MemoryModel::SnoopBus],
             platforms: vec![Platform::Phentos],
             trackers: vec![TrackerConfig::default()],
+            faults: vec![FaultConfig::none()],
             workloads: Vec::new(),
             validate: true,
         }
@@ -237,6 +245,14 @@ impl Sweep {
         self
     }
 
+    /// Replaces the fault-schedule axis. Each engaging entry derives a per-cell fault seed from
+    /// the sweep seed and the cell index (see [`crate::runner`]), so every cell replays its own
+    /// fault schedule exactly at any worker count.
+    pub fn over_faults(mut self, faults: impl IntoIterator<Item = FaultConfig>) -> Self {
+        self.faults = faults.into_iter().collect();
+        self
+    }
+
     /// Appends a workload to the workload axis.
     pub fn with_workload(mut self, workload: WorkloadSpec) -> Self {
         self.workloads.push(workload);
@@ -262,27 +278,31 @@ impl Sweep {
             * self.cores.len()
             * self.memory_models.len()
             * self.trackers.len()
+            * self.faults.len()
             * self.platforms.len()
     }
 
     /// Expands the grid into cells, in grid order (workloads ▸ cores ▸ memory models ▸
-    /// trackers ▸ platforms).
+    /// trackers ▸ faults ▸ platforms).
     pub fn cells(&self) -> Vec<CellSpec> {
         let mut out = Vec::with_capacity(self.cell_count());
         for (wi, _) in self.workloads.iter().enumerate() {
             for (ci, &cores) in self.cores.iter().enumerate() {
                 for (mi, _) in self.memory_models.iter().enumerate() {
                     for (ti, _) in self.trackers.iter().enumerate() {
-                        for (pi, _) in self.platforms.iter().enumerate() {
-                            out.push(CellSpec {
-                                index: out.len(),
-                                workload: wi,
-                                core_axis: ci,
-                                cores,
-                                memory: mi,
-                                tracker: ti,
-                                platform: pi,
-                            });
+                        for (fi, _) in self.faults.iter().enumerate() {
+                            for (pi, _) in self.platforms.iter().enumerate() {
+                                out.push(CellSpec {
+                                    index: out.len(),
+                                    workload: wi,
+                                    core_axis: ci,
+                                    cores,
+                                    memory: mi,
+                                    tracker: ti,
+                                    fault: fi,
+                                    platform: pi,
+                                });
+                            }
                         }
                     }
                 }
@@ -315,11 +335,15 @@ impl Sweep {
         );
         assert!(!self.platforms.is_empty(), "sweep '{}' has an empty platform axis", self.name);
         assert!(!self.trackers.is_empty(), "sweep '{}' has an empty tracker axis", self.name);
+        assert!(!self.faults.is_empty(), "sweep '{}' has an empty fault axis", self.name);
         for &c in &self.cores {
             assert!(c > 0, "sweep '{}': zero-core machines cannot run", self.name);
         }
         for t in &self.trackers {
             t.validate();
+        }
+        for f in &self.faults {
+            f.validate();
         }
         for w in &self.workloads {
             w.check();
@@ -383,6 +407,32 @@ mod tests {
         assert_eq!(cells[7].cores, 2);
         assert_eq!((cells[8].cores, cells[8].memory), (4, 0));
         sweep.check();
+    }
+
+    #[test]
+    fn fault_axis_sits_between_trackers_and_platforms() {
+        let sweep = Sweep::new("fault-order")
+            .over_trackers([TrackerConfig::default(), TrackerConfig::new(64, 256)])
+            .over_faults([FaultConfig::none(), FaultConfig::recoverable()])
+            .over_platforms([Platform::Phentos, Platform::NanosSw])
+            .with_workload(WorkloadSpec::synth(SynthSpec::uniform(SynthFamily::Chain, 10, 100)));
+        assert_eq!(sweep.cell_count(), 2 * 2 * 2);
+        let cells = sweep.cells();
+        assert_eq!((cells[0].tracker, cells[0].fault, cells[0].platform), (0, 0, 0));
+        assert_eq!((cells[1].tracker, cells[1].fault, cells[1].platform), (0, 0, 1));
+        assert_eq!((cells[2].tracker, cells[2].fault, cells[2].platform), (0, 1, 0));
+        assert_eq!((cells[4].tracker, cells[4].fault, cells[4].platform), (1, 0, 0));
+        sweep.check();
+    }
+
+    #[test]
+    #[should_panic(expected = "detection timeout")]
+    fn degenerate_fault_axis_entries_fail_at_check_time() {
+        let bad = FaultConfig { retry_timeout: 0, ..FaultConfig::recoverable() };
+        Sweep::new("bad-fault")
+            .over_faults([bad])
+            .with_workload(WorkloadSpec::catalog("blackscholes", "4K B64"))
+            .check();
     }
 
     #[test]

@@ -57,4 +57,6 @@ pub use report::{SweepCell, SweepReport};
 pub use runner::{run_sweep, run_sweep_with_workers, workers_from_env};
 pub use synth::{SynthFamily, SynthSpec, ER_WINDOW, MAX_IN_DEGREE};
 // The memory-model axis values, re-exported so sweep definitions need no extra dependency.
-pub use tis_machine::{LinkContention, MemoryModel, NocConfig, NocContention};
+pub use tis_machine::{
+    FaultConfig, FaultStats, LinkContention, MemoryModel, NocConfig, NocContention,
+};

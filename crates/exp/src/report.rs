@@ -1,7 +1,7 @@
 //! Structured sweep results and their machine-readable serialisation.
 
 use tis_bench::{Json, Platform};
-use tis_machine::MemoryModel;
+use tis_machine::{FaultConfig, MemoryModel};
 use tis_picos::TrackerConfig;
 
 /// The measurements of one grid cell.
@@ -19,6 +19,20 @@ pub struct SweepCell {
     pub platform: Platform,
     /// Picos tracker capacities in effect.
     pub tracker: TrackerConfig,
+    /// Fault schedule the cell ran under (with its per-cell derived seed resolved, so the cell
+    /// is replayable from this value alone). [`FaultConfig::none`] for fault-free cells.
+    pub fault: FaultConfig,
+    /// Messages the fault layer dropped (and the retry protocol recovered).
+    pub fault_drops: u64,
+    /// Messages the fault layer delayed in flight.
+    pub fault_delays: u64,
+    /// Retransmissions issued by the timeout/retry protocol (message legs plus tracker
+    /// resubmits).
+    pub fault_retries: u64,
+    /// Tracker entries transiently lost and resubmitted.
+    pub fault_tracker_losses: u64,
+    /// Total cycles spent detecting faults and recovering (timeouts, backoff, resubmits).
+    pub fault_recovery_cycles: u64,
     /// Number of tasks in the instantiated program.
     pub tasks: usize,
     /// Mean serial task duration in cycles (the paper's granularity axis).
@@ -88,7 +102,7 @@ impl SweepReport {
             .cells
             .iter()
             .map(|c| {
-                Json::obj([
+                let mut pairs = Json::obj([
                     ("workload", Json::Str(c.workload.clone())),
                     ("family", Json::Str(c.family.clone())),
                     ("cores", Json::UInt(c.cores as u64)),
@@ -121,7 +135,22 @@ impl SweepReport {
                     ("mean_mem_latency", Json::Num(c.mean_mem_latency)),
                     ("noc_link_wait_cycles", Json::UInt(c.noc_link_wait_cycles)),
                     ("max_link_occupancy", Json::UInt(c.max_link_occupancy)),
-                ])
+                ]);
+                // Fault keys appear only for cells whose fault schedule engages, so fault-free
+                // sweeps (and every pre-existing checked-in baseline) stay byte-identical.
+                if c.fault.engages() {
+                    if let Json::Obj(entries) = &mut pairs {
+                        entries.extend([
+                            ("fault".to_string(), Json::Str(c.fault.key())),
+                            ("fault_drops".to_string(), Json::UInt(c.fault_drops)),
+                            ("fault_delays".to_string(), Json::UInt(c.fault_delays)),
+                            ("fault_retries".to_string(), Json::UInt(c.fault_retries)),
+                            ("fault_tracker_losses".to_string(), Json::UInt(c.fault_tracker_losses)),
+                            ("fault_recovery_cycles".to_string(), Json::UInt(c.fault_recovery_cycles)),
+                        ]);
+                    }
+                }
+                pairs
             })
             .collect();
         Json::obj([
@@ -144,16 +173,29 @@ impl SweepReport {
             .max()
             .unwrap_or(3)
             .max("noc".len());
+        // The fault column only appears when some cell actually runs under an engaging fault
+        // schedule, so fault-free sweep tables render exactly as before the fault axis existed.
+        let fault_width = self
+            .cells
+            .iter()
+            .filter(|c| c.fault.engages())
+            .map(|c| c.fault.key().len())
+            .max()
+            .map(|w| w.max("fault".len()));
         let mut out = String::new();
         out.push_str(&format!(
-            "{:<label_width$} | {:>5} | {:>10} | {:>noc_width$} | {:>9} | {:>13} | {:>6} | {:>8} | {:>9} | {:>8} | {:>6}\n",
+            "{:<label_width$} | {:>5} | {:>10} | {:>noc_width$} | {:>9} | {:>13} | {:>6} | {:>8} | {:>9} | {:>8} | {:>6}",
             "workload", "cores", "memory", "noc", "platform", "tracker", "tasks", "speedup", "MTT bound", "mem lat", "within"
         ));
-        out.push_str(&"-".repeat(label_width + noc_width + 103));
+        if let Some(fault_width) = fault_width {
+            out.push_str(&format!(" | {:>fault_width$}", "fault"));
+        }
+        out.push('\n');
+        out.push_str(&"-".repeat(label_width + noc_width + 103 + fault_width.map_or(0, |w| w + 3)));
         out.push('\n');
         for c in &self.cells {
             out.push_str(&format!(
-                "{:<label_width$} | {:>5} | {:>10} | {:>noc_width$} | {:>9} | {:>13} | {:>6} | {:>7.2}x | {:>8.2}x | {:>8.2} | {:>6}\n",
+                "{:<label_width$} | {:>5} | {:>10} | {:>noc_width$} | {:>9} | {:>13} | {:>6} | {:>7.2}x | {:>8.2}x | {:>8.2} | {:>6}",
                 c.workload,
                 c.cores,
                 c.memory.key(),
@@ -166,6 +208,10 @@ impl SweepReport {
                 c.mean_mem_latency,
                 if c.within_bound() { "yes" } else { "NO" },
             ));
+            if let Some(fault_width) = fault_width {
+                out.push_str(&format!(" | {:>fault_width$}", c.fault.key()));
+            }
+            out.push('\n');
         }
         out
     }
@@ -226,6 +272,12 @@ mod tests {
             mean_mem_latency: 5.0,
             noc_link_wait_cycles: 0,
             max_link_occupancy: 0,
+            fault: FaultConfig::none(),
+            fault_drops: 0,
+            fault_delays: 0,
+            fault_retries: 0,
+            fault_tracker_losses: 0,
+            fault_recovery_cycles: 0,
         }
     }
 
@@ -293,6 +345,38 @@ mod tests {
         assert!(table.contains("dir-mesh"), "table names the mesh model:\n{table}");
         assert!(table.contains("dir-mesh-c"), "table names the contended mesh:\n{table}");
         assert!(table.contains("mem lat"), "table carries the memory-latency column:\n{table}");
+    }
+
+    #[test]
+    fn fault_keys_and_column_appear_only_for_engaging_cells() {
+        let clean = SweepReport { name: "f".into(), seed: 1, cells: vec![cell(2.0, 4.0)] };
+        let rendered = clean.to_json().render();
+        assert!(!rendered.contains("fault"), "fault-free cells carry no fault keys:\n{rendered}");
+        assert!(!clean.render_table().contains("fault"));
+
+        let mut faulted_cell = cell(2.0, 4.0);
+        faulted_cell.fault = FaultConfig::recoverable();
+        faulted_cell.fault_drops = 3;
+        faulted_cell.fault_retries = 3;
+        faulted_cell.fault_recovery_cycles = 210;
+        let faulted =
+            SweepReport { name: "f".into(), seed: 1, cells: vec![cell(2.0, 4.0), faulted_cell] };
+        let parsed = Json::parse(&faulted.to_json().render()).unwrap();
+        let cells = match parsed.get("cells") {
+            Some(Json::Arr(c)) => c,
+            other => panic!("cells must be an array, got {other:?}"),
+        };
+        assert!(cells[0].get("fault").is_none(), "the fault-free cell stays key-free");
+        assert_eq!(
+            cells[1].get("fault").and_then(Json::as_str),
+            Some(FaultConfig::recoverable().key().as_str())
+        );
+        assert_eq!(cells[1].get("fault_drops").and_then(Json::as_f64), Some(3.0));
+        assert_eq!(cells[1].get("fault_recovery_cycles").and_then(Json::as_f64), Some(210.0));
+        let table = faulted.render_table();
+        assert!(table.contains("fault"), "an engaging cell brings the fault column:\n{table}");
+        assert!(table.contains(&FaultConfig::recoverable().key()));
+        assert!(table.contains("none"), "fault-free rows show 'none' in the fault column");
     }
 
     #[test]

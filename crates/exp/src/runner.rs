@@ -12,7 +12,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use tis_bench::{measure_lifetime_overhead, measure_task_throughput, Harness};
-use tis_machine::mtt_speedup_bound_from_throughput;
+use tis_machine::{mtt_speedup_bound_from_throughput, FaultConfig};
+use tis_sim::SimRng;
 use tis_workloads::task_chain;
 
 use crate::grid::{CellSpec, Sweep};
@@ -170,18 +171,32 @@ fn run_cell(
     let platform = sweep.platforms[cell.platform];
     let tracker = sweep.trackers[cell.tracker];
     let memory = sweep.memory_models[cell.memory];
-    let harness =
-        Harness::with_cores(cell.cores).with_tracker(tracker).with_memory_model(memory);
+    // Each engaging cell replays its own fault schedule: the schedule seed is a pure function
+    // of the sweep seed and the cell's grid index, so it is identical at any worker count and
+    // the resolved config recorded in the report replays the cell exactly. A non-engaging
+    // config is passed through untouched, constructing no fault layer at all.
+    let base_fault = sweep.faults[cell.fault];
+    let fault = if base_fault.engages() {
+        let mut seeds = SimRng::new(sweep.seed).stream("sweep-fault", cell.index as u64);
+        FaultConfig { seed: seeds.next_u64(), ..base_fault }
+    } else {
+        base_fault
+    };
+    let harness = Harness::with_cores(cell.cores)
+        .with_tracker(tracker)
+        .with_memory_model(memory)
+        .with_faults(fault);
     let context = || {
         format!(
-            "sweep '{}' cell {}: {} on {} cores, {}, {}, {}",
+            "sweep '{}' cell {}: {} on {} cores, {}, {}, {}, fault {}",
             sweep.name,
             cell.index,
             spec.label(),
             cell.cores,
             memory.label(),
             platform.label(),
-            tracker.label()
+            tracker.label(),
+            fault.key()
         )
     };
     let report = harness
@@ -218,6 +233,13 @@ fn run_cell(
         mean_mem_latency: report.memory_stats.mean_access_latency(),
         noc_link_wait_cycles: report.memory_stats.noc_link_wait_cycles,
         max_link_occupancy: report.memory_stats.max_link_occupancy,
+        fault,
+        fault_drops: report.memory_stats.fault.drops,
+        fault_delays: report.memory_stats.fault.delays,
+        fault_retries: report.memory_stats.fault.retries + report.fabric_stats.tracker_resubmits,
+        fault_tracker_losses: report.fabric_stats.tracker_losses,
+        fault_recovery_cycles: report.memory_stats.fault.recovery_cycles
+            + report.fabric_stats.tracker_recovery_cycles,
     }
 }
 
@@ -276,6 +298,37 @@ mod tests {
         let many = run_sweep_with_workers(&sweep, 8);
         assert_eq!(one, many);
         assert_eq!(one.to_json().render(), many.to_json().render());
+    }
+
+    #[test]
+    fn fault_axis_reaches_the_machine_without_changing_the_work() {
+        let sweep = Sweep::new("fault")
+            .over_cores([4])
+            .over_memory_models([tis_machine::MemoryModel::directory_mesh()])
+            .over_faults([FaultConfig::none(), FaultConfig::recoverable()])
+            .with_workload(WorkloadSpec::synth(SynthSpec::uniform(
+                SynthFamily::ForkJoin { width: 8 },
+                32,
+                5_000,
+            )));
+        let report = sweep.run();
+        assert_eq!(report.cells.len(), 2);
+        let (clean, faulted) = (&report.cells[0], &report.cells[1]);
+        assert!(!clean.fault.engages());
+        assert_eq!(clean.fault_drops + clean.fault_retries + clean.fault_recovery_cycles, 0);
+        assert!(faulted.fault.engages());
+        assert_ne!(
+            faulted.fault.seed,
+            FaultConfig::recoverable().seed,
+            "the cell's schedule seed is derived from the sweep seed and cell index"
+        );
+        // Faults are latency-only: the same program ran to completion, only slower.
+        assert_eq!(faulted.tasks, clean.tasks);
+        assert_eq!(faulted.serial_cycles, clean.serial_cycles);
+        assert!(faulted.total_cycles > clean.total_cycles, "recovery latency must show up");
+        assert!(faulted.fault_drops > 0 && faulted.fault_recovery_cycles > 0);
+        // Replay: the same sweep produces the same faulted cell, bit for bit.
+        assert_eq!(sweep.run().cells[1], *faulted);
     }
 
     #[test]

@@ -1,0 +1,577 @@
+//! Deterministic fault injection with paired detection/recovery.
+//!
+//! The rest of the workspace models a *perfect* machine: no NoC message is ever lost, no
+//! Picos tracker entry ever decays. Real hardware schedulers must preserve liveness under
+//! exactly those conditions, so this crate provides a **replayable chaos layer**: every fault
+//! schedule is a pure function of `(seed, `[`FaultConfig`]`)`, derived through
+//! [`tis_sim::SimRng::stream`] splitting, so any run — at any sweep worker count — can be
+//! reproduced byte for byte from its configuration alone.
+//!
+//! Three fault classes are modelled, each with an explicit detection/recovery mechanism:
+//!
+//! | Fault | Where injected | Detection | Recovery |
+//! |---|---|---|---|
+//! | dropped message | per directory-protocol NoC leg ([`LinkFaults::leg_penalty`]) | timeout ([`FaultConfig::retry_timeout`]) | bounded retry with linear backoff; the final attempt always delivers, so bounded drops can never break liveness |
+//! | delayed message | same legs | — (delay is bounded by [`FaultConfig::max_delay_cycles`]) | absorb the latency |
+//! | dead link | every link on a message's XY route ([`LinkFaults::dead_route_check`]) | retries exhaust against the same link | none — an exact [`FaultDiagnosis`] is recorded and the engine surfaces it instead of hanging |
+//! | tracker-entry loss | Picos submission port ([`TrackerFaults::submission_losses`]) | submission echo mismatch | bounded resubmit with backoff; the final attempt always commits |
+//!
+//! **Faults perturb latency, never function.** Recovery is folded into the latency a
+//! component reports (the retried message arrives later; the resubmitted task commits later),
+//! so a run with any recoverable fault schedule retires exactly the task set of the fault-free
+//! run — this is what the chaos property suite in `tests/fault_chaos.rs` pins. A *zero-rate*
+//! configuration ([`FaultConfig::zero_rate`]) walks the entire injection code path but draws
+//! probabilities that can never fire, making "fault layer on, nothing injected" provably
+//! bit-identical to "fault layer absent" (pinned against the figure pins and the memory-model
+//! equivalence quartet).
+//!
+//! All rates are stored as integer **parts-per-million** so [`FaultConfig`] stays `Copy + Eq +
+//! Hash` — it rides inside `PicosConfig`/`MachineConfig` and keys sweep cells exactly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use tis_sim::{Cycle, SimRng};
+
+/// One million: the denominator of every `_ppm` rate field.
+pub const PPM: u64 = 1_000_000;
+
+/// A complete, replayable fault schedule description.
+///
+/// `Default` (== [`FaultConfig::none`]) means *no fault layer at all*: components check
+/// [`FaultConfig::engages`] and skip constructing any fault state, so the default
+/// configuration is byte-identical to the pre-fault-layer tree by construction. Any
+/// non-default configuration — even one whose rates are all zero — engages the layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FaultConfig {
+    /// Root seed of every fault stream. Identical `(seed, config)` pairs replay identical
+    /// fault schedules; the sweep runner re-derives a per-cell seed from the sweep seed via
+    /// `SimRng::stream`, so replays are independent of worker count.
+    pub seed: u64,
+    /// Probability (parts per million) that a NoC message leg is dropped and must be retried.
+    pub drop_ppm: u32,
+    /// Probability (parts per million) that a delivered NoC message leg is delayed.
+    pub delay_ppm: u32,
+    /// Maximum extra cycles a delayed message can lose (delays are uniform in
+    /// `[1, max_delay_cycles]`).
+    pub max_delay_cycles: Cycle,
+    /// Number of directed mesh links to kill permanently (sampled without replacement from the
+    /// mesh's link slots by the root stream; values at or above the slot count kill them all).
+    pub dead_links: u32,
+    /// Probability (parts per million) that a Picos tracker submission is lost before commit
+    /// and must be resubmitted.
+    pub tracker_loss_ppm: u32,
+    /// Retry budget per message leg / per submission. Droppable legs always deliver on the
+    /// final attempt, so this bound is only ever *exhausted* against a dead link.
+    pub max_retries: u32,
+    /// Cycles a sender waits before concluding a message/submission was lost (the detection
+    /// timeout charged per retry).
+    pub retry_timeout: Cycle,
+    /// Extra wait added per successive retry of the same message (linear backoff).
+    pub retry_backoff: Cycle,
+    /// No-progress watchdog window override for the execution engine, in cycles. `0` keeps the
+    /// engine's default window. A tighter window turns a hung (unrecoverably faulted) run into
+    /// a prompt diagnosis instead of a long wait.
+    pub watchdog_cycles: Cycle,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            seed: 0xFA17_5EED,
+            drop_ppm: 0,
+            delay_ppm: 0,
+            max_delay_cycles: 32,
+            dead_links: 0,
+            tracker_loss_ppm: 0,
+            max_retries: 3,
+            retry_timeout: 64,
+            retry_backoff: 32,
+            watchdog_cycles: 0,
+        }
+    }
+}
+
+impl FaultConfig {
+    /// The no-fault configuration (the `Default`): components skip the fault layer entirely.
+    pub fn none() -> Self {
+        FaultConfig::default()
+    }
+
+    /// A configuration that **engages** the fault layer (every probability draw happens, every
+    /// stream is derived) but whose rates guarantee nothing ever fires. Used by the
+    /// differential pins: it must be bit-identical to [`FaultConfig::none`] in every observable
+    /// cycle count.
+    pub fn zero_rate() -> Self {
+        FaultConfig { seed: 0xC01D_CAFE, ..FaultConfig::default() }
+    }
+
+    /// A moderate, fully *recoverable* chaos point used by the CI bench and examples: 2% of
+    /// message legs dropped (retried), 5% delayed, 1% of tracker submissions lost
+    /// (resubmitted), no dead links — liveness holds by construction.
+    pub fn recoverable() -> Self {
+        FaultConfig {
+            seed: 0xC4A0_5000,
+            drop_ppm: 20_000,
+            delay_ppm: 50_000,
+            tracker_loss_ppm: 10_000,
+            ..FaultConfig::default()
+        }
+    }
+
+    /// Whether this configuration engages the fault layer at all. The layer is constructed iff
+    /// this returns `true`, so `none()` costs nothing and perturbs nothing.
+    pub fn engages(&self) -> bool {
+        *self != FaultConfig::none()
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any rate exceeds one million ppm, or if an engaging configuration has a zero
+    /// retry timeout (a zero timeout would make recovery latency invisible — detection must
+    /// cost something).
+    pub fn validate(&self) {
+        assert!(self.drop_ppm as u64 <= PPM, "drop_ppm above 100%");
+        assert!(self.delay_ppm as u64 <= PPM, "delay_ppm above 100%");
+        assert!(self.tracker_loss_ppm as u64 <= PPM, "tracker_loss_ppm above 100%");
+        if self.engages() {
+            assert!(self.retry_timeout > 0, "an engaging fault config needs a detection timeout");
+        }
+    }
+
+    /// Stable short key naming this configuration in machine-readable output: `"none"` for the
+    /// default, otherwise the seed and every rate that can fire.
+    pub fn key(&self) -> String {
+        if !self.engages() {
+            return "none".to_string();
+        }
+        format!(
+            "s{:x}-drop{}-delay{}-dead{}-loss{}-r{}",
+            self.seed,
+            self.drop_ppm,
+            self.delay_ppm,
+            self.dead_links,
+            self.tracker_loss_ppm,
+            self.max_retries
+        )
+    }
+
+    /// Total detection latency of exhausting the retry budget against a dead resource:
+    /// `attempts × timeout + backoff ramp`, with `attempts = max_retries + 1`.
+    pub fn exhaustion_cycles(&self) -> Cycle {
+        let attempts = self.max_retries as u64 + 1;
+        attempts * self.retry_timeout + (attempts * attempts.saturating_sub(1) / 2) * self.retry_backoff
+    }
+}
+
+/// Counters of everything the fault layer injected and recovered, folded into the memory
+/// system's stats (and from there into sweep cells).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Message legs dropped (each one recovered by a retry).
+    pub drops: u64,
+    /// Message legs delivered late.
+    pub delays: u64,
+    /// Total extra cycles lost to delays.
+    pub delay_cycles: u64,
+    /// Retries issued after drop detection (equals `drops` while the budget holds).
+    pub retries: u64,
+    /// Total cycles spent detecting and retrying (timeout + backoff terms, both for drops and
+    /// for dead-link exhaustion).
+    pub recovery_cycles: u64,
+    /// Messages whose XY route crossed a permanently dead link (each records a diagnosis).
+    pub dead_link_hits: u64,
+}
+
+impl FaultStats {
+    /// Merges another counter set into this one.
+    pub fn absorb(&mut self, other: &FaultStats) {
+        self.drops += other.drops;
+        self.delays += other.delays;
+        self.delay_cycles += other.delay_cycles;
+        self.retries += other.retries;
+        self.recovery_cycles += other.recovery_cycles;
+        self.dead_link_hits += other.dead_link_hits;
+    }
+}
+
+/// The precise diagnosis recorded when detection gives up on an unrecoverable fault: which
+/// directed link is dead, which message hit it, when, and after how many attempts. Surfaced by
+/// the execution engine as `EngineError::UnrecoverableFault` together with the blocked task
+/// set — the negative watchdog test asserts every field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultDiagnosis {
+    /// Directed link slot that never delivered (see `Mesh::link_slots` in `tis-mem`).
+    pub link: usize,
+    /// Sending core/tile of the undeliverable message.
+    pub from: usize,
+    /// Destination core/tile of the undeliverable message.
+    pub to: usize,
+    /// Cycle at which the sender started the doomed transfer.
+    pub cycle: Cycle,
+    /// Attempts made before declaring the link dead (`max_retries + 1`).
+    pub attempts: u32,
+}
+
+/// How a run that engaged the fault layer ended, from the report's point of view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradedOutcome {
+    /// Every injected fault was recovered; the run is functionally identical to the fault-free
+    /// one and only paid the recorded recovery latency.
+    Recovered {
+        /// Faults detected and recovered (drops retried + tracker losses resubmitted).
+        faults: u64,
+        /// Total cycles spent in detection/recovery.
+        recovery_cycles: u64,
+    },
+    /// Detection exhausted its budget against a dead resource; the run was aborted with this
+    /// diagnosis instead of hanging.
+    Unrecoverable(FaultDiagnosis),
+}
+
+/// Fault state for the NoC message path, owned by the memory system (one per
+/// `MemorySystem`). Drop/delay fates are drawn sequentially from a dedicated
+/// `stream("link-fates")`; the dead-link set is sampled once from `stream("dead-links")` — so
+/// the whole schedule replays from `(seed, config, link_slots)` alone.
+#[derive(Debug, Clone)]
+pub struct LinkFaults {
+    cfg: FaultConfig,
+    fates: SimRng,
+    dead: Vec<bool>,
+    stats: FaultStats,
+    diagnosis: Option<FaultDiagnosis>,
+}
+
+fn draw(rng: &mut SimRng, ppm: u32) -> bool {
+    // An integer threshold draw: ppm == 0 can never fire (below() is strictly < PPM), which is
+    // what makes zero-rate configs exact; ppm == PPM always fires.
+    rng.below(PPM) < ppm as u64
+}
+
+impl LinkFaults {
+    /// Creates the link-fault state for a mesh with `link_slots` directed links.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid ([`FaultConfig::validate`]).
+    pub fn new(cfg: FaultConfig, link_slots: usize) -> Self {
+        cfg.validate();
+        let mut dead = vec![false; link_slots];
+        if cfg.dead_links as usize >= link_slots {
+            dead.iter_mut().for_each(|d| *d = true);
+        } else if cfg.dead_links > 0 {
+            let mut picker = SimRng::new(cfg.seed).stream("dead-links", 0);
+            let mut killed = 0;
+            while killed < cfg.dead_links as usize {
+                let slot = picker.below(link_slots as u64) as usize;
+                if !dead[slot] {
+                    dead[slot] = true;
+                    killed += 1;
+                }
+            }
+        }
+        LinkFaults {
+            cfg,
+            fates: SimRng::new(cfg.seed).stream("link-fates", 0),
+            dead,
+            stats: FaultStats::default(),
+            diagnosis: None,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> FaultConfig {
+        self.cfg
+    }
+
+    /// Whether the directed link `slot` is dead.
+    pub fn link_is_dead(&self, slot: usize) -> bool {
+        self.dead.get(slot).copied().unwrap_or(false)
+    }
+
+    /// Checks a message's route for dead links. On a hit, charges the full detection cost
+    /// (every retry times out against the same link), records a [`FaultDiagnosis`] (first hit
+    /// wins) and returns `Some(detection_cycles)`; the engine aborts the run with the
+    /// diagnosis at its next poll, so the message's nominal state effects are moot.
+    pub fn dead_route_check<I: IntoIterator<Item = usize>>(
+        &mut self,
+        route: I,
+        from: usize,
+        to: usize,
+        now: Cycle,
+    ) -> Option<Cycle> {
+        let link = route.into_iter().find(|&l| self.link_is_dead(l))?;
+        let penalty = self.cfg.exhaustion_cycles();
+        self.stats.dead_link_hits += 1;
+        self.stats.recovery_cycles += penalty;
+        if self.diagnosis.is_none() {
+            self.diagnosis = Some(FaultDiagnosis {
+                link,
+                from,
+                to,
+                cycle: now,
+                attempts: self.cfg.max_retries + 1,
+            });
+        }
+        Some(penalty)
+    }
+
+    /// Runs the drop/delay fate draw for one live message leg and returns the extra latency it
+    /// costs. Drops are detected by timeout and retried with linear backoff; **the final
+    /// attempt always delivers**, so the per-leg drop count is bounded by `max_retries` and
+    /// eventual delivery is guaranteed — recoverable faults can slow a protocol leg but never
+    /// change what it does.
+    pub fn leg_penalty(&mut self) -> Cycle {
+        let mut penalty = 0;
+        for attempt in 0..self.cfg.max_retries as u64 {
+            if !draw(&mut self.fates, self.cfg.drop_ppm) {
+                break;
+            }
+            let wait = self.cfg.retry_timeout + attempt * self.cfg.retry_backoff;
+            self.stats.drops += 1;
+            self.stats.retries += 1;
+            self.stats.recovery_cycles += wait;
+            penalty += wait;
+        }
+        if draw(&mut self.fates, self.cfg.delay_ppm) {
+            let d = 1 + self.fates.below(self.cfg.max_delay_cycles.max(1));
+            self.stats.delays += 1;
+            self.stats.delay_cycles += d;
+            penalty += d;
+        }
+        penalty
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> FaultStats {
+        self.stats
+    }
+
+    /// The first unrecoverable-fault diagnosis, if detection has given up on a dead link.
+    pub fn diagnosis(&self) -> Option<FaultDiagnosis> {
+        self.diagnosis
+    }
+}
+
+/// Fault state for the Picos submission port, owned by each `Picos` device instance. Losses
+/// are drawn from a dedicated `stream("tracker-loss")`, independent of the link streams.
+#[derive(Debug, Clone)]
+pub struct TrackerFaults {
+    cfg: FaultConfig,
+    losses: SimRng,
+    lost: u64,
+    resubmits: u64,
+    recovery_cycles: u64,
+}
+
+impl TrackerFaults {
+    /// Creates the tracker-fault state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid ([`FaultConfig::validate`]).
+    pub fn new(cfg: FaultConfig) -> Self {
+        cfg.validate();
+        TrackerFaults {
+            cfg,
+            losses: SimRng::new(cfg.seed).stream("tracker-loss", 0),
+            lost: 0,
+            resubmits: 0,
+            recovery_cycles: 0,
+        }
+    }
+
+    /// Draws the loss fate for one tracker submission: returns `(lost_attempts, penalty)`.
+    /// Each lost attempt is detected by the submission timeout and resubmitted with backoff;
+    /// the final attempt always commits, so a submission is delayed, never lost for good — the
+    /// failed inserts leave no semantic trace in the tracker.
+    pub fn submission_losses(&mut self) -> (u32, Cycle) {
+        let mut lost = 0;
+        let mut penalty = 0;
+        for attempt in 0..self.cfg.max_retries as u64 {
+            if !draw(&mut self.losses, self.cfg.tracker_loss_ppm) {
+                break;
+            }
+            lost += 1;
+            penalty += self.cfg.retry_timeout + attempt * self.cfg.retry_backoff;
+        }
+        self.lost += lost as u64;
+        self.resubmits += lost as u64;
+        self.recovery_cycles += penalty;
+        (lost, penalty)
+    }
+
+    /// Submissions lost (before their eventual commit) so far.
+    pub fn lost(&self) -> u64 {
+        self.lost
+    }
+
+    /// Resubmissions issued so far (one per loss).
+    pub fn resubmits(&self) -> u64 {
+        self.resubmits
+    }
+
+    /// Total cycles spent detecting losses and resubmitting.
+    pub fn recovery_cycles(&self) -> Cycle {
+        self.recovery_cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_none_and_does_not_engage() {
+        assert_eq!(FaultConfig::none(), FaultConfig::default());
+        assert!(!FaultConfig::none().engages());
+        assert_eq!(FaultConfig::none().key(), "none");
+    }
+
+    #[test]
+    fn zero_rate_engages_but_never_fires() {
+        let cfg = FaultConfig::zero_rate();
+        assert!(cfg.engages());
+        let mut lf = LinkFaults::new(cfg, 36);
+        for _ in 0..10_000 {
+            assert_eq!(lf.leg_penalty(), 0, "a zero-rate draw must never fire");
+        }
+        assert_eq!(lf.stats(), FaultStats::default());
+        assert!(lf.dead_route_check(0..36, 0, 1, 0).is_none(), "no links are dead");
+        let mut tf = TrackerFaults::new(cfg);
+        for _ in 0..10_000 {
+            assert_eq!(tf.submission_losses(), (0, 0));
+        }
+    }
+
+    #[test]
+    fn fault_schedules_replay_exactly() {
+        let cfg = FaultConfig::recoverable();
+        let run = |cfg| {
+            let mut lf = LinkFaults::new(cfg, 64);
+            let penalties: Vec<Cycle> = (0..4000).map(|_| lf.leg_penalty()).collect();
+            (penalties, lf.stats())
+        };
+        let (a, sa) = run(cfg);
+        let (b, sb) = run(cfg);
+        assert_eq!(a, b, "identical (seed, config) must replay the identical schedule");
+        assert_eq!(sa, sb);
+        assert!(sa.drops > 0 && sa.delays > 0, "2%/5% rates must fire in 4000 draws");
+        // A different seed produces a different schedule.
+        let (c, _) = run(FaultConfig { seed: 1, ..cfg });
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn final_attempt_always_delivers() {
+        // drop_ppm == 100%: every attempt up to the budget drops, then the final delivery
+        // happens anyway — the recovery penalty is exactly the exhaustion ramp minus the last
+        // (delivering) attempt's timeout... i.e. max_retries timeouts with backoff.
+        let cfg = FaultConfig {
+            drop_ppm: PPM as u32,
+            max_retries: 3,
+            retry_timeout: 100,
+            retry_backoff: 10,
+            ..FaultConfig::zero_rate()
+        };
+        let mut lf = LinkFaults::new(cfg, 4);
+        let p = lf.leg_penalty();
+        assert_eq!(p, 100 + 110 + 120, "three drops, linear backoff, then delivery");
+        assert_eq!(lf.stats().drops, 3);
+        assert_eq!(lf.stats().retries, 3);
+        assert!(lf.diagnosis().is_none(), "bounded drops are never unrecoverable");
+    }
+
+    #[test]
+    fn dead_links_are_sampled_deterministically_and_diagnosed() {
+        let cfg = FaultConfig { dead_links: 3, ..FaultConfig::zero_rate() };
+        let a = LinkFaults::new(cfg, 36);
+        let b = LinkFaults::new(cfg, 36);
+        let dead_a: Vec<usize> = (0..36).filter(|&l| a.link_is_dead(l)).collect();
+        let dead_b: Vec<usize> = (0..36).filter(|&l| b.link_is_dead(l)).collect();
+        assert_eq!(dead_a, dead_b, "the dead set is a pure function of (seed, slots)");
+        assert_eq!(dead_a.len(), 3);
+
+        let mut lf = LinkFaults::new(cfg, 36);
+        let dead = dead_a[0];
+        let hit = lf.dead_route_check([dead], 2, 5, 1234).expect("route crosses a dead link");
+        assert_eq!(hit, cfg.exhaustion_cycles());
+        let d = lf.diagnosis().expect("a diagnosis must be recorded");
+        assert_eq!((d.link, d.from, d.to, d.cycle, d.attempts), (dead, 2, 5, 1234, 4));
+        // A later hit on another link does not overwrite the first diagnosis.
+        lf.dead_route_check([dead_a[1]], 0, 1, 9999);
+        assert_eq!(lf.diagnosis().unwrap().cycle, 1234);
+        assert_eq!(lf.stats().dead_link_hits, 2);
+    }
+
+    #[test]
+    fn dead_links_above_slot_count_kill_everything() {
+        let lf = LinkFaults::new(
+            FaultConfig { dead_links: 1000, ..FaultConfig::zero_rate() },
+            16,
+        );
+        assert!((0..16).all(|l| lf.link_is_dead(l)));
+    }
+
+    #[test]
+    fn tracker_losses_are_bounded_and_replayable() {
+        let cfg = FaultConfig {
+            tracker_loss_ppm: 500_000, // 50%: losses are common, budget exhaustion impossible
+            max_retries: 2,
+            retry_timeout: 40,
+            retry_backoff: 8,
+            ..FaultConfig::zero_rate()
+        };
+        let mut a = TrackerFaults::new(cfg);
+        let mut b = TrackerFaults::new(cfg);
+        for _ in 0..2000 {
+            let (lost, penalty) = a.submission_losses();
+            assert_eq!((lost, penalty), b.submission_losses());
+            assert!(lost <= cfg.max_retries, "losses per submission are bounded");
+        }
+        assert!(a.lost() > 0);
+        assert_eq!(a.lost(), a.resubmits(), "every loss is recovered by one resubmit");
+        assert!(a.recovery_cycles() >= a.lost() * cfg.retry_timeout);
+    }
+
+    #[test]
+    fn streams_are_independent() {
+        // The dead-link sample must not perturb the fate stream: the same fates are drawn with
+        // and without dead links configured.
+        let base = FaultConfig::recoverable();
+        let mut plain = LinkFaults::new(base, 36);
+        let mut with_dead = LinkFaults::new(FaultConfig { dead_links: 4, ..base }, 36);
+        let a: Vec<Cycle> = (0..500).map(|_| plain.leg_penalty()).collect();
+        let b: Vec<Cycle> = (0..500).map(|_| with_dead.leg_penalty()).collect();
+        assert_eq!(a, b, "fate draws live on their own stream");
+    }
+
+    #[test]
+    fn keys_are_stable_and_distinct() {
+        assert_eq!(FaultConfig::none().key(), "none");
+        let r = FaultConfig::recoverable();
+        assert_eq!(r.key(), "sc4a05000-drop20000-delay50000-dead0-loss10000-r3");
+        assert_ne!(FaultConfig::zero_rate().key(), r.key());
+    }
+
+    #[test]
+    fn exhaustion_cost_matches_the_ramp() {
+        let cfg = FaultConfig { max_retries: 3, retry_timeout: 64, retry_backoff: 32, ..FaultConfig::none() };
+        // 4 attempts × 64 timeout + (0+1+2+3) × 32 backoff.
+        assert_eq!(cfg.exhaustion_cycles(), 4 * 64 + 6 * 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "drop_ppm above 100%")]
+    fn over_unity_rates_are_rejected() {
+        FaultConfig { drop_ppm: 1_000_001, ..FaultConfig::zero_rate() }.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "detection timeout")]
+    fn engaging_config_without_timeout_is_rejected() {
+        LinkFaults::new(FaultConfig { retry_timeout: 0, ..FaultConfig::zero_rate() }, 4);
+    }
+}

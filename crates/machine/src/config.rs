@@ -1,6 +1,6 @@
 //! Machine configuration.
 
-use tis_mem::{CacheConfig, MemLatencies, MemoryModel};
+use tis_mem::{CacheConfig, FaultConfig, MemLatencies, MemoryModel};
 use tis_sim::Frequency;
 
 use crate::cost::CostModel;
@@ -31,6 +31,9 @@ pub struct MachineConfig {
     pub costs: CostModel,
     /// Safety cap on simulated cycles; runs exceeding it abort with an error instead of hanging.
     pub max_cycles: u64,
+    /// Deterministic fault schedule injected into the memory system's NoC messages.
+    /// [`FaultConfig::none`] (the default) constructs no fault layer at all; see `tis-fault`.
+    pub fault: FaultConfig,
 }
 
 impl MachineConfig {
@@ -46,6 +49,7 @@ impl MachineConfig {
             dram_bytes_per_cycle: 16.0,
             costs: CostModel::default(),
             max_cycles: 20_000_000_000,
+            fault: FaultConfig::none(),
         }
     }
 
@@ -80,6 +84,7 @@ impl MachineConfig {
         assert!(self.cores > 0, "machine needs at least one core");
         assert!(self.dram_bytes_per_cycle > 0.0, "DRAM bandwidth must be positive");
         assert!(self.max_cycles > 0, "cycle cap must be positive");
+        self.fault.validate();
     }
 }
 

@@ -7,7 +7,7 @@
 //! with an error if no agent makes progress (a genuine deadlock, e.g. when the blocking-
 //! instruction ablation of Section IV-C is enabled) or the configured cycle cap is exceeded.
 
-use tis_mem::{BandwidthModel, MemorySystem};
+use tis_mem::{BandwidthModel, FaultDiagnosis, MemorySystem};
 use tis_sim::Cycle;
 
 use crate::config::MachineConfig;
@@ -73,6 +73,22 @@ pub enum EngineError {
         /// Runtime that was executing.
         runtime: String,
     },
+    /// An injected fault exhausted its recovery budget (a message's route crosses a dead NoC
+    /// link): the engine aborts with the detector's precise diagnosis — which resource
+    /// faulted, which message hit it, and how many tasks were left blocked — instead of
+    /// hanging or silently computing a wrong answer.
+    UnrecoverableFault {
+        /// What the fault detector recorded: the dead link and the message that hit it.
+        diagnosis: FaultDiagnosis,
+        /// Simulated cycle at which the engine observed the diagnosis and gave up.
+        cycle: Cycle,
+        /// Tasks retired before the fault struck.
+        tasks_retired: u64,
+        /// Submitted tasks left blocked by the fault (submitted minus retired).
+        tasks_blocked: u64,
+        /// Runtime that was executing.
+        runtime: String,
+    },
 }
 
 impl core::fmt::Display for EngineError {
@@ -86,6 +102,15 @@ impl core::fmt::Display for EngineError {
             }
             EngineError::AllAgentsFinishedEarly { runtime } => {
                 write!(f, "all agents of runtime '{runtime}' terminated before the program completed")
+            }
+            EngineError::UnrecoverableFault { diagnosis, cycle, tasks_retired, tasks_blocked, runtime } => {
+                write!(
+                    f,
+                    "unrecoverable fault in runtime '{runtime}': dead link {} never delivered the \
+                     message from core {} to core {} issued at cycle {} ({} attempts); detected at \
+                     cycle {cycle} with {tasks_retired} tasks retired and {tasks_blocked} blocked",
+                    diagnosis.link, diagnosis.from, diagnosis.to, diagnosis.cycle, diagnosis.attempts
+                )
             }
         }
     }
@@ -111,8 +136,12 @@ pub fn run_machine(
 ) -> Result<ExecutionReport, EngineError> {
     cfg.validate();
     let cores = cfg.cores;
-    let mut mem = MemorySystem::with_model(cores, cfg.l1, cfg.mem_latencies, cfg.memory_model);
+    let mut mem =
+        MemorySystem::with_model_and_faults(cores, cfg.l1, cfg.mem_latencies, cfg.memory_model, cfg.fault);
     let mut dram = BandwidthModel::new(cfg.dram_bytes_per_cycle);
+    // Under fault injection the caller may tighten the deadlock watchdog so a dead link is
+    // diagnosed in test-sized budgets rather than after the default 50M-cycle window.
+    let watchdog_window = if cfg.fault.watchdog_cycles > 0 { cfg.fault.watchdog_cycles } else { NO_PROGRESS_WINDOW };
     let mut core_time: Vec<Cycle> = vec![0; cores];
     let mut core_stats: Vec<CoreStats> = vec![CoreStats::default(); cores];
     let mut finished: Vec<bool> = vec![false; cores];
@@ -133,7 +162,7 @@ pub fn run_machine(
                 runtime: runtime.name().to_string(),
             });
         }
-        if now.saturating_sub(last_progress) > NO_PROGRESS_WINDOW {
+        if now.saturating_sub(last_progress) > watchdog_window {
             return Err(EngineError::NoProgress { cycle: now, runtime: runtime.name().to_string() });
         }
 
@@ -161,6 +190,19 @@ pub fn run_machine(
                 finished[core] = true;
                 last_progress = last_progress.max(core_time[core]);
             }
+        }
+        // A dead-link diagnosis recorded during this step means some message can never be
+        // delivered: abort with the detector's report instead of spinning until the watchdog.
+        if let Some(diagnosis) = mem.fault_diagnosis() {
+            let retired = runtime.tasks_retired();
+            let submitted = fabric.stats().tasks_submitted;
+            return Err(EngineError::UnrecoverableFault {
+                diagnosis,
+                cycle: core_time[core],
+                tasks_retired: retired,
+                tasks_blocked: submitted.saturating_sub(retired),
+                runtime: runtime.name().to_string(),
+            });
         }
     }
 
@@ -325,5 +367,106 @@ mod tests {
         assert!(e.to_string().contains("deadlock"));
         let e = EngineError::CycleLimitExceeded { limit: 7, runtime: "x".into() };
         assert!(e.to_string().contains('7'));
+    }
+
+    /// A runtime whose cores read each other's cache lines, so directory traffic crosses the
+    /// mesh and the fault layer (when configured) sees real NoC messages.
+    struct SharingRuntime {
+        rounds: u64,
+        done: Vec<u64>,
+    }
+
+    impl SharingRuntime {
+        fn new(cores: usize, rounds: u64) -> Self {
+            SharingRuntime { rounds, done: vec![0; cores] }
+        }
+    }
+
+    impl RuntimeSystem for SharingRuntime {
+        fn name(&self) -> &'static str {
+            "sharing"
+        }
+        fn step_core(&mut self, ctx: &mut CoreCtx<'_>, _f: &mut dyn SchedulerFabric) -> CoreStatus {
+            let core = ctx.core();
+            if self.done[core] >= self.rounds {
+                return CoreStatus::Finished;
+            }
+            // Read a line homed on (and written by) the *other* core.
+            let peer = (core + 1) % self.done.len();
+            ctx.write(64 * core as u64, 8);
+            ctx.read(64 * peer as u64, 8);
+            self.done[core] += 1;
+            CoreStatus::Progressed
+        }
+        fn is_finished(&self) -> bool {
+            self.done.iter().all(|&d| d >= self.rounds)
+        }
+        fn exec_records(&self) -> Vec<ExecRecord> {
+            Vec::new()
+        }
+        fn tasks_retired(&self) -> u64 {
+            self.done.iter().sum()
+        }
+    }
+
+    #[test]
+    fn zero_rate_faults_leave_the_engine_bit_identical() {
+        let base =
+            MachineConfig::small_test().with_memory_model(tis_mem::MemoryModel::directory_mesh());
+        let mut faulted = base;
+        faulted.fault = tis_mem::FaultConfig::zero_rate();
+        let a = run_machine(&base, &mut SharingRuntime::new(base.cores, 50), &mut NullFabric::new())
+            .unwrap();
+        let b = run_machine(&faulted, &mut SharingRuntime::new(base.cores, 50), &mut NullFabric::new())
+            .unwrap();
+        assert!(a.memory_stats.noc_messages > 0, "the runtime must exercise the mesh");
+        assert_eq!(a.total_cycles, b.total_cycles);
+        assert_eq!(a.memory_stats, b.memory_stats);
+        assert_eq!(a.core_stats, b.core_stats);
+    }
+
+    #[test]
+    fn dead_links_surface_as_a_diagnosed_unrecoverable_fault() {
+        let mut cfg =
+            MachineConfig::small_test().with_memory_model(tis_mem::MemoryModel::directory_mesh());
+        cfg.fault = tis_mem::FaultConfig { dead_links: u32::MAX, ..tis_mem::FaultConfig::none() };
+        let err = run_machine(&cfg, &mut SharingRuntime::new(cfg.cores, 50), &mut NullFabric::new())
+            .unwrap_err();
+        match err {
+            EngineError::UnrecoverableFault { diagnosis, runtime, .. } => {
+                assert_eq!(runtime, "sharing");
+                assert_ne!(diagnosis.from, diagnosis.to, "the faulted leg crosses tiles");
+                assert_eq!(diagnosis.attempts, cfg.fault.max_retries + 1);
+            }
+            other => panic!("expected an unrecoverable-fault diagnosis, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn fault_watchdog_tightens_the_no_progress_window() {
+        let mut cfg = MachineConfig::small_test();
+        cfg.fault = tis_mem::FaultConfig { watchdog_cycles: 10_000, ..tis_mem::FaultConfig::none() };
+        let err = run_machine(&cfg, &mut StuckRuntime, &mut NullFabric::new()).unwrap_err();
+        match err {
+            EngineError::NoProgress { cycle, .. } => {
+                assert!(cycle < 100_000, "the tightened watchdog fires early, at cycle {cycle}")
+            }
+            other => panic!("expected the watchdog, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unrecoverable_fault_display_names_the_resource_and_blocked_work() {
+        let e = EngineError::UnrecoverableFault {
+            diagnosis: tis_mem::FaultDiagnosis { link: 9, from: 1, to: 2, cycle: 40, attempts: 4 },
+            cycle: 500,
+            tasks_retired: 3,
+            tasks_blocked: 2,
+            runtime: "x".into(),
+        };
+        let msg = e.to_string();
+        for needle in ["dead link 9", "core 1", "core 2", "4 attempts", "3 tasks retired", "2 blocked"] {
+            assert!(msg.contains(needle), "missing {needle:?} in {msg:?}");
+        }
     }
 }

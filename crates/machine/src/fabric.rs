@@ -60,6 +60,12 @@ pub struct FabricStats {
     pub tasks_retired: u64,
     /// Total fabric operations issued.
     pub operations: u64,
+    /// Injected tracker-entry losses detected during submission (fault injection only).
+    pub tracker_losses: u64,
+    /// Submissions replayed after a detected tracker-entry loss (fault injection only).
+    pub tracker_resubmits: u64,
+    /// Extra cycles spent detecting and replaying lost tracker entries (fault injection only).
+    pub tracker_recovery_cycles: u64,
 }
 
 /// The per-core task-scheduling interface (Table I of the paper).

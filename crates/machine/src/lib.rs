@@ -37,7 +37,10 @@ pub use config::MachineConfig;
 pub use context::{CoreCtx, CoreStats};
 // Re-exported so harness-level crates can select the interconnect without a direct `tis_mem`
 // dependency.
-pub use tis_mem::{LinkContention, MemoryModel, NocConfig, NocContention};
+pub use tis_mem::{
+    DegradedOutcome, FaultConfig, FaultDiagnosis, FaultStats, LinkContention, MemoryModel,
+    NocConfig, NocContention,
+};
 pub use cost::CostModel;
 pub use engine::{run_machine, CoreStatus, EngineError, RuntimeSystem};
 pub use fabric::{FabricStats, NullFabric, SchedulerFabric};

@@ -8,7 +8,11 @@ use crate::context::CoreStats;
 use crate::fabric::FabricStats;
 
 /// The result of simulating one program on one runtime/fabric combination.
-#[derive(Debug, Clone)]
+///
+/// Reports are plainly comparable: every field is an integer-valued simulation outcome, so two
+/// equal reports are *bit-identical* executions — the property the fault layer's replay
+/// guarantee is stated (and tested) in terms of.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ExecutionReport {
     /// Runtime that produced the schedule (`"phentos"`, `"nanos-rv"`, …).
     pub runtime: String,

@@ -57,3 +57,4 @@ pub use directory::{DirState, SharerSet};
 pub use mesi::{AccessKind, MesiState};
 pub use noc::{LinkContention, Mesh, NocConfig, NocContention, NocTraffic};
 pub use system::{MemLatencies, MemoryAccessOutcome, MemoryModel, MemoryStats, MemorySystem};
+pub use tis_fault::{DegradedOutcome, FaultConfig, FaultDiagnosis, FaultStats};

@@ -24,6 +24,7 @@
 
 use std::collections::HashMap;
 
+use tis_fault::{FaultConfig, FaultDiagnosis, FaultStats, LinkFaults};
 use tis_sim::Cycle;
 
 use crate::addr::{line_of, lines_touched, Addr, LINE_SIZE};
@@ -138,7 +139,7 @@ pub struct MemoryAccessOutcome {
 }
 
 /// Aggregate statistics of the memory system.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MemoryStats {
     /// Per-core L1 statistics.
     pub per_core: Vec<CacheStats>,
@@ -170,6 +171,8 @@ pub struct MemoryStats {
     pub max_link_occupancy: u64,
     /// Total flits carried by NoC messages under the contended link model (zero otherwise).
     pub noc_flits: u64,
+    /// Injected-fault counters (all zero unless a [`FaultConfig`] engages the fault layer).
+    pub fault: FaultStats,
 }
 
 impl MemoryStats {
@@ -198,6 +201,11 @@ pub struct MemorySystem {
     /// [`NocConfig::contention`] is [`NocContention::Contended`]. `None` means messages are
     /// priced by the closed-form ideal formula, bit-identical to the bandwidth-free model.
     noc: Option<NocTraffic>,
+    /// Deterministic message-fault state; present only when a [`FaultConfig`] engages the
+    /// fault layer **and** the model has a mesh to fault (drop/delay/dead-link faults are
+    /// defined on directed mesh links — the snooping bus has none). `None` means
+    /// [`MemorySystem::noc_send`] is exactly the fault-free path.
+    faults: Option<LinkFaults>,
     bus_free_at: Cycle,
     dram_fetches: u64,
     dram_writebacks: u64,
@@ -231,6 +239,26 @@ impl MemorySystem {
         latencies: MemLatencies,
         model: MemoryModel,
     ) -> Self {
+        Self::with_model_and_faults(cores, cache, latencies, model, FaultConfig::none())
+    }
+
+    /// Creates a memory system with the given interconnect model and fault schedule.
+    ///
+    /// Message faults (drop/delay/dead-link) are defined on the mesh's directed links, so an
+    /// engaging `fault` only constructs fault state under [`MemoryModel::DirectoryMesh`]; the
+    /// snooping bus is never message-faulted. A non-engaging config
+    /// ([`FaultConfig::none`]) makes this identical to [`MemorySystem::with_model`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero or the fault configuration is invalid.
+    pub fn with_model_and_faults(
+        cores: usize,
+        cache: CacheConfig,
+        latencies: MemLatencies,
+        model: MemoryModel,
+        fault: FaultConfig,
+    ) -> Self {
         assert!(cores > 0, "a machine needs at least one core");
         let mesh = Mesh::new(cores);
         let noc = match model {
@@ -239,6 +267,8 @@ impl MemorySystem {
             }
             _ => None,
         };
+        let faults = (fault.engages() && matches!(model, MemoryModel::DirectoryMesh(_)))
+            .then(|| LinkFaults::new(fault, mesh.link_slots()));
         MemorySystem {
             caches: (0..cores).map(|_| L1Cache::new(cache)).collect(),
             latencies,
@@ -246,6 +276,7 @@ impl MemorySystem {
             mesh,
             directory: HashMap::new(),
             noc,
+            faults,
             bus_free_at: 0,
             dram_fetches: 0,
             dram_writebacks: 0,
@@ -443,12 +474,23 @@ impl MemorySystem {
     /// [`NocContention::Contended`] the message walks its XY route through the per-link FIFO
     /// state, paying serialisation proportional to `bytes` and queueing behind concurrent
     /// traffic. Traffic statistics are recorded either way.
+    ///
+    /// When a fault layer is engaged it adds — on top of whichever base cost applies — the
+    /// drop/delay recovery penalty of the leg, or, if the XY route crosses a dead link, the
+    /// full retry-exhaustion detection cost (recording a [`FaultDiagnosis`] for the engine to
+    /// surface). Recoverable faults are therefore pure added latency: the protocol's state
+    /// effects are untouched, which is what keeps faulted runs functionally identical.
     fn noc_send(&mut self, from: usize, to: usize, bytes: u64, noc: &NocConfig, now: Cycle) -> Cycle {
         let hops = self.mesh.hops(from, to);
         self.note_noc(1, hops);
-        match &mut self.noc {
+        let base = match &mut self.noc {
             Some(traffic) => traffic.send(&self.mesh, noc, from, to, bytes, now),
             None => noc.message_latency(hops),
+        };
+        let Some(faults) = &mut self.faults else { return base };
+        match faults.dead_route_check(self.mesh.xy_route(from, to), from, to, now) {
+            Some(detect) => base + detect,
+            None => base + faults.leg_penalty(),
         }
     }
 
@@ -662,7 +704,21 @@ impl MemorySystem {
             noc_link_wait_cycles: self.noc.as_ref().map_or(0, NocTraffic::link_wait_cycles),
             max_link_occupancy: self.noc.as_ref().map_or(0, NocTraffic::max_link_occupancy),
             noc_flits: self.noc.as_ref().map_or(0, NocTraffic::flits),
+            fault: self.fault_stats(),
         }
+    }
+
+    /// Counters of injected message faults, all-zero when no fault layer is engaged.
+    pub fn fault_stats(&self) -> FaultStats {
+        self.faults.as_ref().map_or_else(FaultStats::default, LinkFaults::stats)
+    }
+
+    /// The diagnosis of the first *unrecoverable* fault (a message whose XY route crosses a
+    /// dead link, with the retry budget exhausted), if one has occurred. The execution engine
+    /// polls this every iteration and aborts the run with a precise error instead of letting a
+    /// lost wakeup hang the machine.
+    pub fn fault_diagnosis(&self) -> Option<FaultDiagnosis> {
+        self.faults.as_ref().and_then(LinkFaults::diagnosis)
     }
 
     /// Checks the fundamental MESI coherence invariants across all caches — and, under
@@ -1075,6 +1131,106 @@ mod tests {
     #[should_panic(expected = "at least one core")]
     fn zero_core_system_panics() {
         MemorySystem::new(0, CacheConfig::rocket_l1d(), MemLatencies::default());
+    }
+
+    fn faulted_sys(cores: usize, model: MemoryModel, fault: FaultConfig) -> MemorySystem {
+        MemorySystem::with_model_and_faults(
+            cores,
+            CacheConfig::rocket_l1d(),
+            MemLatencies::default(),
+            model,
+            fault,
+        )
+    }
+
+    fn random_trace(cores: usize, len: u64, seed: u64) -> Vec<(usize, Addr, AccessKind)> {
+        let mut rng = tis_sim::SimRng::new(seed);
+        (0..len)
+            .map(|_| {
+                let core = (rng.next_u64() % cores as u64) as usize;
+                let addr = 0x1_0000 + (rng.next_u64() % 64) * 8;
+                let kind = match rng.next_u64() % 3 {
+                    0 => AccessKind::Read,
+                    1 => AccessKind::Write,
+                    _ => AccessKind::Atomic,
+                };
+                (core, addr, kind)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn zero_rate_fault_layer_is_cycle_identical() {
+        // The engaged-but-zero-rate config walks the whole injection path yet must not move a
+        // single cycle, on the ideal and the contended mesh alike.
+        for model in [MemoryModel::directory_mesh(), MemoryModel::directory_mesh_contended()] {
+            let mut plain = faulted_sys(8, model, FaultConfig::none());
+            let mut zeroed = faulted_sys(8, model, FaultConfig::zero_rate());
+            for (i, (core, addr, kind)) in random_trace(8, 3000, 0xFA_0).into_iter().enumerate() {
+                let a = plain.access(core, addr, kind, 8, i as u64 * 3);
+                let b = zeroed.access(core, addr, kind, 8, i as u64 * 3);
+                assert_eq!(a, b, "zero-rate faults moved access {i} under {model:?}");
+            }
+            assert_eq!(zeroed.fault_stats(), FaultStats::default());
+            assert!(zeroed.fault_diagnosis().is_none());
+        }
+    }
+
+    #[test]
+    fn recoverable_faults_only_add_latency() {
+        // Recoverable drops/delays must leave every functional outcome and final cache state
+        // untouched — only per-access latency may (and does) grow.
+        let mut clean = faulted_sys(8, MemoryModel::directory_mesh(), FaultConfig::none());
+        let mut chaos = faulted_sys(8, MemoryModel::directory_mesh(), FaultConfig::recoverable());
+        for (i, (core, addr, kind)) in random_trace(8, 4000, 0xFA_1).into_iter().enumerate() {
+            let a = clean.access(core, addr, kind, 8, i as u64 * 3);
+            let b = chaos.access(core, addr, kind, 8, i as u64 * 3);
+            assert_eq!(
+                (a.l1_hit, a.remote_dirty, a.lines),
+                (b.l1_hit, b.remote_dirty, b.lines),
+                "a recoverable fault changed function at access {i}"
+            );
+            assert!(b.latency >= a.latency, "recovery can only add cycles (access {i})");
+        }
+        for core in 0..8 {
+            let mut a: Vec<_> = clean.cache(core).resident().collect();
+            let mut b: Vec<_> = chaos.cache(core).resident().collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "core {core} cache state diverged under recoverable faults");
+        }
+        chaos.check_coherence_invariants().expect("faults must not break coherence");
+        let fs = chaos.fault_stats();
+        assert!(fs.drops > 0 && fs.delays > 0, "the 2%/5% rates must fire on this trace");
+        assert_eq!(fs.drops, fs.retries, "every drop is recovered by exactly one retry");
+        assert!(fs.recovery_cycles > 0);
+        assert_eq!(fs.dead_link_hits, 0);
+        assert!(chaos.fault_diagnosis().is_none(), "recoverable faults never diagnose");
+        assert_eq!(chaos.stats().fault, fs);
+    }
+
+    #[test]
+    fn dead_links_are_detected_with_a_precise_diagnosis() {
+        // Kill every directed link: the very first cross-tile message must exhaust its retry
+        // budget, pay the full detection ramp and record which link/message/cycle failed.
+        let fault = FaultConfig { dead_links: u32::MAX, ..FaultConfig::zero_rate() };
+        let mut m = faulted_sys(4, MemoryModel::directory_mesh(), fault);
+        let mut clean = faulted_sys(4, MemoryModel::directory_mesh(), FaultConfig::none());
+        // Line 0 is homed on core 0; requesting it from core 3 crosses dead links.
+        let faulted = m.access(3, 0, AccessKind::Read, 8, 17);
+        let baseline = clean.access(3, 0, AccessKind::Read, 8, 17);
+        assert!(faulted.latency >= baseline.latency + fault.exhaustion_cycles());
+        let d = m.fault_diagnosis().expect("detection must record a diagnosis");
+        assert_eq!(d.from, 3);
+        assert_eq!(d.to, 0);
+        assert_eq!(d.cycle, 17);
+        assert_eq!(d.attempts, fault.max_retries + 1);
+        assert!(m.fault_stats().dead_link_hits > 0);
+        // The snooping bus has no links to kill: the same config engages nothing there.
+        let mut bus = faulted_sys(4, MemoryModel::SnoopBus, fault);
+        bus.access(3, 0, AccessKind::Read, 8, 17);
+        assert!(bus.fault_diagnosis().is_none());
+        assert_eq!(bus.fault_stats(), FaultStats::default());
     }
 }
 

@@ -155,7 +155,13 @@ impl SchedulerFabric for AxiFabric {
     }
 
     fn stats(&self) -> FabricStats {
-        self.stats.clone()
+        let picos = self.manager.picos().stats();
+        FabricStats {
+            tracker_losses: picos.tracker_losses,
+            tracker_resubmits: picos.tracker_resubmits,
+            tracker_recovery_cycles: picos.tracker_recovery_cycles,
+            ..self.stats.clone()
+        }
     }
 }
 

@@ -11,6 +11,7 @@
 //! completions that should have happened by then are applied first. This keeps the simulator
 //! synchronous while still modelling the accelerator's processing latencies.
 
+use tis_fault::{FaultConfig, TrackerFaults};
 use tis_sim::{BoundedQueue, Cycle, TimedQueue};
 
 use crate::packet::SubmittedTask;
@@ -26,6 +27,11 @@ pub struct PicosConfig {
     pub timing: PicosTiming,
     /// Depth of the hardware ready queue (descriptors published and waiting to be fetched).
     pub ready_queue_depth: usize,
+    /// Deterministic fault schedule for transient tracker-entry loss at the submission port.
+    /// [`FaultConfig::none`] (the default) constructs no fault state at all; an engaging
+    /// config draws a replayable loss fate per submission — each loss is detected by timeout
+    /// and recovered by a resubmit, delaying (never losing) the commit.
+    pub fault: FaultConfig,
 }
 
 impl Default for PicosConfig {
@@ -34,6 +40,7 @@ impl Default for PicosConfig {
             tracker: TrackerConfig::default(),
             timing: PicosTiming::default(),
             ready_queue_depth: 16,
+            fault: FaultConfig::none(),
         }
     }
 }
@@ -61,6 +68,13 @@ pub struct PicosStats {
     pub ready_high_water: usize,
     /// Submissions rejected because the tracker was full.
     pub submissions_rejected: u64,
+    /// Submissions transiently lost by an injected fault before their commit (each one was
+    /// detected by timeout and recovered by a resubmit).
+    pub tracker_losses: u64,
+    /// Resubmissions issued to recover lost submissions (equals `tracker_losses`).
+    pub tracker_resubmits: u64,
+    /// Total cycles the submission port spent detecting losses and resubmitting.
+    pub tracker_recovery_cycles: u64,
 }
 
 /// The Picos hardware task scheduler.
@@ -87,6 +101,8 @@ pub struct Picos {
     /// layer). Retirements are only applied up to this horizon so that a core whose clock still
     /// lags cannot observe a retirement from its future.
     time_horizon: Option<Cycle>,
+    /// Deterministic submission-loss state; `None` unless [`PicosConfig::fault`] engages.
+    faults: Option<TrackerFaults>,
     stats: PicosStats,
 }
 
@@ -103,6 +119,7 @@ impl Picos {
             submit_busy_until: 0,
             retire_busy_until: 0,
             time_horizon: None,
+            faults: config.fault.engages().then(|| TrackerFaults::new(config.fault)),
             stats: PicosStats::default(),
         }
     }
@@ -186,8 +203,20 @@ impl Picos {
             self.stats.submissions_rejected += 1;
             e
         })?;
+        // Injected tracker-entry loss: the descriptor may be lost (a bounded number of times)
+        // before the insert above commits. A lost attempt leaves no semantic trace — detection
+        // is a timeout at the submission port, recovery is a resubmit — so the fault shows up
+        // purely as extra pipeline occupancy ahead of the commit.
+        let mut loss_penalty = 0;
+        if let Some(f) = &mut self.faults {
+            let (lost, penalty) = f.submission_losses();
+            self.stats.tracker_losses += lost as u64;
+            self.stats.tracker_resubmits += lost as u64;
+            self.stats.tracker_recovery_cycles += penalty;
+            loss_penalty = penalty;
+        }
         let start = self.submit_busy_until.max(now);
-        let done = start + self.config.timing.submission_cycles(task.deps.len());
+        let done = start + loss_penalty + self.config.timing.submission_cycles(task.deps.len());
         self.submit_busy_until = done;
         if ready {
             self.pending_ready.schedule(done + self.config.timing.ready_publish, id);
@@ -335,6 +364,36 @@ mod tests {
     fn retire_unknown_id_is_an_error() {
         let mut p = Picos::default();
         assert!(p.retire(PicosId(3), 0).is_err());
+    }
+
+    #[test]
+    fn tracker_loss_delays_but_never_loses_submissions() {
+        // 100% loss rate with a retry budget of 2: every submission is lost twice, resubmitted
+        // and then commits — later by exactly the detection/backoff ramp, with nothing dropped.
+        let fault = tis_fault::FaultConfig {
+            tracker_loss_ppm: 1_000_000,
+            max_retries: 2,
+            retry_timeout: 50,
+            retry_backoff: 10,
+            ..tis_fault::FaultConfig::zero_rate()
+        };
+        let mut clean = Picos::default();
+        let mut lossy = Picos::new(PicosConfig { fault, ..PicosConfig::default() });
+        let (_, d_clean) = clean.try_submit(&t(1, vec![]), 0).unwrap();
+        let (_, d_lossy) = lossy.try_submit(&t(1, vec![]), 0).unwrap();
+        assert_eq!(d_lossy, d_clean + 50 + 60, "two losses, linear backoff, then commit");
+        let rt = lossy.pop_ready(100_000).expect("the submission must still commit");
+        assert_eq!(rt.sw_id, 1);
+        let s = lossy.stats();
+        assert_eq!(s.tracker_losses, 2);
+        assert_eq!(s.tracker_resubmits, 2);
+        assert_eq!(s.tracker_recovery_cycles, 110);
+        // A zero-rate engaged config is cycle-identical to the fault-free device.
+        let mut zeroed =
+            Picos::new(PicosConfig { fault: tis_fault::FaultConfig::zero_rate(), ..PicosConfig::default() });
+        let (_, d_zero) = zeroed.try_submit(&t(1, vec![]), 0).unwrap();
+        assert_eq!(d_zero, d_clean);
+        assert_eq!(zeroed.stats().tracker_losses, 0);
     }
 
     #[test]

@@ -35,3 +35,4 @@ pub use packet::{
 };
 pub use timing::PicosTiming;
 pub use tracker::{DependenceTracker, PicosId, TrackerConfig, TrackerError, TrackerStats};
+pub use tis_fault::FaultConfig;

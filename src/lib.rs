@@ -2,7 +2,7 @@
 //! *Adding Tightly-Integrated Task Scheduling Acceleration to a RISC-V Multi-core Processor*
 //! (Morais et al., MICRO 2019).
 //!
-//! The workspace is split into ten layered crates; this crate simply re-exports all of them so
+//! The workspace is split into eleven layered crates; this crate simply re-exports all of them so
 //! the top-level `examples/` and `tests/` directories have a single anchor package, and so
 //! downstream users can depend on one crate:
 //!
@@ -10,6 +10,7 @@
 //! |-------|-------|------|
 //! | substrate | [`sim`] | deterministic clocks, stats, RNG, bounded hardware queues, traces |
 //! | model | [`taskmodel`] | task-parallel programs and the reference dependence graph |
+//! | substrate | [`fault`] | deterministic fault injection: replayable drop/delay/dead-link and tracker-loss schedules |
 //! | substrate | [`mem`] | MESI L1 caches, snooping interconnect, DRAM model |
 //! | engine | [`machine`] | machine config, cost model, scheduler-fabric trait, execution engine |
 //! | device | [`picos`] | the Picos hardware task-dependence manager (function + timing) |
@@ -69,6 +70,7 @@
 pub use tis_bench as bench;
 pub use tis_core as core;
 pub use tis_exp as exp;
+pub use tis_fault as fault;
 pub use tis_machine as machine;
 pub use tis_mem as mem;
 pub use tis_nanos as nanos;

@@ -1,0 +1,200 @@
+//! The chaos suite: end-to-end gates on the `tis-fault` layer (PR 6).
+//!
+//! Three properties are pinned here, each stated against full machine runs rather than unit
+//! fixtures:
+//!
+//! 1. **Fault tolerance is functional identity.** Under any *bounded* fault schedule — drops
+//!    and delays are always recovered by bounded retry, tracker losses are always resubmitted,
+//!    no link is permanently dead — every workload completes, retires exactly the same task
+//!    set as the fault-free run, and still satisfies the program's sequential semantics.
+//!    Faults may only move cycles, never outcomes.
+//! 2. **Unrecoverable faults are diagnosed, not hung.** A dead link with retries exhausted
+//!    surfaces as [`EngineError::UnrecoverableFault`] naming the faulted link, the endpoints,
+//!    the attempt count and the blocked task set — long before any watchdog heuristic fires.
+//! 3. **Chaos replays.** The same `(seed, FaultConfig)` pair reproduces the *entire* execution
+//!    report bit for bit; a different fault seed produces a genuinely different schedule.
+
+use tis::bench::{Harness, Platform};
+use tis::machine::{EngineError, FaultConfig, MemoryModel};
+use tis::sim::SimRng;
+use tis::taskmodel::{Dependence, Direction, Payload, ProgramBuilder, TaskProgram};
+
+/// Deterministic pseudo-random program generator (mirrors `runtime_correctness.rs`): enough
+/// dependence structure for wakeups, taskwaits and work stealing to all be on the line.
+fn random_program(seed: u64, tasks: usize) -> TaskProgram {
+    let mut rng = SimRng::new(seed);
+    let mut b = ProgramBuilder::new(format!("chaos-{seed}"));
+    for _ in 0..tasks {
+        let ndeps = rng.below(4) as usize;
+        let mut deps = Vec::new();
+        let mut used = Vec::new();
+        for _ in 0..ndeps {
+            let addr = 0x6000_0000 + rng.below(12) * 64;
+            if used.contains(&addr) {
+                continue;
+            }
+            used.push(addr);
+            let dir = match rng.below(3) {
+                0 => Direction::In,
+                1 => Direction::Out,
+                _ => Direction::InOut,
+            };
+            deps.push(Dependence::new(addr, dir));
+        }
+        b.spawn(Payload::compute(rng.range(100, 3_000)), deps);
+        if rng.chance(0.1) {
+            b.taskwait();
+        }
+    }
+    b.taskwait();
+    b.build()
+}
+
+fn chaos_harness(fault: FaultConfig) -> Harness {
+    Harness::with_cores(4)
+        .with_memory_model(MemoryModel::directory_mesh_contended())
+        .with_faults(fault)
+}
+
+/// Runs `program` fault-free and under `fault` on `platform`, asserting functional identity.
+fn assert_fault_tolerant(platform: Platform, program: &TaskProgram, fault: FaultConfig) {
+    let clean = chaos_harness(FaultConfig::none())
+        .run(platform, program)
+        .unwrap_or_else(|e| panic!("fault-free run failed on {}: {e}", platform.label()));
+    let faulted = chaos_harness(fault)
+        .run(platform, program)
+        .unwrap_or_else(|e| panic!("recoverable schedule {} killed {}: {e}", fault.key(), platform.label()));
+    assert_eq!(
+        clean.tasks_retired,
+        faulted.tasks_retired,
+        "{} lost tasks under {}",
+        platform.label(),
+        fault.key()
+    );
+    // The same task *set* retired (assignment and timing are allowed to move).
+    let mut a: Vec<_> = clean.records.iter().map(|r| r.task).collect();
+    let mut b: Vec<_> = faulted.records.iter().map(|r| r.task).collect();
+    a.sort_unstable();
+    b.sort_unstable();
+    assert_eq!(a, b, "{} retired a different task set under faults", platform.label());
+    // And the faulted schedule still respects the program's sequential semantics.
+    faulted
+        .validate_against(program)
+        .unwrap_or_else(|e| panic!("{} under {} violated semantics: {e}", platform.label(), fault.key()));
+}
+
+#[test]
+fn the_canonical_recoverable_schedule_preserves_function_on_every_platform() {
+    let program = random_program(0xC4A0, 48);
+    for platform in Platform::ALL {
+        assert_fault_tolerant(platform, &program, FaultConfig::recoverable());
+    }
+}
+
+#[test]
+fn dead_links_are_diagnosed_with_the_blocked_work_not_hung() {
+    // Every mesh link dead: the first coherence message that needs a hop exhausts its retries
+    // and the engine must convert that into a precise diagnosis instead of spinning until the
+    // no-progress watchdog guesses.
+    let fault = FaultConfig { dead_links: u32::MAX, ..FaultConfig::none() };
+    let program = random_program(0xDEAD, 40);
+    let err = chaos_harness(fault)
+        .run(Platform::Phentos, &program)
+        .expect_err("an all-dead mesh cannot complete a multi-core program");
+    match err {
+        EngineError::UnrecoverableFault { diagnosis, cycle, tasks_retired, tasks_blocked, runtime } => {
+            assert_ne!(diagnosis.from, diagnosis.to, "a dead link joins two distinct routers");
+            assert_eq!(
+                diagnosis.attempts,
+                fault.max_retries + 1,
+                "the diagnosis must report the exhausted retry budget"
+            );
+            assert!(cycle >= diagnosis.cycle, "detection can only follow the fault");
+            assert!(
+                tasks_blocked > 0 || tasks_retired < program.task_count() as u64,
+                "a fatal fault must leave work unfinished"
+            );
+            let rendered = EngineError::UnrecoverableFault {
+                diagnosis,
+                cycle,
+                tasks_retired,
+                tasks_blocked,
+                runtime,
+            }
+            .to_string();
+            assert!(rendered.contains("dead link"), "diagnosis must name the resource: {rendered}");
+            assert!(rendered.contains("blocked"), "diagnosis must report blocked work: {rendered}");
+        }
+        other => panic!("expected an unrecoverable-fault diagnosis, got: {other}"),
+    }
+}
+
+#[test]
+fn a_fault_schedule_replays_bit_identically_and_seeds_matter() {
+    let program = random_program(0x5EED, 48);
+    let fault = FaultConfig::recoverable();
+    let a = chaos_harness(fault).run(Platform::Phentos, &program).unwrap();
+    let b = chaos_harness(fault).run(Platform::Phentos, &program).unwrap();
+    // Replay: the whole report — records, per-core stats, every fault counter — is identical.
+    assert_eq!(a, b, "the same (seed, FaultConfig) must replay the execution exactly");
+    assert!(
+        a.memory_stats.fault.drops + a.memory_stats.fault.delays > 0,
+        "the recoverable schedule must actually fire for replay to mean anything"
+    );
+
+    // A different fault seed is a different storm: some observable must move.
+    let reseeded = chaos_harness(FaultConfig { seed: fault.seed ^ 0x9E37_79B9, ..fault })
+        .run(Platform::Phentos, &program)
+        .unwrap();
+    assert_eq!(a.tasks_retired, reseeded.tasks_retired, "function never moves");
+    assert!(
+        (a.total_cycles, &a.memory_stats.fault) != (reseeded.total_cycles, &reseeded.memory_stats.fault),
+        "a different fault seed must produce a different fault schedule"
+    );
+}
+
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        /// Any bounded-drop fault schedule — arbitrary rates and retry tuning, no dead links —
+        /// lets every workload complete functionally identical to the fault-free run.
+        #[test]
+        fn bounded_fault_schedules_preserve_function(
+            fault_seed in 1u64..u64::MAX,
+            program_seed in 0u64..1024,
+            drop_ppm in 0u32..150_000,
+            delay_ppm in 0u32..150_000,
+            tracker_loss_ppm in 0u32..30_000,
+            max_delay in 1u64..64,
+            retries in 1u32..4,
+            timeout in 16u64..128,
+            backoff in 0u64..64,
+            phentos in proptest::bool::ANY,
+        ) {
+            let fault = FaultConfig {
+                seed: fault_seed,
+                drop_ppm,
+                delay_ppm,
+                max_delay_cycles: max_delay,
+                tracker_loss_ppm,
+                max_retries: retries,
+                retry_timeout: timeout,
+                retry_backoff: backoff,
+                ..FaultConfig::none()
+            };
+            let platform = if phentos { Platform::Phentos } else { Platform::NanosSw };
+            let program = random_program(program_seed, 32);
+            if fault.engages() {
+                assert_fault_tolerant(platform, &program, fault);
+            } else {
+                // All rates drew zero: degenerates to the zero-rate exactness property.
+                let clean = chaos_harness(FaultConfig::none()).run(platform, &program).unwrap();
+                let z = chaos_harness(FaultConfig::zero_rate()).run(platform, &program).unwrap();
+                prop_assert_eq!(clean, z);
+            }
+        }
+    }
+}

@@ -19,7 +19,7 @@
 //! numbers moved. A mismatching run prints the same tables in its panic message.
 
 use tis::bench::{figure7_workloads, Harness, Platform};
-use tis::machine::{MachineConfig, MemoryModel};
+use tis::machine::{FaultConfig, MachineConfig, MemoryModel};
 use tis::workloads::entry_for_cores;
 
 /// Task count of the pinned Figure 7 microbenchmarks (matches the fig07 bench target, so the
@@ -120,8 +120,8 @@ const FIG09_DIR_MESH_PINS: &[(&str, &str, &str, u64)] = &[
     ("stream-deps", "64", "phentos", 1316409),
 ];
 
-fn fig07_measured_on(model: MemoryModel) -> Vec<(String, String, u64)> {
-    let prototype = Harness::paper_prototype().with_memory_model(model);
+fn fig07_measured_on_faulted(model: MemoryModel, fault: FaultConfig) -> Vec<(String, String, u64)> {
+    let prototype = Harness::paper_prototype().with_memory_model(model).with_faults(fault);
     let single = Harness {
         machine: MachineConfig { cores: 1, ..prototype.machine },
         ..prototype
@@ -138,12 +138,19 @@ fn fig07_measured_on(model: MemoryModel) -> Vec<(String, String, u64)> {
     out
 }
 
+fn fig07_measured_on(model: MemoryModel) -> Vec<(String, String, u64)> {
+    fig07_measured_on_faulted(model, FaultConfig::none())
+}
+
 fn fig07_measured() -> Vec<(String, String, u64)> {
     fig07_measured_on(MemoryModel::SnoopBus)
 }
 
-fn fig09_measured_on(model: MemoryModel) -> Vec<(String, String, String, u64)> {
-    let harness = Harness::paper_prototype().with_memory_model(model);
+fn fig09_measured_on_faulted(
+    model: MemoryModel,
+    fault: FaultConfig,
+) -> Vec<(String, String, String, u64)> {
+    let harness = Harness::paper_prototype().with_memory_model(model).with_faults(fault);
     let mut out = Vec::new();
     for &(benchmark, input) in FIG09_ENTRIES {
         let w = entry_for_cores(benchmark, input, harness.cores())
@@ -161,6 +168,10 @@ fn fig09_measured_on(model: MemoryModel) -> Vec<(String, String, String, u64)> {
         }
     }
     out
+}
+
+fn fig09_measured_on(model: MemoryModel) -> Vec<(String, String, String, u64)> {
+    fig09_measured_on_faulted(model, FaultConfig::none())
 }
 
 fn fig09_measured() -> Vec<(String, String, String, u64)> {
@@ -267,6 +278,53 @@ fn fig09_cycle_counts_are_pinned_under_ideal_directory_mesh() {
          re-pin (see module docs) with:\n\n{}\n",
         render_fig09(&measured).replace("FIG09_PINS", "FIG09_DIR_MESH_PINS")
     );
+}
+
+#[test]
+fn fig07_pins_survive_a_zero_rate_fault_schedule() {
+    // PR 6's zero-rate exactness gate at figure granularity: a fully-engaged fault layer whose
+    // schedule never fires must leave every pinned Figure 7 cycle count untouched, on both the
+    // snooping bus (tracker-loss path armed) and the ideal mesh (message-fault path armed).
+    if repin_requested() {
+        return; // repin output comes from the fault-free tests; these must match them.
+    }
+    for (model, pins, label) in [
+        (MemoryModel::SnoopBus, FIG07_PINS, "snoop bus"),
+        (MemoryModel::directory_mesh(), FIG07_DIR_MESH_PINS, "ideal directory mesh"),
+    ] {
+        let measured = fig07_measured_on_faulted(model, FaultConfig::zero_rate());
+        let current: Vec<(&str, &str, u64)> =
+            measured.iter().map(|(p, w, c)| (p.as_str(), w.as_str(), *c)).collect();
+        assert_eq!(
+            current.as_slice(),
+            pins,
+            "the zero-rate fault layer moved pinned Figure 7 cycles on the {label}"
+        );
+    }
+}
+
+#[test]
+fn fig09_pins_survive_a_zero_rate_fault_schedule() {
+    // Same gate at the paper's 8-core scale, where the mesh actually routes coherence traffic:
+    // zero-rate fault arithmetic must be bit-invisible in every pinned Figure 9 cell.
+    if repin_requested() {
+        return;
+    }
+    for (model, pins, label) in [
+        (MemoryModel::SnoopBus, FIG09_PINS, "snoop bus"),
+        (MemoryModel::directory_mesh(), FIG09_DIR_MESH_PINS, "ideal directory mesh"),
+    ] {
+        let measured = fig09_measured_on_faulted(model, FaultConfig::zero_rate());
+        let current: Vec<(&str, &str, &str, u64)> = measured
+            .iter()
+            .map(|(b, i, p, c)| (b.as_str(), i.as_str(), p.as_str(), *c))
+            .collect();
+        assert_eq!(
+            current.as_slice(),
+            pins,
+            "the zero-rate fault layer moved pinned Figure 9 cycles on the {label}"
+        );
+    }
 }
 
 #[test]

@@ -18,21 +18,36 @@
 //! third participant: link bandwidth and finite buffers may only change *when* things happen,
 //! never *what* happens, so its functional outcomes and resident states must match the other
 //! two models step for step, and its per-access latency must never beat the ideal mesh's.
+//!
+//! A fourth participant pins the fault layer's zero-rate exactness: the contended mesh with a
+//! fully-engaged but never-firing `FaultConfig::zero_rate()` schedule must be **bit-identical**
+//! to the third — every access outcome *including latency*, every resident state, and the final
+//! statistics. The fault layer costs nothing until a fault actually fires.
 
 use tis::mem::{
-    AccessKind, CacheConfig, MemLatencies, MemoryModel, MemorySystem, LINE_SIZE,
+    AccessKind, CacheConfig, FaultConfig, MemLatencies, MemoryModel, MemorySystem, LINE_SIZE,
 };
 use tis::sim::SimRng;
 
-/// Builds the snooping reference, the ideal-mesh candidate and the contended-mesh candidate
-/// with identical geometry.
-fn trio(cores: usize, cache: CacheConfig) -> (MemorySystem, MemorySystem, MemorySystem) {
+/// Builds the snooping reference, the ideal-mesh candidate, the contended-mesh candidate and
+/// the zero-rate-faulted contended mesh with identical geometry.
+fn quartet(
+    cores: usize,
+    cache: CacheConfig,
+) -> (MemorySystem, MemorySystem, MemorySystem, MemorySystem) {
     let lat = MemLatencies::default();
     let snoop = MemorySystem::with_model(cores, cache, lat, MemoryModel::SnoopBus);
     let dir = MemorySystem::with_model(cores, cache, lat, MemoryModel::directory_mesh());
     let contended =
         MemorySystem::with_model(cores, cache, lat, MemoryModel::directory_mesh_contended());
-    (snoop, dir, contended)
+    let zero_faulted = MemorySystem::with_model_and_faults(
+        cores,
+        cache,
+        lat,
+        MemoryModel::directory_mesh_contended(),
+        FaultConfig::zero_rate(),
+    );
+    (snoop, dir, contended, zero_faulted)
 }
 
 fn kind_of(sel: u64) -> AccessKind {
@@ -61,13 +76,20 @@ fn assert_same_resident_states(snoop: &MemorySystem, dir: &MemorySystem, step: u
 /// Each model advances its own clock by its own latency, so timing feedback (bus queueing in
 /// the snoop model) is exercised rather than bypassed.
 fn drive_trace(cores: usize, cache: CacheConfig, trace: &[(usize, u64, AccessKind)]) {
-    let (mut snoop, mut dir, mut contended) = trio(cores, cache);
+    let (mut snoop, mut dir, mut contended, mut zero_faulted) = quartet(cores, cache);
     let (mut now_snoop, mut now_dir, mut now_contended) = (0u64, 0u64, 0u64);
     for (step, &(core, line, kind)) in trace.iter().enumerate() {
         let addr = line * LINE_SIZE;
         let a = snoop.access(core, addr, kind, 8, now_snoop);
         let b = dir.access(core, addr, kind, 8, now_dir);
         let c = contended.access(core, addr, kind, 8, now_contended);
+        // The zero-rate faulted mesh shares the contended clock: it must be bit-identical.
+        let z = zero_faulted.access(core, addr, kind, 8, now_contended);
+        assert_eq!(
+            c, z,
+            "step {step} (core {core}, line {line:#x}, {kind:?}): the zero-rate fault layer \
+             changed the outcome"
+        );
         now_snoop += a.latency.max(1);
         now_dir += b.latency.max(1);
         now_contended += c.latency.max(1);
@@ -89,9 +111,11 @@ fn drive_trace(cores: usize, cache: CacheConfig, trace: &[(usize, u64, AccessKin
         );
         assert_same_resident_states(&snoop, &dir, step);
         assert_same_resident_states(&dir, &contended, step);
+        assert_same_resident_states(&contended, &zero_faulted, step);
         snoop.check_coherence_invariants().expect("snoop invariants");
         dir.check_coherence_invariants().expect("directory invariants");
         contended.check_coherence_invariants().expect("contended-mesh invariants");
+        zero_faulted.check_coherence_invariants().expect("zero-rate-faulted mesh invariants");
     }
     // Coherence *traffic* must agree too: all models moved the same lines through memory
     // the same number of times (fetches, writebacks and dirty bounces are protocol-level
@@ -105,6 +129,10 @@ fn drive_trace(cores: usize, cache: CacheConfig, trace: &[(usize, u64, AccessKin
     assert_eq!(sb.dram_fetches, sc.dram_fetches, "contention changed DRAM fetches");
     assert_eq!(sb.dram_writebacks, sc.dram_writebacks, "contention changed writebacks");
     assert_eq!(sb.invalidations, sc.invalidations, "contention changed invalidation fan-out");
+    // The zero-rate fault layer is *statistically* invisible too: every counter — including
+    // the fault counters themselves — matches the fault-free contended mesh exactly.
+    assert_eq!(sc, zero_faulted.stats(), "zero-rate fault stats diverged from fault-free");
+    assert!(zero_faulted.fault_diagnosis().is_none(), "zero-rate schedules never diagnose");
 }
 
 #[test]

@@ -4,7 +4,9 @@
 //! and makes the parallel runner safe to use for anything that feeds the bench-diff tool.
 
 use tis::bench::Platform;
-use tis::exp::{run_sweep_with_workers, MemoryModel, Sweep, SynthFamily, SynthSpec, WorkloadSpec};
+use tis::exp::{
+    run_sweep_with_workers, FaultConfig, MemoryModel, Sweep, SynthFamily, SynthSpec, WorkloadSpec,
+};
 use tis::picos::TrackerConfig;
 
 fn reference_sweep() -> Sweep {
@@ -79,6 +81,74 @@ fn grid_order_is_workload_cores_memory_tracker_platform() {
     let per_workload = 3 * 3 * 2 * 2;
     assert!(report.cells[0].workload.starts_with("synth-er"));
     assert!(report.cells[per_workload].workload.starts_with("synth-tree"));
+}
+
+/// A sweep with an engaging fault axis: the chaos analogue of [`reference_sweep`].
+fn fault_sweep() -> Sweep {
+    Sweep::new("fault-determinism")
+        .over_cores([4])
+        .over_memory_models([MemoryModel::directory_mesh_contended()])
+        .over_platforms([Platform::Phentos])
+        .over_faults([FaultConfig::none(), FaultConfig::zero_rate(), FaultConfig::recoverable()])
+        .with_workload(WorkloadSpec::synth(SynthSpec {
+            family: SynthFamily::ErdosRenyi { density: 0.08 },
+            tasks: 48,
+            task_cycles: 5_000,
+            jitter: 0.5,
+        }))
+        .with_workload(WorkloadSpec::synth(SynthSpec::uniform(
+            SynthFamily::Tree { arity: 2 },
+            40,
+            8_000,
+        )))
+}
+
+#[test]
+fn fault_schedules_replay_identically_at_any_worker_count() {
+    // The tentpole replay guarantee: every injected fault is a pure function of
+    // (sweep seed, FaultConfig, cell index), so a chaos sweep's report — including every
+    // fault counter and recovery latency — is byte-identical at 1, 2 and 8 workers.
+    let sweep = fault_sweep();
+    let baseline = run_sweep_with_workers(&sweep, 1);
+    assert_eq!(baseline.cells.len(), sweep.cell_count());
+    let baseline_json = baseline.to_json().render();
+    for workers in [2, 8] {
+        let parallel = run_sweep_with_workers(&sweep, workers);
+        assert_eq!(
+            baseline_json,
+            parallel.to_json().render(),
+            "{workers}-worker chaos sweep diverged from the sequential run"
+        );
+        assert_eq!(baseline, parallel);
+    }
+    // And across repeated runs: chaos is replayable, not merely parallel-safe.
+    assert_eq!(baseline_json, run_sweep_with_workers(&sweep, 4).to_json().render());
+}
+
+#[test]
+fn zero_rate_fault_cells_match_fault_free_cells_exactly() {
+    let report = fault_sweep().run_parallel(4);
+    // Grid order: per workload, the fault axis enumerates none ▸ zero-rate ▸ recoverable.
+    for group in report.cells.chunks(3) {
+        let (clean, zero, faulted) = (&group[0], &group[1], &group[2]);
+        assert!(!clean.fault.engages());
+        assert!(zero.fault.engages() && faulted.fault.engages());
+        assert_eq!(
+            clean.total_cycles, zero.total_cycles,
+            "{}: an engaged-but-silent fault layer must cost nothing",
+            clean.workload
+        );
+        assert_eq!(zero.fault_drops + zero.fault_delays + zero.fault_tracker_losses, 0);
+        // The recoverable schedule ran the same work (functional identity), only slower.
+        assert_eq!(clean.tasks, faulted.tasks);
+        assert_eq!(clean.serial_cycles, faulted.serial_cycles);
+        assert!(faulted.total_cycles >= clean.total_cycles);
+        assert!(
+            faulted.fault_drops + faulted.fault_delays > 0,
+            "{}: the recoverable schedule must actually inject faults",
+            faulted.workload
+        );
+    }
 }
 
 #[test]

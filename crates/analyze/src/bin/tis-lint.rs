@@ -1,0 +1,34 @@
+//! CI gate for the workspace determinism rules.
+//!
+//! Scans every `.rs` file in the workspace against the rules in
+//! [`tis_analyze::lint`] and exits non-zero if any violation is found.
+//! Optionally takes the workspace root as the sole argument (defaults to the
+//! repository this binary was built from).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use tis_analyze::lint::{default_rules, lint_workspace};
+
+fn main() -> ExitCode {
+    let root = std::env::args().nth(1).map(PathBuf::from).unwrap_or_else(|| {
+        // crates/analyze -> workspace root.
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+    });
+    let findings = match lint_workspace(&root, &default_rules()) {
+        Ok(findings) => findings,
+        Err(e) => {
+            eprintln!("tis-lint: failed to scan {}: {e}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    if findings.is_empty() {
+        println!("tis-lint: workspace clean ({} determinism rules)", default_rules().len());
+        return ExitCode::SUCCESS;
+    }
+    for f in &findings {
+        println!("{f}");
+    }
+    eprintln!("tis-lint: {} violation(s)", findings.len());
+    ExitCode::FAILURE
+}

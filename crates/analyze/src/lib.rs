@@ -1,0 +1,110 @@
+//! Static and dynamic analysis for the task-scheduling simulator.
+//!
+//! The paper's central claim is that the hardware dependence tracker enforces
+//! task data-dependences correctly at full speed. This crate machine-checks
+//! that claim from three independent angles, plus a source-level determinism
+//! lint:
+//!
+//! 1. **Preflight graph analysis** ([`analyze_graph`] / [`analyze_program`]):
+//!    one chokepoint every experiment's task graph passes through before any
+//!    cell runs. Detects cycles (iterative three-colour DFS), dangling and
+//!    duplicate edge references, duplicate declared addresses, and — the part
+//!    specific to task scheduling — classifies every conflicting task pair
+//!    (RaW/WaR/WaW on the same address) and proves an ordering edge, a
+//!    taskwait phase, or a transitive path covers it.
+//! 2. **Vector-clock race detection** ([`detect_races`]): replays the
+//!    engine's dispatch/retire trace against per-core vector clocks derived
+//!    from the declared wake edges. Any conflicting pair whose accesses are
+//!    not happens-before ordered at dispatch time yields a precise
+//!    [`RaceReport`] — a per-run scheduler-soundness certificate that works
+//!    identically for Picos, Phentos, and both Nanos platforms.
+//! 3. **Exhaustive protocol model check** ([`model_check_protocol`]): bounded
+//!    enumeration of every reachable global `(per-core MESI, directory)`
+//!    state through the pure transition tables in `tis-mem`, proving SWMR and
+//!    directory precision over the full reachable space rather than the
+//!    sampled traces runtime invariant checks see.
+//! 4. **Determinism lint** ([`lint`], `tis-lint` binary): a hand-rolled
+//!    source scan enforcing the repo rules that make byte-identical replay
+//!    possible (no wall-clock reads, no std hash maps in hot-path crates, no
+//!    stray threads, no ambient RNG).
+//!
+//! Analyses 1 and 2 are gated by [`AnalysisConfig`] so the default
+//! experiment path pays nothing — reports and artifacts stay byte-identical
+//! with analysis off.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod graph;
+pub mod lint;
+pub mod protocol;
+pub mod race;
+
+pub use graph::{
+    analyze_graph, analyze_program, conflict_frontier, ConflictPair, GraphAnalysis, GraphError,
+    GraphSpec,
+};
+pub use lint::{default_rules, lint_source, lint_workspace, LintFinding, LintRule};
+pub use protocol::{
+    check_global_invariants, model_check_protocol, ModelCheckReport, ProtocolViolation,
+};
+pub use race::{detect_races, RaceAnalysis, RaceReport};
+
+/// Which optional analyses an experiment run performs.
+///
+/// The default is everything off: the sweep hot path must not change by a
+/// single cycle (or output byte) unless analysis is explicitly requested.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AnalysisConfig {
+    /// Run [`analyze_graph`] on every instantiated program before simulation.
+    pub preflight: bool,
+    /// Run [`detect_races`] on every cell's execution trace after simulation.
+    pub races: bool,
+}
+
+impl AnalysisConfig {
+    /// No analysis at all (the default).
+    pub fn off() -> Self {
+        Self::default()
+    }
+
+    /// Every gated analysis on: preflight graph checks and race detection.
+    pub fn full() -> Self {
+        Self { preflight: true, races: true }
+    }
+
+    /// True if any gated analysis is enabled.
+    ///
+    /// Report serialisation uses this the same way it uses
+    /// `FaultConfig::engages`: analysis keys appear in output JSON only when
+    /// the run actually analysed something, keeping baseline artifacts
+    /// byte-identical.
+    pub fn engages(&self) -> bool {
+        self.preflight || self.races
+    }
+
+    /// Short stable label for experiment axes and report rows.
+    pub fn key(&self) -> &'static str {
+        match (self.preflight, self.races) {
+            (false, false) => "off",
+            (true, false) => "preflight",
+            (false, true) => "races",
+            (true, true) => "full",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_defaults_off_and_keys_are_stable() {
+        assert!(!AnalysisConfig::default().engages());
+        assert_eq!(AnalysisConfig::off().key(), "off");
+        assert!(AnalysisConfig::full().engages());
+        assert_eq!(AnalysisConfig::full().key(), "full");
+        assert_eq!(AnalysisConfig { preflight: true, races: false }.key(), "preflight");
+        assert_eq!(AnalysisConfig { preflight: false, races: true }.key(), "races");
+    }
+}

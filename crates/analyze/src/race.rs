@@ -1,0 +1,309 @@
+//! Vector-clock race detection over an execution trace.
+//!
+//! The engine reports one [`ExecRecord`] per retired task (core, dispatch
+//! cycle, retire cycle). This module replays that trace against vector clocks
+//! whose only happens-before sources are the ones the scheduler is *entitled*
+//! to rely on:
+//!
+//! - **wake edges** — a task's dispatch joins the retire clock of each
+//!   declared predecessor,
+//! - **program order on a core** — a core runs its tasks sequentially,
+//! - **taskwait barriers** — a task's dispatch joins the retire clocks of
+//!   every earlier phase.
+//!
+//! A conflicting pair (same address, at least one write) whose accesses are
+//! not happens-before ordered at dispatch time is a race: the schedule that
+//! ran was merely lucky, nothing *forced* the order. This is deliberately
+//! stricter than checking timestamps — a racy pair that happened to execute
+//! in the right order is still reported, which is what makes the mutation
+//! tests (drop a wake edge, rerun the detector) deterministic.
+
+use tis_taskmodel::{DepAddr, Dependence, ExecRecord, TaskId};
+
+use crate::graph::{conflict_frontier, GraphSpec};
+
+/// One unordered conflicting pair: the per-run soundness certificate failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RaceReport {
+    /// The earlier task of the pair (spawn order).
+    pub first: TaskId,
+    /// The later task of the pair (spawn order).
+    pub second: TaskId,
+    /// The contended address.
+    pub addr: DepAddr,
+    /// The earlier task's declared access to `addr`.
+    pub first_access: Dependence,
+    /// The later task's declared access to `addr`.
+    pub second_access: Dependence,
+    /// Cycle at which the earlier task dispatched.
+    pub first_dispatch: u64,
+    /// Cycle at which the later task dispatched.
+    pub second_dispatch: u64,
+}
+
+impl std::fmt::Display for RaceReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "race on {:#x}: task {} ({:?} @ cycle {}) unordered with task {} ({:?} @ cycle {})",
+            self.addr,
+            self.first.raw(),
+            self.first_access.dir,
+            self.first_dispatch,
+            self.second.raw(),
+            self.second_access.dir,
+            self.second_dispatch,
+        )
+    }
+}
+
+/// Result of replaying one execution trace through the race detector.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RaceAnalysis {
+    /// Cores observed in the trace.
+    pub cores: usize,
+    /// Conflicting frontier pairs with both sides executed, all checked.
+    pub pairs_checked: usize,
+    /// Conflicting pairs skipped because a side never executed (the
+    /// [`tis_taskmodel::ExecutionValidator`] reports those separately).
+    pub pairs_skipped: usize,
+    /// Every unordered conflicting pair found.
+    pub races: Vec<RaceReport>,
+}
+
+impl RaceAnalysis {
+    /// True when the trace is certified race-free (and nothing was skipped).
+    pub fn is_race_free(&self) -> bool {
+        self.races.is_empty() && self.pairs_skipped == 0
+    }
+}
+
+/// Replays `records` against `spec`'s wake edges and reports every
+/// conflicting pair not happens-before ordered at dispatch time.
+///
+/// # Panics
+///
+/// Panics if a record's task id is outside `spec` or recorded twice — those
+/// are trace corruptions, not schedules to analyze.
+pub fn detect_races(spec: &GraphSpec, records: &[ExecRecord]) -> RaceAnalysis {
+    let n = spec.tasks;
+    let cores = records.iter().map(|r| r.core + 1).max().unwrap_or(0);
+
+    // Per-task record slot, panicking on corrupt traces.
+    let mut rec: Vec<Option<ExecRecord>> = vec![None; n];
+    for r in records {
+        let idx = r.task.raw() as usize;
+        assert!(idx < n, "record for task {idx} outside the {n}-task graph");
+        assert!(rec[idx].is_none(), "task {idx} recorded twice");
+        rec[idx] = Some(*r);
+    }
+
+    // Wake-edge predecessors of each task.
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for &(from, to) in &spec.edges {
+        preds[to].push(from);
+    }
+
+    // Interleave dispatches and retires in time order. Ties are resolved by
+    // task id, then dispatch-before-retire: a successor may dispatch at the
+    // exact cycle its predecessor retires, and dependence edges always point
+    // forward in spawn order, so the smaller-id predecessor's retire lands
+    // first; a zero-duration task still dispatches before it retires.
+    #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+    enum Kind {
+        Dispatch,
+        Retire,
+    }
+    let mut events: Vec<(u64, usize, Kind)> = Vec::with_capacity(2 * records.len());
+    for r in records {
+        let idx = r.task.raw() as usize;
+        events.push((r.start, idx, Kind::Dispatch));
+        events.push((r.end, idx, Kind::Retire));
+    }
+    events.sort_unstable();
+
+    let phases = spec.phase.iter().copied().max().map_or(0, |p| p + 1);
+    let mut core_vc: Vec<Vec<u64>> = vec![vec![0; cores]; cores];
+    let mut dispatch_vc: Vec<Option<Vec<u64>>> = vec![None; n];
+    let mut retire_vc: Vec<Option<Vec<u64>>> = vec![None; n];
+    // Join of the retire clocks of every task in a given phase, for barriers.
+    let mut phase_vc: Vec<Vec<u64>> = vec![vec![0; cores]; phases];
+
+    fn join(into: &mut [u64], from: &[u64]) {
+        for (a, b) in into.iter_mut().zip(from) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    for (_, idx, kind) in events {
+        let r = rec[idx].expect("event for unrecorded task");
+        match kind {
+            Kind::Dispatch => {
+                let mut vc = core_vc[r.core].clone();
+                for &p in &preds[idx] {
+                    if let Some(pvc) = &retire_vc[p] {
+                        join(&mut vc, pvc);
+                    }
+                }
+                for earlier in &phase_vc[..spec.phase[idx]] {
+                    join(&mut vc, earlier);
+                }
+                vc[r.core] += 1;
+                dispatch_vc[idx] = Some(vc.clone());
+                core_vc[r.core] = vc;
+            }
+            Kind::Retire => {
+                core_vc[r.core][r.core] += 1;
+                let vc = core_vc[r.core].clone();
+                join(&mut phase_vc[spec.phase[idx]], &vc);
+                retire_vc[idx] = Some(vc);
+            }
+        }
+    }
+
+    let mut analysis = RaceAnalysis { cores, ..Default::default() };
+    for pair in conflict_frontier(spec) {
+        let (Some(first_vc), Some(second_vc)) =
+            (&retire_vc[pair.earlier], &dispatch_vc[pair.later])
+        else {
+            analysis.pairs_skipped += 1;
+            continue;
+        };
+        analysis.pairs_checked += 1;
+        let ordered = first_vc.iter().zip(second_vc.iter()).all(|(a, b)| a <= b);
+        if !ordered {
+            let access_to = |task: usize| {
+                spec.deps[task]
+                    .iter()
+                    .find(|d| d.addr == pair.addr)
+                    .copied()
+                    .expect("conflict pair tasks both declare the address")
+            };
+            analysis.races.push(RaceReport {
+                first: TaskId(pair.earlier as u64),
+                second: TaskId(pair.later as u64),
+                addr: pair.addr,
+                first_access: access_to(pair.earlier),
+                second_access: access_to(pair.later),
+                first_dispatch: rec[pair.earlier].map(|r| r.start).unwrap_or(0),
+                second_dispatch: rec[pair.later].map(|r| r.start).unwrap_or(0),
+            });
+        }
+    }
+    analysis
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tis_taskmodel::{Payload, ProgramBuilder};
+
+    /// 0 writes A; 1 and 2 read A and write their own outputs; 3 reads both.
+    fn diamond() -> GraphSpec {
+        let mut b = ProgramBuilder::new("diamond");
+        b.spawn(Payload::compute(10), vec![Dependence::write(0xA0)]);
+        b.spawn(Payload::compute(10), vec![Dependence::read(0xA0), Dependence::write(0xB0)]);
+        b.spawn(Payload::compute(10), vec![Dependence::read(0xA0), Dependence::write(0xC0)]);
+        b.spawn(Payload::compute(10), vec![Dependence::read(0xB0), Dependence::read(0xC0)]);
+        GraphSpec::from_program(&b.build())
+    }
+
+    fn record(task: u64, core: usize, start: u64, end: u64) -> ExecRecord {
+        ExecRecord { task: TaskId(task), core, start, end }
+    }
+
+    /// A legal two-core schedule for the diamond: middles run in parallel
+    /// after 0 retires, 3 runs after both retire.
+    fn diamond_schedule() -> Vec<ExecRecord> {
+        vec![
+            record(0, 0, 0, 10),
+            record(1, 0, 10, 20),
+            record(2, 1, 10, 20),
+            record(3, 0, 20, 30),
+        ]
+    }
+
+    #[test]
+    fn ordered_parallel_schedule_is_race_free() {
+        let analysis = detect_races(&diamond(), &diamond_schedule());
+        assert_eq!(analysis.cores, 2);
+        assert_eq!(analysis.pairs_checked, 4, "RaW pairs 0-1, 0-2, 1-3, 2-3: {analysis:?}");
+        assert!(analysis.is_race_free(), "{:?}", analysis.races);
+    }
+
+    #[test]
+    fn dropped_wake_edge_is_a_race_even_when_timing_looks_ordered() {
+        let mut spec = diamond();
+        // Remove the wake edge 0 -> 2: task 2 ran on core 1 with nothing
+        // forcing it after task 0. Timestamps alone still look ordered —
+        // the detector must flag it anyway.
+        spec.edges.retain(|&e| e != (0, 2));
+        let analysis = detect_races(&spec, &diamond_schedule());
+        assert_eq!(analysis.races.len(), 1);
+        let race = analysis.races[0];
+        assert_eq!((race.first, race.second), (TaskId(0), TaskId(2)));
+        assert_eq!(race.addr, 0xA0);
+        assert!(race.first_access.dir.writes());
+        assert!(race.second_access.dir.reads());
+        assert_eq!((race.first_dispatch, race.second_dispatch), (0, 10));
+    }
+
+    #[test]
+    fn same_core_program_order_covers_a_dropped_edge() {
+        let mut spec = diamond();
+        // Task 1 ran on core 0 right after task 0 retired; even without the
+        // wake edge, the core's program order is a legitimate HB source.
+        spec.edges.retain(|&e| e != (0, 1));
+        let analysis = detect_races(&spec, &diamond_schedule());
+        assert!(analysis.is_race_free(), "{:?}", analysis.races);
+    }
+
+    #[test]
+    fn barrier_orders_tasks_without_edges() {
+        let mut b = ProgramBuilder::new("barrier");
+        b.spawn(Payload::compute(10), vec![Dependence::write(0xA0)]);
+        b.taskwait();
+        b.spawn(Payload::compute(10), vec![Dependence::read(0xA0)]);
+        let mut spec = GraphSpec::from_program(&b.build());
+        // Strip the edge: only the barrier orders the pair.
+        spec.edges.clear();
+        let records = vec![record(0, 0, 0, 10), record(1, 1, 10, 20)];
+        let analysis = detect_races(&spec, &records);
+        assert_eq!(analysis.pairs_checked, 1);
+        assert!(analysis.is_race_free(), "{:?}", analysis.races);
+    }
+
+    #[test]
+    fn truly_concurrent_conflict_is_reported() {
+        let mut b = ProgramBuilder::new("overlap");
+        b.spawn(Payload::compute(10), vec![Dependence::write(0xA0)]);
+        b.spawn(Payload::compute(10), vec![Dependence::write(0xA0)]);
+        let mut spec = GraphSpec::from_program(&b.build());
+        spec.edges.clear();
+        // Both dispatch at cycle 0 on different cores: a WaW race.
+        let records = vec![record(0, 0, 0, 10), record(1, 1, 0, 10)];
+        let analysis = detect_races(&spec, &records);
+        assert_eq!(analysis.races.len(), 1);
+        assert!(analysis.races[0].first_access.dir.writes());
+        assert!(analysis.races[0].second_access.dir.writes());
+    }
+
+    #[test]
+    fn missing_record_is_skipped_not_raced() {
+        let spec = diamond();
+        let mut records = diamond_schedule();
+        records.retain(|r| r.task != TaskId(3));
+        let analysis = detect_races(&spec, &records);
+        assert_eq!(analysis.pairs_skipped, 2, "1-3 and 2-3 lack a record");
+        assert!(!analysis.is_race_free());
+        assert!(analysis.races.is_empty());
+    }
+
+    #[test]
+    fn empty_trace_on_empty_graph_is_clean() {
+        let spec = GraphSpec::from_program(&ProgramBuilder::new("empty").build());
+        let analysis = detect_races(&spec, &[]);
+        assert!(analysis.is_race_free());
+        assert_eq!(analysis.cores, 0);
+    }
+}

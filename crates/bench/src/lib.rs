@@ -141,6 +141,13 @@ impl Harness {
     ///
     /// Propagates any [`EngineError`] (deadlock / cycle-cap) from the simulation.
     pub fn run(&self, platform: Platform, program: &TaskProgram) -> Result<ExecutionReport, EngineError> {
+        // In debug builds every program entering the harness is preflighted: acyclic,
+        // reference-clean, conflict-covered. Release benches skip the pass so pinned
+        // figure timings are untouched; the generators' own chokepoints still cover them.
+        #[cfg(debug_assertions)]
+        if let Err(e) = tis_analyze::analyze_program(program) {
+            panic!("program failed preflight before simulation: {e}");
+        }
         let cores = self.machine.cores;
         match platform {
             Platform::Phentos => {
@@ -273,6 +280,11 @@ pub fn evaluate_workload(
     workload: &WorkloadInstance,
     platforms: &[Platform],
 ) -> WorkloadResult {
+    // Catalog entries were preflighted at generation; hand-built instances get the same
+    // soundness proof here before any platform simulates them.
+    if let Err(e) = tis_analyze::analyze_program(&workload.program) {
+        panic!("{} failed preflight: {e}", workload.label());
+    }
     let serial = harness.serial_cycles(&workload.program);
     let mut results = Vec::new();
     for &p in platforms {

@@ -189,8 +189,7 @@ impl PicosManager {
             }
         }
         // 2. Route ready descriptors to requesting cores, strictly in request order.
-        loop {
-            let Some(&core) = self.routing_queue.front() else { break };
+        while let Some(&core) = self.routing_queue.front() {
             if self.ready_queues[core].is_full() {
                 break; // in-order service: the head blocks until its target queue has space
             }

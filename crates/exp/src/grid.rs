@@ -8,6 +8,7 @@
 //! runner may evaluate cells on any worker in any order, but reports are always assembled in
 //! grid order, so sweep output is bit-identical regardless of parallelism.
 
+use tis_analyze::AnalysisConfig;
 use tis_bench::Platform;
 use tis_machine::{FaultConfig, MemoryModel};
 use tis_picos::TrackerConfig;
@@ -128,9 +129,15 @@ impl WorkloadSpec {
                     "no catalog entry named '{benchmark} {input}'"
                 );
             }
-            WorkloadSpec::Synth { spec, .. } => spec.validate(),
+            WorkloadSpec::Synth { spec, .. } => spec.assert_params(),
             WorkloadSpec::Fixed { program, .. } => {
                 program.validate().expect("fixed sweep program must be valid");
+                // Hand-supplied programs get the same preflight the generated
+                // and catalog ones do: acyclic, no dangling references, every
+                // conflicting pair ordered.
+                if let Err(e) = tis_analyze::analyze_program(program) {
+                    panic!("fixed sweep program '{}' failed preflight: {e}", program.name());
+                }
             }
         }
     }
@@ -197,6 +204,12 @@ pub struct Sweep {
     pub faults: Vec<FaultConfig>,
     /// Workload axis.
     pub workloads: Vec<WorkloadSpec>,
+    /// Which `tis-analyze` passes the runner performs: a preflight graph
+    /// analysis of every instantiated program and/or a vector-clock race
+    /// check of every cell's schedule. Off by default — analysis is an
+    /// observer, so it never changes simulated cycles, and report artifacts
+    /// gain analysis keys only when it engages.
+    pub analysis: AnalysisConfig,
     /// Whether every cell's schedule is validated against the reference dependence graph
     /// (on by default; sweeps exist to explore, and an invalid schedule is a finding, not a
     /// data point).
@@ -217,6 +230,7 @@ impl Sweep {
             trackers: vec![TrackerConfig::default()],
             faults: vec![FaultConfig::none()],
             workloads: Vec::new(),
+            analysis: AnalysisConfig::off(),
             validate: true,
         }
     }
@@ -262,6 +276,12 @@ impl Sweep {
     /// Sets the synthetic-generation seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Enables `tis-analyze` passes for this sweep (see [`Sweep::analysis`]).
+    pub fn with_analysis(mut self, analysis: AnalysisConfig) -> Self {
+        self.analysis = analysis;
         self
     }
 

@@ -60,3 +60,5 @@ pub use synth::{SynthFamily, SynthSpec, ER_WINDOW, MAX_IN_DEGREE};
 pub use tis_machine::{
     FaultConfig, FaultStats, LinkContention, MemoryModel, NocConfig, NocContention,
 };
+// The analysis switch, re-exported for the same reason.
+pub use tis_analyze::AnalysisConfig;

@@ -1,5 +1,6 @@
 //! Structured sweep results and their machine-readable serialisation.
 
+use tis_analyze::AnalysisConfig;
 use tis_bench::{Json, Platform};
 use tis_machine::{FaultConfig, MemoryModel};
 use tis_picos::TrackerConfig;
@@ -65,6 +66,12 @@ pub struct SweepCell {
     /// Maximum observed occupancy of one directed mesh link, in flits (zero off the contended
     /// mesh).
     pub max_link_occupancy: u64,
+    /// Analysis passes the cell ran under. [`AnalysisConfig::off`] for unanalysed cells; the
+    /// passes are pure observers, so the simulated cycle counts are identical either way.
+    pub analysis: AnalysisConfig,
+    /// Conflicting frontier pairs the race detector proved happens-before-ordered in this
+    /// cell's trace (zero when race detection was off).
+    pub race_pairs_checked: u64,
 }
 
 impl SweepCell {
@@ -150,6 +157,16 @@ impl SweepReport {
                         ]);
                     }
                 }
+                // Analysis keys likewise appear only for analysed cells, keeping every
+                // analysis-off artifact (and all checked-in baselines) byte-identical.
+                if c.analysis.engages() {
+                    if let Json::Obj(entries) = &mut pairs {
+                        entries.extend([
+                            ("analysis".to_string(), Json::Str(c.analysis.key().to_string())),
+                            ("race_pairs_checked".to_string(), Json::UInt(c.race_pairs_checked)),
+                        ]);
+                    }
+                }
                 pairs
             })
             .collect();
@@ -182,6 +199,14 @@ impl SweepReport {
             .map(|c| c.fault.key().len())
             .max()
             .map(|w| w.max("fault".len()));
+        // Same rule for the analysis column: unanalysed sweeps render exactly as before.
+        let analysis_width = self
+            .cells
+            .iter()
+            .filter(|c| c.analysis.engages())
+            .map(|c| c.analysis.key().len())
+            .max()
+            .map(|w| w.max("analysis".len()));
         let mut out = String::new();
         out.push_str(&format!(
             "{:<label_width$} | {:>5} | {:>10} | {:>noc_width$} | {:>9} | {:>13} | {:>6} | {:>8} | {:>9} | {:>8} | {:>6}",
@@ -190,8 +215,17 @@ impl SweepReport {
         if let Some(fault_width) = fault_width {
             out.push_str(&format!(" | {:>fault_width$}", "fault"));
         }
+        if let Some(analysis_width) = analysis_width {
+            out.push_str(&format!(" | {:>analysis_width$}", "analysis"));
+        }
         out.push('\n');
-        out.push_str(&"-".repeat(label_width + noc_width + 103 + fault_width.map_or(0, |w| w + 3)));
+        out.push_str(&"-".repeat(
+            label_width
+                + noc_width
+                + 103
+                + fault_width.map_or(0, |w| w + 3)
+                + analysis_width.map_or(0, |w| w + 3),
+        ));
         out.push('\n');
         for c in &self.cells {
             out.push_str(&format!(
@@ -210,6 +244,9 @@ impl SweepReport {
             ));
             if let Some(fault_width) = fault_width {
                 out.push_str(&format!(" | {:>fault_width$}", c.fault.key()));
+            }
+            if let Some(analysis_width) = analysis_width {
+                out.push_str(&format!(" | {:>analysis_width$}", c.analysis.key()));
             }
             out.push('\n');
         }
@@ -278,6 +315,8 @@ mod tests {
             fault_retries: 0,
             fault_tracker_losses: 0,
             fault_recovery_cycles: 0,
+            analysis: AnalysisConfig::off(),
+            race_pairs_checked: 0,
         }
     }
 
@@ -377,6 +416,35 @@ mod tests {
         assert!(table.contains("fault"), "an engaging cell brings the fault column:\n{table}");
         assert!(table.contains(&FaultConfig::recoverable().key()));
         assert!(table.contains("none"), "fault-free rows show 'none' in the fault column");
+    }
+
+    #[test]
+    fn analysis_keys_and_column_appear_only_for_analysed_cells() {
+        let plain = SweepReport { name: "a".into(), seed: 1, cells: vec![cell(2.0, 4.0)] };
+        let rendered = plain.to_json().render();
+        assert!(
+            !rendered.contains("analysis"),
+            "analysis-off cells carry no analysis keys:\n{rendered}"
+        );
+        assert!(!plain.render_table().contains("analysis"));
+
+        let mut analysed_cell = cell(2.0, 4.0);
+        analysed_cell.analysis = AnalysisConfig::full();
+        analysed_cell.race_pairs_checked = 42;
+        let analysed =
+            SweepReport { name: "a".into(), seed: 1, cells: vec![cell(2.0, 4.0), analysed_cell] };
+        let parsed = Json::parse(&analysed.to_json().render()).unwrap();
+        let cells = match parsed.get("cells") {
+            Some(Json::Arr(c)) => c,
+            other => panic!("cells must be an array, got {other:?}"),
+        };
+        assert!(cells[0].get("analysis").is_none(), "the analysis-off cell stays key-free");
+        assert_eq!(cells[1].get("analysis").and_then(Json::as_str), Some("full"));
+        assert_eq!(cells[1].get("race_pairs_checked").and_then(Json::as_f64), Some(42.0));
+        let table = analysed.render_table();
+        assert!(table.contains("analysis"), "an analysed cell brings the column:\n{table}");
+        assert!(table.contains("full"));
+        assert!(table.contains("off"), "analysis-off rows show 'off' in the analysis column");
     }
 
     #[test]

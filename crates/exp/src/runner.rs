@@ -124,7 +124,19 @@ pub fn run_sweep_with_workers(sweep: &Sweep, workers: usize) -> SweepReport {
     for (wi, spec) in sweep.workloads.iter().enumerate() {
         for &cores in &sweep.cores {
             let mut rng = sweep.cell_rng(wi, cores);
-            programs.push(spec.instantiate(cores, &mut rng));
+            let program = spec.instantiate(cores, &mut rng);
+            // Preflight chokepoint: prove the graph acyclic, reference-clean,
+            // and conflict-covered before a single cell simulates it.
+            if sweep.analysis.preflight {
+                if let Err(e) = tis_analyze::analyze_program(&program) {
+                    panic!(
+                        "sweep '{}': preflight failed for {} at {cores} cores: {e}",
+                        sweep.name,
+                        spec.label()
+                    );
+                }
+            }
+            programs.push(program);
         }
     }
     let program_of = |cell: &CellSpec| &programs[cell.workload * sweep.cores.len() + cell.core_axis];
@@ -200,15 +212,38 @@ fn run_cell(
         )
     };
     let report = harness
-        .run(platform, &program)
+        .run(platform, program)
         .unwrap_or_else(|e| panic!("{} failed: {e}", context()));
     if sweep.validate {
         report
-            .validate_against(&program)
+            .validate_against(program)
             .unwrap_or_else(|e| panic!("{} produced an invalid schedule: {e}", context()));
     }
+    // Dynamic race check over the dispatch/retire trace. A detected race means the
+    // platform executed a conflicting pair without a happens-before path — like a
+    // validation failure, that is a bug to surface, not a data point to record.
+    let race_pairs_checked = if sweep.analysis.races {
+        let spec_graph = tis_analyze::GraphSpec::from_program(program);
+        let analysis = tis_analyze::detect_races(&spec_graph, &report.records);
+        if !analysis.is_race_free() {
+            let mut detail = String::new();
+            for race in &analysis.races {
+                detail.push_str(&format!("\n  {race}"));
+            }
+            panic!(
+                "{} raced ({} of {} conflicting pairs unordered, {} unrecorded):{detail}",
+                context(),
+                analysis.races.len(),
+                analysis.pairs_checked,
+                analysis.pairs_skipped
+            );
+        }
+        analysis.pairs_checked as u64
+    } else {
+        0
+    };
     let stats = program.stats(harness.machine.dram_bytes_per_cycle);
-    let serial = harness.serial_cycles(&program);
+    let serial = harness.serial_cycles(program);
     SweepCell {
         workload: spec.label(),
         family: spec.family(),
@@ -240,6 +275,8 @@ fn run_cell(
         fault_tracker_losses: report.fabric_stats.tracker_losses,
         fault_recovery_cycles: report.memory_stats.fault.recovery_cycles
             + report.fabric_stats.tracker_recovery_cycles,
+        analysis: sweep.analysis,
+        race_pairs_checked,
     }
 }
 
@@ -329,6 +366,35 @@ mod tests {
         assert!(faulted.fault_drops > 0 && faulted.fault_recovery_cycles > 0);
         // Replay: the same sweep produces the same faulted cell, bit for bit.
         assert_eq!(sweep.run().cells[1], *faulted);
+    }
+
+    #[test]
+    fn analysis_passes_change_no_measurement() {
+        // The analyses are pure observers: preflighting the graphs and race-checking the
+        // traces must leave every simulated number — and the JSON the cells render to,
+        // minus the analysis keys themselves — untouched.
+        let plain = small_sweep().run();
+        let analysed = small_sweep().with_analysis(tis_analyze::AnalysisConfig::full()).run();
+        assert_eq!(plain.cells.len(), analysed.cells.len());
+        for (p, a) in plain.cells.iter().zip(&analysed.cells) {
+            assert_eq!(p.total_cycles, a.total_cycles);
+            assert_eq!(p.speedup, a.speedup);
+            assert_eq!(p.mem_stall_cycles, a.mem_stall_cycles);
+            assert!(a.analysis.engages());
+            assert!(!p.analysis.engages());
+        }
+        // The Erdős–Rényi cells declare address dependences, so their frontiers were
+        // actually walked; fork-join cells order purely by barrier and have no conflicting
+        // pairs at all. Nothing raced — the runner panics on a race, so reaching this
+        // line is the proof.
+        for c in &analysed.cells {
+            if c.family == "synth-er" {
+                assert!(c.race_pairs_checked > 0, "{} checked no pairs", c.workload);
+            } else {
+                assert_eq!(c.race_pairs_checked, 0, "{} has no conflicts to check", c.workload);
+            }
+        }
+        assert!(plain.cells.iter().all(|c| c.race_pairs_checked == 0));
     }
 
     #[test]

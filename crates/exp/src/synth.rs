@@ -108,12 +108,15 @@ impl SynthSpec {
         format!("{family} x{} t{}{jitter}", self.tasks, self.task_cycles)
     }
 
-    /// Checks the parameters.
+    /// Checks the generation parameters (graph-level soundness — cycles,
+    /// dangling references, conflict coverage — is proven separately: every
+    /// generated program is routed through the [`tis_analyze::analyze_graph`]
+    /// preflight chokepoint at the end of [`SynthSpec::generate`]).
     ///
     /// # Panics
     ///
     /// Panics on a degenerate spec (zero tasks or cycles, out-of-range density/jitter/width).
-    pub fn validate(&self) {
+    pub(crate) fn assert_params(&self) {
         assert!(self.tasks > 0, "synthetic graph needs at least one task");
         assert!(self.task_cycles > 0, "tasks must cost cycles");
         assert!((0.0..1.0).contains(&self.jitter), "jitter must be in [0, 1)");
@@ -145,8 +148,14 @@ impl SynthSpec {
     }
 
     /// Generates the task program, consuming randomness only from `rng`.
+    ///
+    /// Every generated program passes the [`tis_analyze::analyze_graph`]
+    /// preflight before it is returned: an acyclic graph, no dangling or
+    /// duplicate references, and every conflicting task pair covered by an
+    /// ordering edge or barrier. A generator bug that breaks any of those
+    /// panics here rather than producing a silently-racy sweep cell.
     pub fn generate(&self, rng: &mut SimRng) -> TaskProgram {
-        self.validate();
+        self.assert_params();
         let n = self.tasks;
         let mut b = ProgramBuilder::new(self.name());
         let out = |i: usize| SYNTH_BASE + (i as u64) * 64;
@@ -202,7 +211,11 @@ impl SynthSpec {
             b.spawn(Payload::compute(self.draw_cycles(rng)), deps);
         }
         b.taskwait();
-        b.build()
+        let program = b.build();
+        if let Err(e) = tis_analyze::analyze_program(&program) {
+            panic!("synthetic generator produced an unsound graph for {}: {e}", self.name());
+        }
+        program
     }
 
     /// Draws one task's compute cycles (mean `task_cycles`, uniform ±`jitter`).
@@ -233,7 +246,7 @@ mod tests {
         let g = p.reference_graph();
         assert_eq!(g.task_count(), 20);
         assert_eq!(g.edge_count(), 19);
-        let s = g.stats(&vec![1.0; 20]);
+        let s = g.stats(&[1.0; 20]);
         assert_eq!(s.max_width, 1, "a chain has no parallelism");
     }
 
@@ -257,7 +270,7 @@ mod tests {
             assert!(g.has_edge(TaskId(mid as u64), TaskId(5)), "middle {mid} feeds the sink");
         }
         assert!(g.has_edge(TaskId(5), TaskId(6)), "sink feeds the next source");
-        assert_eq!(g.stats(&vec![1.0; 12]).max_width, width);
+        assert_eq!(g.stats(&[1.0; 12]).max_width, width);
     }
 
     #[test]

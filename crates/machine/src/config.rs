@@ -128,8 +128,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one core")]
     fn zero_cores_invalid() {
-        let mut c = MachineConfig::default();
-        c.cores = 0;
+        let c = MachineConfig { cores: 0, ..Default::default() };
         c.validate();
     }
 }

@@ -146,10 +146,26 @@ pub fn run_machine(
     let mut core_stats: Vec<CoreStats> = vec![CoreStats::default(); cores];
     let mut finished: Vec<bool> = vec![false; cores];
     let mut last_progress: Cycle = 0;
+    // Debug builds audit the memory system's global invariants (SWMR, directory precision)
+    // every few thousand steps, catching a corrupted sharer set mid-run instead of at the
+    // end of a property test. Stride-based so the check stays off the per-step hot path;
+    // compiled out entirely in release builds.
+    #[cfg(debug_assertions)]
+    let mut steps_since_audit: u32 = 0;
 
     loop {
         if runtime.is_finished() {
             break;
+        }
+        #[cfg(debug_assertions)]
+        {
+            steps_since_audit += 1;
+            if steps_since_audit >= 8192 {
+                steps_since_audit = 0;
+                if let Err(e) = mem.check_coherence_invariants() {
+                    panic!("coherence invariant violated mid-run (runtime '{}'): {e}", runtime.name());
+                }
+            }
         }
         // Pick the live core that is furthest behind in time.
         let Some(core) = (0..cores).filter(|&c| !finished[c]).min_by_key(|&c| core_time[c]) else {

@@ -42,7 +42,7 @@ mod tests {
         assert_eq!(line_of(0), 0);
         assert_eq!(line_of(63), 0);
         assert_eq!(line_of(64), 1);
-        assert_eq!(line_base(0x1234), 0x1200 + 0x30 - 0x30 & !(LINE_SIZE - 1));
+        assert_eq!(line_base(0x1234), (0x1200 + 0x30 - 0x30) & !(LINE_SIZE - 1));
         assert_eq!(line_base(127), 64);
     }
 

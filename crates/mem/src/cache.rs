@@ -38,7 +38,7 @@ impl CacheConfig {
         assert!(self.ways > 0, "cache must have at least one way");
         let per_way = self.capacity_bytes / self.ways as u64;
         assert!(
-            per_way % LINE_SIZE == 0,
+            per_way.is_multiple_of(LINE_SIZE),
             "capacity must be a whole number of lines per way"
         );
         let sets = (per_way / LINE_SIZE) as usize;

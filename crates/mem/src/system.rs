@@ -35,9 +35,11 @@ use crate::noc::{Mesh, NocConfig, NocContention, NocTraffic, CTRL_MSG_BYTES, DAT
 
 /// Which coherence interconnect the [`MemorySystem`] simulates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Default)]
 pub enum MemoryModel {
     /// The paper's single snoop domain: MESI over a broadcast bus, no shared L2. The default,
     /// and the model every figure reproduction is pinned to.
+    #[default]
     SnoopBus,
     /// Directory-based MESI over a 2D-mesh NoC with the given latency parameters. Selectable
     /// per [`crate::noc::NocConfig`]; functionally equivalent to [`MemoryModel::SnoopBus`] but
@@ -45,11 +47,6 @@ pub enum MemoryModel {
     DirectoryMesh(NocConfig),
 }
 
-impl Default for MemoryModel {
-    fn default() -> Self {
-        MemoryModel::SnoopBus
-    }
-}
 
 impl MemoryModel {
     /// The directory/NoC model with default mesh latencies and the ideal (contention-free)
@@ -819,7 +816,7 @@ mod tests {
         let first = m.access(0, 0x1000, AccessKind::Read, 8, 0);
         assert!(!first.l1_hit);
         assert!(first.latency >= lat.dram_fetch);
-        let second = m.access(0, 0x1000, AccessKind::Read, 8, first.latency as u64);
+        let second = m.access(0, 0x1000, AccessKind::Read, 8, first.latency);
         assert!(second.l1_hit);
         assert_eq!(second.latency, lat.l1_hit);
         // Reading an uncached line when no one else has it installs Exclusive, so a subsequent
@@ -1166,7 +1163,7 @@ mod tests {
         for model in [MemoryModel::directory_mesh(), MemoryModel::directory_mesh_contended()] {
             let mut plain = faulted_sys(8, model, FaultConfig::none());
             let mut zeroed = faulted_sys(8, model, FaultConfig::zero_rate());
-            for (i, (core, addr, kind)) in random_trace(8, 3000, 0xFA_0).into_iter().enumerate() {
+            for (i, (core, addr, kind)) in random_trace(8, 3000, 0xFA0).into_iter().enumerate() {
                 let a = plain.access(core, addr, kind, 8, i as u64 * 3);
                 let b = zeroed.access(core, addr, kind, 8, i as u64 * 3);
                 assert_eq!(a, b, "zero-rate faults moved access {i} under {model:?}");
@@ -1182,7 +1179,7 @@ mod tests {
         // untouched — only per-access latency may (and does) grow.
         let mut clean = faulted_sys(8, MemoryModel::directory_mesh(), FaultConfig::none());
         let mut chaos = faulted_sys(8, MemoryModel::directory_mesh(), FaultConfig::recoverable());
-        for (i, (core, addr, kind)) in random_trace(8, 4000, 0xFA_1).into_iter().enumerate() {
+        for (i, (core, addr, kind)) in random_trace(8, 4000, 0xFA1).into_iter().enumerate() {
             let a = clean.access(core, addr, kind, 8, i as u64 * 3);
             let b = chaos.access(core, addr, kind, 8, i as u64 * 3);
             assert_eq!(

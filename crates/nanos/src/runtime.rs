@@ -267,7 +267,7 @@ impl Nanos {
                 ctx.spend(ctx.costs().spin_backoff);
             }
         }
-        let Some(sw_id) = sw else { return None };
+        let sw_id = sw?;
         let (lat, out) = fabric.fetch_picos_id(core, ctx.now());
         ctx.spend(lat);
         let FabricOutcome::Success(picos_id) = out else { return None };

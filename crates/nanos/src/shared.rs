@@ -86,7 +86,7 @@ impl NanosLock {
     /// futex wake.
     pub fn release(&mut self, ctx: &mut CoreCtx<'_>) {
         ctx.write(self.addr, 8);
-        if self.contended_acquisitions > 0 && self.acquisitions % 2 == 0 {
+        if self.contended_acquisitions > 0 && self.acquisitions.is_multiple_of(2) {
             // Roughly every other release after contention has a sleeper to wake.
             let wake = ctx.costs().futex_wake;
             ctx.syscall(wake.saturating_sub(ctx.costs().syscall_base));

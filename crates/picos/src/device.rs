@@ -199,9 +199,8 @@ impl Picos {
     /// retry later otherwise.
     pub fn try_submit(&mut self, task: &SubmittedTask, now: Cycle) -> Result<(PicosId, Cycle), TrackerError> {
         self.advance(now);
-        let (id, ready) = self.tracker.insert(task).map_err(|e| {
+        let (id, ready) = self.tracker.insert(task).inspect_err(|_e| {
             self.stats.submissions_rejected += 1;
-            e
         })?;
         // Injected tracker-entry loss: the descriptor may be lost (a bounded number of times)
         // before the insert above commits. A lost attempt leaves no semantic trace — detection

@@ -276,7 +276,7 @@ impl DependenceTracker {
         let alive = |id: PicosId, serial: u64| {
             serials.get(id.0 as usize).map(|&s| s == serial).unwrap_or(false)
         };
-        entry.last_writer.map_or(true, |(id, s)| alive(id, s))
+        entry.last_writer.is_none_or(|(id, s)| alive(id, s))
             && entry.readers.iter().all(|&(id, s)| alive(id, s))
             && (entry.last_writer.is_some() || !entry.readers.is_empty())
     }

@@ -66,7 +66,7 @@ impl Default for Frequency {
 
 impl core::fmt::Display for Frequency {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        if self.0 % 1_000_000 == 0 {
+        if self.0.is_multiple_of(1_000_000) {
             write!(f, "{} MHz", self.mhz())
         } else {
             write!(f, "{} Hz", self.0)

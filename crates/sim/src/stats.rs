@@ -256,7 +256,7 @@ where
     let mut log_sum = 0.0f64;
     let mut n = 0usize;
     for v in values {
-        if !(v > 0.0) || !v.is_finite() {
+        if v <= 0.0 || !v.is_finite() {
             return None;
         }
         log_sum += v.ln();

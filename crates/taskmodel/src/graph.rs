@@ -472,7 +472,7 @@ mod tests {
         let g = b.build().reference_graph();
         assert_eq!(g.edge_count(), 0);
         assert_eq!(g.initially_ready().len(), 8);
-        let stats = g.stats(&vec![1.0; 8]);
+        let stats = g.stats(&[1.0; 8]);
         assert_eq!(stats.max_width, 8);
         assert!((stats.ideal_parallelism - 8.0).abs() < 1e-9);
     }
@@ -485,7 +485,7 @@ mod tests {
         }
         let g = b.build().reference_graph();
         assert_eq!(g.edge_count(), 5);
-        let stats = g.stats(&vec![7.0; 6]);
+        let stats = g.stats(&[7.0; 6]);
         assert!((stats.critical_path_weight - 42.0).abs() < 1e-9);
         assert!((stats.ideal_parallelism - 1.0).abs() < 1e-9);
         assert_eq!(stats.max_width, 1);

@@ -26,7 +26,7 @@ const DATA_BASE: u64 = 0xD000_0000;
 /// Panics if either parameter is zero.
 pub fn blackscholes(num_options: usize, block_size: usize) -> TaskProgram {
     assert!(num_options > 0 && block_size > 0, "degenerate blackscholes input");
-    let label = if num_options % 1024 == 0 {
+    let label = if num_options.is_multiple_of(1024) {
         format!("blackscholes {}K B{}", num_options / 1024, block_size)
     } else {
         format!("blackscholes {num_options} B{block_size}")

@@ -107,7 +107,13 @@ pub fn entry_for_cores(benchmark: &str, input: &str, cores: usize) -> Option<Wor
         }
         _ => return None,
     };
-    Some(WorkloadInstance { benchmark, input: input.to_string(), program })
+    let instance = WorkloadInstance { benchmark, input: input.to_string(), program };
+    // Every catalog program leaves through this chokepoint, so each one is proven acyclic,
+    // reference-clean, and conflict-covered before anything simulates it.
+    if let Err(e) = tis_analyze::analyze_program(&instance.program) {
+        panic!("catalog generator produced an unsound graph for {}: {e}", instance.label());
+    }
+    Some(instance)
 }
 
 #[cfg(test)]

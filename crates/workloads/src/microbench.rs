@@ -91,7 +91,7 @@ mod tests {
         for i in 0..19u64 {
             assert!(g.has_edge(TaskId(i), TaskId(i + 1)));
         }
-        let stats = g.stats(&vec![1.0; 20]);
+        let stats = g.stats(&[1.0; 20]);
         assert_eq!(stats.max_width, 1, "a chain has no parallelism");
     }
 

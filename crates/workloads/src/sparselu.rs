@@ -31,7 +31,7 @@ fn block_addr(nb: usize, i: usize, j: usize) -> u64 {
 /// Deterministic sparsity pattern used by the KaStORS generator: roughly half the off-diagonal
 /// blocks start null.
 fn is_null_block(i: usize, j: usize) -> bool {
-    i != j && ((i + j * 7) % 5 == 0 || (i * 3 + j) % 7 == 0)
+    i != j && ((i + j * 7).is_multiple_of(5) || (i * 3 + j).is_multiple_of(7))
 }
 
 fn gemm_cycles(m: usize) -> u64 {

@@ -21,7 +21,7 @@ fn main() {
     // Four points on the fault axis. The storm doubles the recoverable rates and tightens the
     // retry budget — still bounded-drop, so it must still complete with identical function.
     let storm = FaultConfig {
-        seed: 0x57AB_1E,
+        seed: 0x0057_AB1E,
         drop_ppm: 40_000,
         delay_ppm: 100_000,
         tracker_loss_ppm: 20_000,

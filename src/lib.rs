@@ -2,7 +2,7 @@
 //! *Adding Tightly-Integrated Task Scheduling Acceleration to a RISC-V Multi-core Processor*
 //! (Morais et al., MICRO 2019).
 //!
-//! The workspace is split into eleven layered crates; this crate simply re-exports all of them so
+//! The workspace is split into twelve layered crates; this crate simply re-exports all of them so
 //! the top-level `examples/` and `tests/` directories have a single anchor package, and so
 //! downstream users can depend on one crate:
 //!
@@ -19,6 +19,7 @@
 //! | input | [`workloads`] | blackscholes, jacobi, sparselu, stream, microbenches, Figure 9 catalog |
 //! | harness | [`bench`](mod@bench) | the experiment harness reproducing the paper's tables and figures |
 //! | harness | [`exp`] | declarative sweeps, synthetic task graphs, parallel sweep runner |
+//! | verification | [`analyze`] | graph preflight, vector-clock race detection, protocol model check, `tis-lint` |
 //!
 //! See `README.md` for the quickstart and `ARCHITECTURE.md` for the paper-section-to-module map.
 //!
@@ -67,6 +68,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use tis_analyze as analyze;
 pub use tis_bench as bench;
 pub use tis_core as core;
 pub use tis_exp as exp;

@@ -38,7 +38,7 @@ fn arbitrary_program() -> impl Strategy<Value = TaskProgram> {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+    #![proptest_config(ProptestConfig::with_cases(12))]
 
     /// The tightly-integrated system (Phentos + RoCC Picos) schedules any program correctly on
     /// any small machine, and its makespan is bounded below by the critical path and above by
@@ -97,7 +97,7 @@ mod synth_props {
     }
 
     proptest! {
-        #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+        #![proptest_config(ProptestConfig::with_cases(24))]
 
         /// Structure: valid descriptors, forward-only (hence acyclic) edges, in-degree within
         /// the Picos cap, and the family's declared edge bound.

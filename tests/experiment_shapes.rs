@@ -67,12 +67,10 @@ fn figure6_mtt_landmarks() {
 #[test]
 fn figure9_subset_orderings() {
     let harness = Harness::paper_prototype();
-    let subset = vec![
-        WorkloadInstance { benchmark: "blackscholes", input: "4K B8".into(), program: blackscholes(4 * 1024, 8) },
+    let subset = [WorkloadInstance { benchmark: "blackscholes", input: "4K B8".into(), program: blackscholes(4 * 1024, 8) },
         WorkloadInstance { benchmark: "blackscholes", input: "4K B256".into(), program: blackscholes(4 * 1024, 256) },
         WorkloadInstance { benchmark: "jacobi", input: "N128 B1".into(), program: jacobi(128, 1) },
-        WorkloadInstance { benchmark: "sparselu", input: "NB8 M4".into(), program: sparselu(8, 4) },
-    ];
+        WorkloadInstance { benchmark: "sparselu", input: "NB8 M4".into(), program: sparselu(8, 4) }];
     let results: Vec<_> = subset.iter().map(|w| evaluate_workload(&harness, w, &Platform::FIGURE9)).collect();
     let rv_over_sw = geomean_ratio(&results, Platform::NanosRv, Platform::NanosSw).unwrap();
     let ph_over_sw = geomean_ratio(&results, Platform::Phentos, Platform::NanosSw).unwrap();

@@ -15,6 +15,13 @@
 //!   place that proved byte-identical results at any worker count.
 //! - **ambient-rng**: no `rand` crate usage anywhere; all randomness derives
 //!   from `SimRng` streams.
+//! - **observer-chokepoint**: `tis_obs::Observer` methods are invoked only
+//!   from the obs crate itself and the engine's two emission sites
+//!   (`crates/machine/src/context.rs`, `crates/machine/src/engine.rs`).
+//!   Every other layer buffers plain data behind an `observing` flag and is
+//!   drained *by* the engine — that is what keeps the obs-off path provably
+//!   free and the event streams totally ordered. Integration tests may drive
+//!   observers directly.
 //!
 //! The scan is plain substring matching over source lines (comments count:
 //! a commented-out wall-clock read is one `git revert` away from running).
@@ -111,6 +118,22 @@ pub fn default_rules() -> Vec<LintRule> {
             allowed_prefixes: vec![],
             only_prefixes: None,
             exempt_test_code: false,
+        },
+        LintRule {
+            name: "observer-chokepoint",
+            needles: vec![
+                format!(".{}(", "on_task"),
+                format!(".{}(", "on_mem"),
+                format!(".{}(", "on_sample"),
+            ],
+            allowed_prefixes: vec![
+                "crates/obs/",
+                "crates/machine/src/context.rs",
+                "crates/machine/src/engine.rs",
+                "tests/",
+            ],
+            only_prefixes: None,
+            exempt_test_code: true,
         },
     ]
 }
@@ -269,6 +292,28 @@ mod tests {
             assert_eq!(hits.len(), 1, "{path}");
             assert_eq!(hits[0].rule, "ambient-rng");
         }
+    }
+
+    #[test]
+    fn observer_calls_are_flagged_outside_the_chokepoint() {
+        let src = format!("obs.{}(&event);\n", "on_task");
+        let hits = findings_for("crates/mem/src/system.rs", &src);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].rule, "observer-chokepoint");
+        // The engine's two emission sites, the obs crate, and integration tests may call
+        // observer methods directly.
+        assert!(findings_for("crates/machine/src/context.rs", &src).is_empty());
+        assert!(findings_for("crates/machine/src/engine.rs", &src).is_empty());
+        assert!(findings_for("crates/obs/src/recorder.rs", &src).is_empty());
+        assert!(findings_for("tests/observability.rs", &src).is_empty());
+        // The other two streams are fenced the same way.
+        let mem = format!("o.{}(&leg);\n", "on_mem");
+        assert_eq!(findings_for("crates/picos/src/device.rs", &mem).len(), 1);
+        let sample = format!("o.{}(&snapshot);\n", "on_sample");
+        assert_eq!(findings_for("crates/core/src/fabric.rs", &sample).len(), 1);
+        // Unit-test modules (after the cfg marker) are exempt.
+        let in_test = format!("#[cfg({})]\nmod tests {{\n    o.{}(&e);\n}}\n", "test", "on_task");
+        assert!(findings_for("crates/nanos/src/runtime.rs", &in_test).is_empty());
     }
 
     #[test]

@@ -1,483 +1,8 @@
-//! A minimal, dependency-free JSON writer for machine-readable benchmark output.
+//! Re-export of the workspace JSON value tree.
 //!
-//! The workspace vendors no serialisation crate (the build environment has no registry
-//! access), and the benchmark output is a small, fixed shape — so a hand-rolled value tree
-//! with a compliant renderer is all that is needed. The renderer escapes strings per RFC 8259,
-//! emits non-finite numbers as `null` (JSON has no NaN/Infinity), and pretty-prints with
-//! two-space indentation so the artifacts diff cleanly between CI runs.
+//! The hand-rolled JSON writer started life here (PR 2's `BENCH_*.json` artifacts) but is now
+//! shared with the observability layer's `TRACE_*` / `METRICS_*` exports, so the implementation
+//! lives in [`tis_sim::json`]. This module keeps every historical `tis_bench::json::…` path
+//! working unchanged.
 
-/// A JSON value tree.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Json {
-    /// `null`.
-    Null,
-    /// `true` / `false`.
-    Bool(bool),
-    /// An integer (serialised without a decimal point).
-    Int(i64),
-    /// An unsigned integer (cycle counts exceed `i64` range in long simulations).
-    UInt(u64),
-    /// A floating-point number; non-finite values render as `null`.
-    Num(f64),
-    /// A string (escaped on render).
-    Str(String),
-    /// An ordered array.
-    Arr(Vec<Json>),
-    /// An object with insertion-ordered keys.
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    /// Convenience constructor for an object from `(key, value)` pairs.
-    pub fn obj<I: IntoIterator<Item = (&'static str, Json)>>(pairs: I) -> Json {
-        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
-    }
-
-    /// Looks up a key in an object. Returns `None` for missing keys and non-objects.
-    pub fn get(&self, key: &str) -> Option<&Json> {
-        match self {
-            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-            _ => None,
-        }
-    }
-
-    /// Numeric view of the value, if it is a number.
-    pub fn as_f64(&self) -> Option<f64> {
-        match self {
-            Json::Int(i) => Some(*i as f64),
-            Json::UInt(u) => Some(*u as f64),
-            Json::Num(n) => Some(*n),
-            _ => None,
-        }
-    }
-
-    /// String view of the value, if it is a string.
-    pub fn as_str(&self) -> Option<&str> {
-        match self {
-            Json::Str(s) => Some(s),
-            _ => None,
-        }
-    }
-
-    /// Parses a JSON document (RFC 8259 subset sufficient for the `BENCH_*.json` artifacts:
-    /// all value kinds, string escapes including `\uXXXX`, no comments).
-    ///
-    /// Integers without fraction/exponent parse as [`Json::UInt`]/[`Json::Int`]; everything
-    /// else numeric parses as [`Json::Num`]. This keeps `parse(render(v))` lossless for the
-    /// values the bench writers emit.
-    ///
-    /// # Errors
-    ///
-    /// Returns a [`JsonParseError`] with a byte offset and message on malformed input.
-    pub fn parse(input: &str) -> Result<Json, JsonParseError> {
-        let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
-        p.skip_ws();
-        let v = p.value()?;
-        p.skip_ws();
-        if p.pos != p.bytes.len() {
-            return Err(p.err("trailing characters after the JSON document"));
-        }
-        Ok(v)
-    }
-
-    /// Renders the value as pretty-printed JSON with two-space indentation.
-    pub fn render(&self) -> String {
-        let mut out = String::new();
-        self.render_into(&mut out, 0);
-        out.push('\n');
-        out
-    }
-
-    fn render_into(&self, out: &mut String, indent: usize) {
-        match self {
-            Json::Null => out.push_str("null"),
-            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
-            Json::Int(i) => out.push_str(&i.to_string()),
-            Json::UInt(u) => out.push_str(&u.to_string()),
-            Json::Num(n) => {
-                if n.is_finite() {
-                    // `{:?}` keeps full round-trip precision and always marks the value as
-                    // non-integer where relevant (e.g. "1.0"), which keeps column types stable
-                    // for downstream tooling.
-                    out.push_str(&format!("{n:?}"));
-                } else {
-                    out.push_str("null");
-                }
-            }
-            Json::Str(s) => escape_into(s, out),
-            Json::Arr(items) => {
-                if items.is_empty() {
-                    out.push_str("[]");
-                    return;
-                }
-                out.push('[');
-                for (i, item) in items.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    out.push('\n');
-                    push_indent(out, indent + 1);
-                    item.render_into(out, indent + 1);
-                }
-                out.push('\n');
-                push_indent(out, indent);
-                out.push(']');
-            }
-            Json::Obj(pairs) => {
-                if pairs.is_empty() {
-                    out.push_str("{}");
-                    return;
-                }
-                out.push('{');
-                for (i, (key, value)) in pairs.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    out.push('\n');
-                    push_indent(out, indent + 1);
-                    escape_into(key, out);
-                    out.push_str(": ");
-                    value.render_into(out, indent + 1);
-                }
-                out.push('\n');
-                push_indent(out, indent);
-                out.push('}');
-            }
-        }
-    }
-}
-
-/// Error produced by [`Json::parse`].
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct JsonParseError {
-    /// Byte offset into the input at which parsing failed.
-    pub offset: usize,
-    /// Human-readable description of the failure.
-    pub message: String,
-}
-
-impl core::fmt::Display for JsonParseError {
-    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        write!(f, "JSON parse error at byte {}: {}", self.offset, self.message)
-    }
-}
-
-impl std::error::Error for JsonParseError {}
-
-/// Recursive-descent parser over the input bytes.
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Parser<'a> {
-    fn err(&self, message: &str) -> JsonParseError {
-        JsonParseError { offset: self.pos, message: message.to_string() }
-    }
-
-    fn peek(&self) -> Option<u8> {
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn skip_ws(&mut self) {
-        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
-            self.pos += 1;
-        }
-    }
-
-    fn expect(&mut self, byte: u8) -> Result<(), JsonParseError> {
-        if self.peek() == Some(byte) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(self.err(&format!("expected '{}'", byte as char)))
-        }
-    }
-
-    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonParseError> {
-        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
-            self.pos += word.len();
-            Ok(value)
-        } else {
-            Err(self.err(&format!("expected '{word}'")))
-        }
-    }
-
-    fn value(&mut self) -> Result<Json, JsonParseError> {
-        match self.peek() {
-            Some(b'n') => self.literal("null", Json::Null),
-            Some(b't') => self.literal("true", Json::Bool(true)),
-            Some(b'f') => self.literal("false", Json::Bool(false)),
-            Some(b'"') => self.string().map(Json::Str),
-            Some(b'[') => self.array(),
-            Some(b'{') => self.object(),
-            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
-            Some(_) => Err(self.err("unexpected character")),
-            None => Err(self.err("unexpected end of input")),
-        }
-    }
-
-    fn array(&mut self) -> Result<Json, JsonParseError> {
-        self.expect(b'[')?;
-        let mut items = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b']') {
-            self.pos += 1;
-            return Ok(Json::Arr(items));
-        }
-        loop {
-            self.skip_ws();
-            items.push(self.value()?);
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b']') => {
-                    self.pos += 1;
-                    return Ok(Json::Arr(items));
-                }
-                _ => return Err(self.err("expected ',' or ']' in array")),
-            }
-        }
-    }
-
-    fn object(&mut self) -> Result<Json, JsonParseError> {
-        self.expect(b'{')?;
-        let mut pairs = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b'}') {
-            self.pos += 1;
-            return Ok(Json::Obj(pairs));
-        }
-        loop {
-            self.skip_ws();
-            let key = self.string()?;
-            self.skip_ws();
-            self.expect(b':')?;
-            self.skip_ws();
-            pairs.push((key, self.value()?));
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b'}') => {
-                    self.pos += 1;
-                    return Ok(Json::Obj(pairs));
-                }
-                _ => return Err(self.err("expected ',' or '}' in object")),
-            }
-        }
-    }
-
-    fn string(&mut self) -> Result<String, JsonParseError> {
-        self.expect(b'"')?;
-        let mut out = String::new();
-        loop {
-            match self.peek() {
-                None => return Err(self.err("unterminated string")),
-                Some(b'"') => {
-                    self.pos += 1;
-                    return Ok(out);
-                }
-                Some(b'\\') => {
-                    self.pos += 1;
-                    match self.peek() {
-                        Some(b'"') => out.push('"'),
-                        Some(b'\\') => out.push('\\'),
-                        Some(b'/') => out.push('/'),
-                        Some(b'n') => out.push('\n'),
-                        Some(b'r') => out.push('\r'),
-                        Some(b't') => out.push('\t'),
-                        Some(b'b') => out.push('\u{8}'),
-                        Some(b'f') => out.push('\u{c}'),
-                        Some(b'u') => {
-                            self.pos += 1;
-                            let code = self.hex4()?;
-                            // The bench writers only escape control characters, so lone
-                            // surrogates are rejected rather than paired.
-                            match char::from_u32(code) {
-                                Some(c) => out.push(c),
-                                None => return Err(self.err("unpaired surrogate escape")),
-                            }
-                            continue;
-                        }
-                        _ => return Err(self.err("invalid escape sequence")),
-                    }
-                    self.pos += 1;
-                }
-                Some(_) => {
-                    // Consume one UTF-8 scalar (input came from &str, so boundaries are valid).
-                    let rest = &self.bytes[self.pos..];
-                    let s = core::str::from_utf8(rest).map_err(|_| self.err("invalid UTF-8"))?;
-                    let c = s.chars().next().expect("peeked non-empty");
-                    out.push(c);
-                    self.pos += c.len_utf8();
-                }
-            }
-        }
-    }
-
-    fn hex4(&mut self) -> Result<u32, JsonParseError> {
-        let mut code = 0u32;
-        for _ in 0..4 {
-            let d = match self.peek() {
-                Some(c @ b'0'..=b'9') => (c - b'0') as u32,
-                Some(c @ b'a'..=b'f') => (c - b'a' + 10) as u32,
-                Some(c @ b'A'..=b'F') => (c - b'A' + 10) as u32,
-                _ => return Err(self.err("expected four hex digits after \\u")),
-            };
-            code = code * 16 + d;
-            self.pos += 1;
-        }
-        Ok(code)
-    }
-
-    fn number(&mut self) -> Result<Json, JsonParseError> {
-        let start = self.pos;
-        if self.peek() == Some(b'-') {
-            self.pos += 1;
-        }
-        let mut integral = true;
-        while let Some(c) = self.peek() {
-            match c {
-                b'0'..=b'9' => self.pos += 1,
-                b'.' | b'e' | b'E' | b'+' | b'-' => {
-                    integral = false;
-                    self.pos += 1;
-                }
-                _ => break,
-            }
-        }
-        let text = core::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number");
-        if integral {
-            if let Ok(u) = text.parse::<u64>() {
-                return Ok(Json::UInt(u));
-            }
-            if let Ok(i) = text.parse::<i64>() {
-                return Ok(Json::Int(i));
-            }
-        }
-        match text.parse::<f64>() {
-            Ok(n) if n.is_finite() => Ok(Json::Num(n)),
-            _ => {
-                self.pos = start;
-                Err(self.err("malformed number"))
-            }
-        }
-    }
-}
-
-fn push_indent(out: &mut String, levels: usize) {
-    for _ in 0..levels {
-        out.push_str("  ");
-    }
-}
-
-/// Escapes a string per RFC 8259 and appends it, quotes included.
-fn escape_into(s: &str, out: &mut String) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn scalars_render() {
-        assert_eq!(Json::Null.render(), "null\n");
-        assert_eq!(Json::Bool(true).render(), "true\n");
-        assert_eq!(Json::Int(-3).render(), "-3\n");
-        assert_eq!(Json::UInt(u64::MAX).render(), format!("{}\n", u64::MAX));
-        assert_eq!(Json::Num(2.13).render(), "2.13\n");
-        assert_eq!(Json::Num(f64::NAN).render(), "null\n", "JSON has no NaN");
-        assert_eq!(Json::Num(f64::INFINITY).render(), "null\n");
-    }
-
-    #[test]
-    fn strings_escape() {
-        assert_eq!(Json::Str("a\"b\\c\nd".into()).render(), "\"a\\\"b\\\\c\\nd\"\n");
-        assert_eq!(Json::Str("\u{1}".into()).render(), "\"\\u0001\"\n");
-        assert_eq!(Json::Str("plain ascii-64x64".into()).render(), "\"plain ascii-64x64\"\n");
-    }
-
-    #[test]
-    fn empty_containers_are_compact() {
-        assert_eq!(Json::Arr(vec![]).render(), "[]\n");
-        assert_eq!(Json::Obj(vec![]).render(), "{}\n");
-    }
-
-    #[test]
-    fn nested_structure_pretty_prints() {
-        let v = Json::obj([
-            ("name", Json::Str("fig09".into())),
-            ("speedups", Json::Arr(vec![Json::Num(1.5), Json::Num(4.25)])),
-        ]);
-        let expected = "{\n  \"name\": \"fig09\",\n  \"speedups\": [\n    1.5,\n    4.25\n  ]\n}\n";
-        assert_eq!(v.render(), expected);
-    }
-
-    #[test]
-    fn parse_round_trips_the_writer() {
-        let v = Json::obj([
-            ("figure", Json::Str("fig09".into())),
-            ("quote", Json::Str("a\"b\\c\n\u{1}".into())),
-            ("flag", Json::Bool(false)),
-            ("nothing", Json::Null),
-            ("big", Json::UInt(u64::MAX)),
-            ("neg", Json::Int(-42)),
-            ("ratio", Json::Num(2.13)),
-            ("empty_arr", Json::Arr(vec![])),
-            ("arr", Json::Arr(vec![Json::Num(1.0), Json::UInt(7)])),
-            ("nested", Json::obj([("k", Json::Str("v".into()))])),
-        ]);
-        let parsed = Json::parse(&v.render()).unwrap();
-        assert_eq!(parsed, v);
-        // Accessors used by the diff tool.
-        assert_eq!(parsed.get("figure").and_then(Json::as_str), Some("fig09"));
-        assert_eq!(parsed.get("ratio").and_then(Json::as_f64), Some(2.13));
-        assert_eq!(parsed.get("neg").and_then(Json::as_f64), Some(-42.0));
-        assert_eq!(parsed.get("missing"), None);
-        assert_eq!(Json::Null.get("k"), None);
-    }
-
-    #[test]
-    fn parse_accepts_plain_json_variants() {
-        assert_eq!(Json::parse(" [1, 2.5e1, -3] ").unwrap(), Json::Arr(vec![
-            Json::UInt(1),
-            Json::Num(25.0),
-            Json::Int(-3),
-        ]));
-        assert_eq!(Json::parse("{}").unwrap(), Json::Obj(vec![]));
-        assert_eq!(Json::parse("\"\\u0041\"").unwrap(), Json::Str("A".into()));
-        assert_eq!(Json::parse("true").unwrap(), Json::Bool(true));
-    }
-
-    #[test]
-    fn parse_rejects_malformed_input() {
-        for bad in ["", "{", "[1,]", "{\"a\":}", "nul", "1 2", "\"unterminated", "\"\\q\"", "--1"] {
-            let e = Json::parse(bad).unwrap_err();
-            assert!(!e.to_string().is_empty(), "{bad:?} must fail with a message");
-        }
-        let e = Json::parse("[1, x]").unwrap_err();
-        assert_eq!(e.offset, 4, "error points at the offending byte");
-    }
-
-    #[test]
-    fn numbers_keep_roundtrip_precision() {
-        let v = Json::Num(13.190000000000001);
-        let rendered = v.render();
-        let parsed: f64 = rendered.trim().parse().unwrap();
-        assert_eq!(parsed, 13.190000000000001);
-        assert_eq!(Json::Num(1.0).render(), "1.0\n", "floats keep a decimal point");
-    }
-}
+pub use tis_sim::json::{Json, JsonParseError};

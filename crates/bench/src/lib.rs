@@ -16,7 +16,9 @@ pub mod json;
 pub use json::{Json, JsonParseError};
 
 use tis_core::{PhentosConfig, Phentos, TisConfig, TisFabric};
-use tis_machine::{run_machine, EngineError, ExecutionReport, MachineConfig, NullFabric};
+use tis_machine::{
+    run_machine, run_machine_observed, EngineError, ExecutionReport, MachineConfig, NullFabric,
+};
 use tis_nanos::{AxiConfig, AxiFabric, Nanos, NanosTuning, NanosVariant};
 use tis_sim::geomean;
 use tis_taskmodel::TaskProgram;
@@ -141,6 +143,32 @@ impl Harness {
     ///
     /// Propagates any [`EngineError`] (deadlock / cycle-cap) from the simulation.
     pub fn run(&self, platform: Platform, program: &TaskProgram) -> Result<ExecutionReport, EngineError> {
+        self.run_inner(platform, program, None)
+    }
+
+    /// [`Harness::run`] with an observer attached (see
+    /// [`tis_machine::run_machine_observed`]): task-lifecycle, memory and
+    /// metrics events stream to `obs` while the simulation runs. Observation never spends
+    /// simulated cycles, so the returned report is identical to [`Harness::run`]'s.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`Harness::run`].
+    pub fn run_observed(
+        &self,
+        platform: Platform,
+        program: &TaskProgram,
+        obs: &mut dyn tis_obs::Observer,
+    ) -> Result<ExecutionReport, EngineError> {
+        self.run_inner(platform, program, Some(obs))
+    }
+
+    fn run_inner(
+        &self,
+        platform: Platform,
+        program: &TaskProgram,
+        obs: Option<&mut dyn tis_obs::Observer>,
+    ) -> Result<ExecutionReport, EngineError> {
         // In debug builds every program entering the harness is preflighted: acyclic,
         // reference-clean, conflict-covered. Release benches skip the pass so pinned
         // figure timings are untouched; the generators' own chokepoints still cover them.
@@ -149,26 +177,33 @@ impl Harness {
             panic!("program failed preflight before simulation: {e}");
         }
         let cores = self.machine.cores;
+        let launch = |runtime: &mut dyn tis_machine::RuntimeSystem,
+                      fabric: &mut dyn tis_machine::SchedulerFabric| {
+            match obs {
+                Some(o) => run_machine_observed(&self.machine, runtime, fabric, o),
+                None => run_machine(&self.machine, runtime, fabric),
+            }
+        };
         match platform {
             Platform::Phentos => {
                 let mut runtime = Phentos::new(program, cores, self.phentos);
                 let mut fabric = TisFabric::new(cores, self.tis);
-                run_machine(&self.machine, &mut runtime, &mut fabric)
+                launch(&mut runtime, &mut fabric)
             }
             Platform::NanosRv => {
                 let mut runtime = Nanos::new(program, cores, NanosVariant::PicosRocc, self.nanos);
                 let mut fabric = TisFabric::new(cores, self.tis);
-                run_machine(&self.machine, &mut runtime, &mut fabric)
+                launch(&mut runtime, &mut fabric)
             }
             Platform::NanosAxi => {
                 let mut runtime = Nanos::new(program, cores, NanosVariant::PicosAxi, self.nanos);
                 let mut fabric = AxiFabric::new(cores, self.axi);
-                run_machine(&self.machine, &mut runtime, &mut fabric)
+                launch(&mut runtime, &mut fabric)
             }
             Platform::NanosSw => {
                 let mut runtime = Nanos::new(program, cores, NanosVariant::Software, self.nanos);
                 let mut fabric = NullFabric::new();
-                run_machine(&self.machine, &mut runtime, &mut fabric)
+                launch(&mut runtime, &mut fabric)
             }
         }
     }

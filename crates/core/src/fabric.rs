@@ -156,6 +156,18 @@ impl SchedulerFabric for TisFabric {
             ..self.stats.clone()
         }
     }
+
+    fn set_observing(&mut self, on: bool) {
+        self.manager.set_observing(on);
+    }
+
+    fn drain_ready_log(&mut self, sink: &mut dyn FnMut(Cycle, u64)) {
+        self.manager.drain_ready_log(sink);
+    }
+
+    fn occupancy(&self) -> (usize, usize) {
+        self.manager.occupancy()
+    }
 }
 
 #[cfg(test)]

@@ -305,6 +305,25 @@ impl PicosManager {
     pub fn tasks_in_flight(&self) -> usize {
         self.picos.in_flight()
     }
+
+    /// Arms (or disarms) ready-publication logging in the underlying Picos device (see
+    /// [`Picos::set_observing`](tis_picos::Picos::set_observing)).
+    pub fn set_observing(&mut self, on: bool) {
+        self.picos.set_observing(on);
+    }
+
+    /// Drains the device's buffered ready publications as `(publish_cycle, sw_id)` pairs.
+    pub fn drain_ready_log(&mut self, sink: &mut dyn FnMut(Cycle, u64)) {
+        self.picos.drain_ready_log(sink);
+    }
+
+    /// Occupancy gauges for the metrics timeline: `(tasks in flight inside Picos, ready
+    /// descriptors anywhere in the fetch path)` — the device's ready queue plus the per-core
+    /// staging queues.
+    pub fn occupancy(&self) -> (usize, usize) {
+        let staged: usize = self.ready_queues.iter().map(BoundedQueue::len).sum();
+        (self.picos.in_flight(), self.picos.ready_queue_len() + staged)
+    }
 }
 
 #[cfg(test)]

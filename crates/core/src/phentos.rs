@@ -22,6 +22,7 @@
 
 use tis_machine::fabric::{FabricOutcome, SchedulerFabric};
 use tis_machine::{CoreCtx, CoreStatus, RuntimeSystem};
+use tis_obs::TaskStage;
 use tis_picos::encode_prefix_into;
 use tis_sim::Cycle;
 use tis_taskmodel::{ExecRecord, ProgramOp, TaskProgram, TaskSpec};
@@ -155,6 +156,7 @@ impl Phentos {
         let (lat, out) = fabric.fetch_picos_id(core, ctx.now());
         ctx.spend(lat);
         let FabricOutcome::Success(picos_id) = out else { return false };
+        ctx.observe_task(TaskStage::Dispatched, sw_id);
         self.workers[core].outstanding_requests =
             self.workers[core].outstanding_requests.saturating_sub(1);
 
@@ -162,12 +164,13 @@ impl Phentos {
         ctx.read(self.meta_addr(sw_id), self.element_bytes);
         let spec = self.specs[sw_id as usize].clone();
         let start = ctx.now();
-        ctx.execute_payload(spec.payload);
+        ctx.execute_task_payload(sw_id, spec.payload);
         let end = ctx.now();
         self.records.push(ExecRecord { task: spec.id, core, start, end });
 
         let lat = fabric.retire_task(core, picos_id, ctx.now());
         ctx.spend(lat);
+        ctx.observe_task(TaskStage::Retired, sw_id);
         self.workers[core].private_retired += 1;
         self.workers[core].failures_since_flush = 0;
         self.total_retired += 1;
@@ -192,6 +195,7 @@ impl Phentos {
     /// Submits the task at the program cursor. Returns `true` if the submission completed.
     fn submit_current(&mut self, ctx: &mut CoreCtx<'_>, fabric: &mut dyn SchedulerFabric, spec: &TaskSpec) -> bool {
         let core = ctx.core();
+        ctx.observe_task(TaskStage::Submitted, spec.id.raw());
         // Fill the metadata element (function arguments, payload description).
         ctx.call();
         ctx.write(self.meta_addr(spec.id.raw()), self.element_bytes);

@@ -10,6 +10,7 @@
 
 use tis_analyze::AnalysisConfig;
 use tis_bench::Platform;
+use tis_obs::ObsConfig;
 use tis_machine::{FaultConfig, MemoryModel};
 use tis_picos::TrackerConfig;
 use tis_sim::SimRng;
@@ -210,6 +211,15 @@ pub struct Sweep {
     /// observer, so it never changes simulated cycles, and report artifacts
     /// gain analysis keys only when it engages.
     pub analysis: AnalysisConfig,
+    /// Observability: when `Some`, observed cells run under a [`tis_obs::Recorder`] attached
+    /// through the engine's observer chokepoint, and their [`SweepCell`](crate::SweepCell)s
+    /// carry an obs summary plus rendered `TRACE_`/`METRICS_` documents. Off by default —
+    /// observation never moves a simulated cycle, and report artifacts gain obs keys only for
+    /// observed cells, so obs-off sweeps stay byte-identical.
+    pub obs: Option<ObsConfig>,
+    /// Per-cell opt-in: grid indices of the cells to observe when [`Sweep::obs`] engages.
+    /// Empty means *every* cell; tracing one heavy sweep cell costs nothing for the others.
+    pub observe_cells: Vec<usize>,
     /// Whether every cell's schedule is validated against the reference dependence graph
     /// (on by default; sweeps exist to explore, and an invalid schedule is a finding, not a
     /// data point).
@@ -231,6 +241,8 @@ impl Sweep {
             faults: vec![FaultConfig::none()],
             workloads: Vec::new(),
             analysis: AnalysisConfig::off(),
+            obs: None,
+            observe_cells: Vec::new(),
             validate: true,
         }
     }
@@ -283,6 +295,26 @@ impl Sweep {
     pub fn with_analysis(mut self, analysis: AnalysisConfig) -> Self {
         self.analysis = analysis;
         self
+    }
+
+    /// Attaches observability to this sweep (see [`Sweep::obs`]): every cell — or the subset
+    /// opted in via [`Sweep::observe_only`] — runs under a recorder and reports trace,
+    /// metrics-timeline, and critical-path data alongside its measurements.
+    pub fn with_obs(mut self, config: ObsConfig) -> Self {
+        self.obs = Some(config);
+        self
+    }
+
+    /// Restricts observation to the given grid cell indices (no effect unless
+    /// [`Sweep::with_obs`] engages).
+    pub fn observe_only(mut self, cells: impl IntoIterator<Item = usize>) -> Self {
+        self.observe_cells = cells.into_iter().collect();
+        self
+    }
+
+    /// The observer config cell `index` runs under, or `None` for an unobserved cell.
+    pub fn cell_obs(&self, index: usize) -> Option<ObsConfig> {
+        self.obs.filter(|_| self.observe_cells.is_empty() || self.observe_cells.contains(&index))
     }
 
     /// Disables per-cell schedule validation (validation costs one reference-graph
@@ -358,6 +390,14 @@ impl Sweep {
         assert!(!self.faults.is_empty(), "sweep '{}' has an empty fault axis", self.name);
         for &c in &self.cores {
             assert!(c > 0, "sweep '{}': zero-core machines cannot run", self.name);
+        }
+        for &i in &self.observe_cells {
+            assert!(
+                i < self.cell_count(),
+                "sweep '{}': observed cell {i} is out of range ({} cells)",
+                self.name,
+                self.cell_count()
+            );
         }
         for t in &self.trackers {
             t.validate();

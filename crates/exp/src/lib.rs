@@ -53,7 +53,7 @@ pub mod runner;
 pub mod synth;
 
 pub use grid::{CellSpec, Sweep, WorkloadSpec};
-pub use report::{SweepCell, SweepReport};
+pub use report::{ObsCellData, SweepCell, SweepReport};
 pub use runner::{run_sweep, run_sweep_with_workers, workers_from_env};
 pub use synth::{SynthFamily, SynthSpec, ER_WINDOW, MAX_IN_DEGREE};
 // The memory-model axis values, re-exported so sweep definitions need no extra dependency.
@@ -62,3 +62,5 @@ pub use tis_machine::{
 };
 // The analysis switch, re-exported for the same reason.
 pub use tis_analyze::AnalysisConfig;
+// The observability switch, likewise.
+pub use tis_obs::ObsConfig;

@@ -3,6 +3,7 @@
 use tis_analyze::AnalysisConfig;
 use tis_bench::{Json, Platform};
 use tis_machine::{FaultConfig, MemoryModel};
+use tis_obs::{CriticalPath, ObsConfig};
 use tis_picos::TrackerConfig;
 
 /// The measurements of one grid cell.
@@ -72,6 +73,30 @@ pub struct SweepCell {
     /// Conflicting frontier pairs the race detector proved happens-before-ordered in this
     /// cell's trace (zero when race detection was off).
     pub race_pairs_checked: u64,
+    /// What the cell's observer collected, for observed cells only (`None` otherwise — and
+    /// observation is a pure tap, so every other field is identical either way). Boxed so the
+    /// common unobserved cell stays small.
+    pub obs: Option<Box<ObsCellData>>,
+}
+
+/// Everything one observed cell recorded: counts of the event streams, the machine-checked
+/// critical-path decomposition, and the rendered Perfetto/metrics documents that
+/// [`SweepReport::write_obs_artifacts_if_requested`] writes out as `TRACE_`/`METRICS_` files.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObsCellData {
+    /// The observer configuration the cell ran under.
+    pub config: ObsConfig,
+    /// Task-lifecycle events observed.
+    pub task_events: u64,
+    /// Gauge-timeline samples taken.
+    pub samples: u64,
+    /// The critical-path decomposition of the cell's makespan (segment totals sum to the
+    /// makespan exactly).
+    pub critical: CriticalPath,
+    /// The rendered Chrome trace-event / Perfetto document.
+    pub trace_json: String,
+    /// The rendered metrics document (counters, histograms, gauge timeline).
+    pub metrics_json: String,
 }
 
 impl SweepCell {
@@ -167,6 +192,31 @@ impl SweepReport {
                         ]);
                     }
                 }
+                // Obs keys appear only for observed cells (same byte-identity rule). The full
+                // trace/metrics documents are separate TRACE_/METRICS_ artifacts; the sweep
+                // report inlines only the critical-path summary and stream counts.
+                if let Some(obs) = &c.obs {
+                    if let Json::Obj(entries) = &mut pairs {
+                        entries.extend([
+                            (
+                                "obs_sample_interval".to_string(),
+                                Json::UInt(obs.config.sample_interval),
+                            ),
+                            ("obs_task_events".to_string(), Json::UInt(obs.task_events)),
+                            ("obs_samples".to_string(), Json::UInt(obs.samples)),
+                            (
+                                "critical_path".to_string(),
+                                Json::obj([
+                                    ("task_body", Json::UInt(obs.critical.task_body)),
+                                    ("memory_stall", Json::UInt(obs.critical.memory_stall)),
+                                    ("dispatch_wait", Json::UInt(obs.critical.dispatch_wait)),
+                                    ("scheduler", Json::UInt(obs.critical.scheduler)),
+                                    ("makespan", Json::UInt(obs.critical.makespan)),
+                                ]),
+                            ),
+                        ]);
+                    }
+                }
                 pairs
             })
             .collect();
@@ -257,12 +307,15 @@ impl SweepReport {
     /// sanitised to `[A-Za-z0-9_-]`. Per-sweep names let CI collect several sweeps' artifacts
     /// into one directory without collisions.
     pub fn artifact_filename(&self) -> String {
-        let sanitized: String = self
-            .name
+        format!("BENCH_sweep_{}.json", self.sanitised_name())
+    }
+
+    /// The sweep name restricted to `[A-Za-z0-9_-]`, shared by every artifact filename.
+    fn sanitised_name(&self) -> String {
+        self.name
             .chars()
             .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' { c } else { '-' })
-            .collect();
-        format!("BENCH_sweep_{sanitized}.json")
+            .collect()
     }
 
     /// Writes [`Self::artifact_filename`] into the directory named by the `TIS_BENCH_JSON`
@@ -281,6 +334,37 @@ impl SweepReport {
         let path = dir.join(self.artifact_filename());
         std::fs::write(&path, self.to_json().render())?;
         Ok(Some(path))
+    }
+
+    /// Writes every observed cell's trace and metrics documents as
+    /// `TRACE_<sweep>-<cell>.json` / `METRICS_<sweep>-<cell>.json` under the `TIS_BENCH_JSON`
+    /// directory (same contract as [`Self::write_json_if_requested`]: unset means no side
+    /// effect, empty means the current directory). Unobserved sweeps write nothing and create
+    /// no directory. Returns the paths written.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any I/O error from creating the directory or writing a file.
+    pub fn write_obs_artifacts_if_requested(&self) -> std::io::Result<Vec<std::path::PathBuf>> {
+        let mut written = Vec::new();
+        let Some(dir) = std::env::var_os("TIS_BENCH_JSON") else {
+            return Ok(written);
+        };
+        if self.cells.iter().all(|c| c.obs.is_none()) {
+            return Ok(written);
+        }
+        let dir = if dir.is_empty() { std::path::PathBuf::from(".") } else { dir.into() };
+        std::fs::create_dir_all(&dir)?;
+        let name = self.sanitised_name();
+        for (i, cell) in self.cells.iter().enumerate() {
+            let Some(obs) = &cell.obs else { continue };
+            for (prefix, doc) in [("TRACE", &obs.trace_json), ("METRICS", &obs.metrics_json)] {
+                let path = dir.join(format!("{prefix}_{name}-{i:03}.json"));
+                std::fs::write(&path, doc)?;
+                written.push(path);
+            }
+        }
+        Ok(written)
     }
 }
 
@@ -317,6 +401,7 @@ mod tests {
             fault_recovery_cycles: 0,
             analysis: AnalysisConfig::off(),
             race_pairs_checked: 0,
+            obs: None,
         }
     }
 
@@ -445,6 +530,44 @@ mod tests {
         assert!(table.contains("analysis"), "an analysed cell brings the column:\n{table}");
         assert!(table.contains("full"));
         assert!(table.contains("off"), "analysis-off rows show 'off' in the analysis column");
+    }
+
+    #[test]
+    fn obs_keys_appear_only_for_observed_cells() {
+        let plain = SweepReport { name: "o".into(), seed: 1, cells: vec![cell(2.0, 4.0)] };
+        let rendered = plain.to_json().render();
+        assert!(!rendered.contains("obs_"), "unobserved cells carry no obs keys:\n{rendered}");
+        assert!(!rendered.contains("critical_path"));
+
+        let mut observed_cell = cell(2.0, 4.0);
+        observed_cell.obs = Some(Box::new(ObsCellData {
+            config: ObsConfig::default(),
+            task_events: 60,
+            samples: 3,
+            critical: CriticalPath {
+                makespan: 500,
+                segments: vec![],
+                task_body: 300,
+                memory_stall: 50,
+                dispatch_wait: 20,
+                scheduler: 130,
+            },
+            trace_json: "{}".into(),
+            metrics_json: "{}".into(),
+        }));
+        let observed =
+            SweepReport { name: "o".into(), seed: 1, cells: vec![cell(2.0, 4.0), observed_cell] };
+        let parsed = Json::parse(&observed.to_json().render()).unwrap();
+        let cells = match parsed.get("cells") {
+            Some(Json::Arr(c)) => c,
+            other => panic!("cells must be an array, got {other:?}"),
+        };
+        assert!(cells[0].get("obs_task_events").is_none(), "the unobserved cell stays key-free");
+        assert_eq!(cells[1].get("obs_task_events").and_then(Json::as_f64), Some(60.0));
+        assert_eq!(cells[1].get("obs_samples").and_then(Json::as_f64), Some(3.0));
+        let cp = cells[1].get("critical_path").expect("observed cells inline the decomposition");
+        assert_eq!(cp.get("task_body").and_then(Json::as_f64), Some(300.0));
+        assert_eq!(cp.get("makespan").and_then(Json::as_f64), Some(500.0));
     }
 
     #[test]

@@ -17,7 +17,7 @@ use tis_sim::SimRng;
 use tis_workloads::task_chain;
 
 use crate::grid::{CellSpec, Sweep};
-use crate::report::{SweepCell, SweepReport};
+use crate::report::{ObsCellData, SweepCell, SweepReport};
 
 /// Number of tasks in the Task-Chain probe used to measure per-platform lifetime overhead.
 const OVERHEAD_PROBE_TASKS: usize = 100;
@@ -211,9 +211,17 @@ fn run_cell(
             fault.key()
         )
     };
-    let report = harness
-        .run(platform, program)
-        .unwrap_or_else(|e| panic!("{} failed: {e}", context()));
+    // An observed cell runs with a recorder attached through the engine's observer
+    // chokepoint. Observation is a pure tap — the simulated cycle counts are identical either
+    // way (`observing_a_sweep_changes_no_measurement` pins this) — so observed and unobserved
+    // cells of one report remain directly comparable.
+    let cell_obs = sweep.cell_obs(cell.index);
+    let mut recorder = cell_obs.map(tis_obs::Recorder::new);
+    let report = match recorder.as_mut() {
+        Some(r) => harness.run_observed(platform, program, r),
+        None => harness.run(platform, program),
+    }
+    .unwrap_or_else(|e| panic!("{} failed: {e}", context()));
     if sweep.validate {
         report
             .validate_against(program)
@@ -242,6 +250,20 @@ fn run_cell(
     } else {
         0
     };
+    // Fold the recorder into the cell: critical path over the program's happens-before edges
+    // (the same edges the race detector walks), plus the rendered trace/metrics documents.
+    let obs = recorder.map(|r| {
+        let edges = tis_analyze::GraphSpec::from_program(program).edges;
+        let label = format!("{} cell {} ({})", sweep.name, cell.index, spec.label());
+        Box::new(ObsCellData {
+            config: cell_obs.expect("a recorder implies an engaged obs config"),
+            task_events: r.task_events(),
+            samples: r.metrics().samples().len() as u64,
+            critical: r.critical_path(&edges, report.total_cycles),
+            trace_json: r.perfetto_json(&label, cell.cores).render(),
+            metrics_json: r.metrics_json(&label, report.total_cycles).render(),
+        })
+    });
     let stats = program.stats(harness.machine.dram_bytes_per_cycle);
     let serial = harness.serial_cycles(program);
     SweepCell {
@@ -277,6 +299,7 @@ fn run_cell(
             + report.fabric_stats.tracker_recovery_cycles,
         analysis: sweep.analysis,
         race_pairs_checked,
+        obs,
     }
 }
 
@@ -395,6 +418,38 @@ mod tests {
             }
         }
         assert!(plain.cells.iter().all(|c| c.race_pairs_checked == 0));
+    }
+
+    #[test]
+    fn observing_a_sweep_changes_no_measurement() {
+        // Observation is a pure tap on the engine: every simulated number is identical, and
+        // the obs-off report renders byte-identical JSON (no obs keys at all).
+        let plain = small_sweep().run();
+        let observed = small_sweep().with_obs(tis_obs::ObsConfig::full()).run();
+        assert_eq!(plain.cells.len(), observed.cells.len());
+        for (p, o) in plain.cells.iter().zip(&observed.cells) {
+            assert_eq!(p.total_cycles, o.total_cycles);
+            assert_eq!(p.speedup, o.speedup);
+            assert_eq!(p.mem_stall_cycles, o.mem_stall_cycles);
+            assert!(p.obs.is_none());
+            let obs = o.obs.as_ref().expect("every cell of a with_obs sweep is observed");
+            // The critical path partitions the makespan exactly, and every task's full
+            // lifecycle was seen (6 stages per task, minus software-tracked shortcuts).
+            assert_eq!(obs.critical.total(), o.total_cycles);
+            assert!(obs.task_events >= 6 * o.tasks as u64, "{}: {} events", o.workload, obs.task_events);
+            assert!(obs.samples > 0, "full() samples every 1024 cycles");
+            assert!(obs.trace_json.contains("traceEvents"));
+            assert!(obs.metrics_json.contains("tis-metrics-v1"));
+        }
+        assert!(!plain.to_json().render().contains("obs_"));
+    }
+
+    #[test]
+    fn per_cell_opt_in_observes_only_the_chosen_cells() {
+        let report = small_sweep().with_obs(tis_obs::ObsConfig::default()).observe_only([2]).run();
+        for (i, cell) in report.cells.iter().enumerate() {
+            assert_eq!(cell.obs.is_some(), i == 2, "only cell 2 opted in");
+        }
     }
 
     #[test]

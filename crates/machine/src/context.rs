@@ -7,6 +7,7 @@
 //! them to the context for the duration of one agent step.
 
 use tis_mem::{AccessKind, BandwidthModel, MemorySystem};
+use tis_obs::{MemAccessKind, MemEvent, Observer, TaskEvent, TaskStage};
 use tis_sim::Cycle;
 use tis_taskmodel::Payload;
 
@@ -47,7 +48,6 @@ impl CoreStats {
 }
 
 /// The micro-operation interface a runtime agent uses to spend cycles on its core.
-#[derive(Debug)]
 pub struct CoreCtx<'a> {
     core: usize,
     time: Cycle,
@@ -56,6 +56,22 @@ pub struct CoreCtx<'a> {
     dram: &'a mut BandwidthModel,
     costs: &'a CostModel,
     stats: &'a mut CoreStats,
+    /// Observer chokepoint for this step; `None` on unobserved runs, where every emission
+    /// helper is a single branch.
+    obs: Option<&'a mut dyn Observer>,
+    /// Cached `wants_mem_events()` so the per-access hot path never makes a virtual call.
+    obs_mem: bool,
+}
+
+impl core::fmt::Debug for CoreCtx<'_> {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("CoreCtx")
+            .field("core", &self.core)
+            .field("time", &self.time)
+            .field("step_start", &self.step_start)
+            .field("observed", &self.obs.is_some())
+            .finish_non_exhaustive()
+    }
 }
 
 impl<'a> CoreCtx<'a> {
@@ -68,7 +84,15 @@ impl<'a> CoreCtx<'a> {
         costs: &'a CostModel,
         stats: &'a mut CoreStats,
     ) -> Self {
-        CoreCtx { core, time, step_start: time, mem, dram, costs, stats }
+        CoreCtx { core, time, step_start: time, mem, dram, costs, stats, obs: None, obs_mem: false }
+    }
+
+    /// Attaches the run's observer to this step (engine-only). Task-lifecycle and memory
+    /// events emitted through the context flow to it; timing is unaffected.
+    pub fn with_observer(mut self, obs: &'a mut dyn Observer) -> Self {
+        self.obs_mem = obs.wants_mem_events();
+        self.obs = Some(obs);
+        self
     }
 
     /// Simulated cycle at which this agent step began. Because the engine always steps the core
@@ -132,11 +156,46 @@ impl<'a> CoreCtx<'a> {
     }
 
     fn mem_access(&mut self, addr: u64, bytes: u64, kind: AccessKind) -> Cycle {
+        let issued_at = self.time;
         let out = self.mem.access(self.core, addr, kind, bytes, self.time);
         self.time += out.latency;
         self.stats.runtime_cycles += out.latency;
         self.stats.memory_ops += 1;
+        if self.obs_mem {
+            let kind = match kind {
+                AccessKind::Read => MemAccessKind::Read,
+                AccessKind::Write => MemAccessKind::Write,
+                AccessKind::Atomic => MemAccessKind::Atomic,
+            };
+            if let Some(obs) = self.obs.as_deref_mut() {
+                obs.on_mem(&MemEvent::Coherence {
+                    cycle: issued_at,
+                    core: self.core,
+                    kind,
+                    latency: out.latency,
+                    l1_hit: out.l1_hit,
+                    remote_dirty: out.remote_dirty,
+                });
+            }
+        }
         out.latency
+    }
+
+    /// Emits a task-lifecycle event stamped at the core's current local time. Pure observation:
+    /// spends no cycles, and is a no-op on unobserved runs.
+    pub fn observe_task(&mut self, stage: TaskStage, task: u64) {
+        if let Some(obs) = self.obs.as_deref_mut() {
+            obs.on_task(&TaskEvent { cycle: self.time, task, core: Some(self.core), stage, arg: 0 });
+        }
+    }
+
+    /// Emits a task-lifecycle event with an explicit timestamp and no core attribution — used
+    /// for state changes whose simulated instant is not "this core, now" (e.g. a software
+    /// runtime discovering that a dependence was resolved at `available_at`).
+    pub fn observe_task_at(&mut self, cycle: Cycle, stage: TaskStage, task: u64) {
+        if let Some(obs) = self.obs.as_deref_mut() {
+            obs.on_task(&TaskEvent { cycle, task, core: None, stage, arg: 0 });
+        }
     }
 
     /// Executes a task payload: `compute_cycles` of private computation plus the DRAM time of
@@ -149,6 +208,28 @@ impl<'a> CoreCtx<'a> {
         self.time += total;
         self.stats.payload_cycles += total;
         self.stats.tasks_executed += 1;
+        total
+    }
+
+    /// [`CoreCtx::execute_payload`] plus task-span bracketing: emits `ExecStart` before and
+    /// `ExecEnd` after, with the DRAM-stall share of the payload carried in the event's `arg`.
+    /// Timing is identical to `execute_payload` — observation spends no cycles.
+    pub fn execute_task_payload(&mut self, task: u64, payload: Payload) -> Cycle {
+        self.observe_task(TaskStage::ExecStart, task);
+        let mem_cycles = self.dram.transfer(self.time, payload.memory_bytes);
+        let total = payload.compute_cycles + mem_cycles;
+        self.time += total;
+        self.stats.payload_cycles += total;
+        self.stats.tasks_executed += 1;
+        if let Some(obs) = self.obs.as_deref_mut() {
+            obs.on_task(&TaskEvent {
+                cycle: self.time,
+                task,
+                core: Some(self.core),
+                stage: TaskStage::ExecEnd,
+                arg: mem_cycles,
+            });
+        }
         total
     }
 

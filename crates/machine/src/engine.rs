@@ -8,6 +8,7 @@
 //! instruction ablation of Section IV-C is enabled) or the configured cycle cap is exceeded.
 
 use tis_mem::{BandwidthModel, FaultDiagnosis, MemorySystem};
+use tis_obs::{MemEvent, MetricsSample, Observer, TaskEvent, TaskStage};
 use tis_sim::Cycle;
 
 use crate::config::MachineConfig;
@@ -134,11 +135,80 @@ pub fn run_machine(
     runtime: &mut dyn RuntimeSystem,
     fabric: &mut dyn SchedulerFabric,
 ) -> Result<ExecutionReport, EngineError> {
+    run_machine_inner(cfg, runtime, fabric, None)
+}
+
+/// [`run_machine`] with an observer attached: task-lifecycle events, memory events (when the
+/// observer wants them) and cycle-bucketed metrics samples flow to `obs` as the run executes.
+///
+/// Observation is pure: it never spends simulated cycles, so the returned report — makespan,
+/// per-core stats, fabric and memory statistics — is identical to the unobserved run's.
+///
+/// # Errors
+///
+/// Exactly as [`run_machine`].
+pub fn run_machine_observed(
+    cfg: &MachineConfig,
+    runtime: &mut dyn RuntimeSystem,
+    fabric: &mut dyn SchedulerFabric,
+    obs: &mut dyn Observer,
+) -> Result<ExecutionReport, EngineError> {
+    run_machine_inner(cfg, runtime, fabric, Some(obs))
+}
+
+/// Snapshot of every gauge at `cycle`, assembled from the engine's own accounting plus the
+/// fabric's and memory system's occupancy/statistics views.
+fn build_sample(
+    cycle: Cycle,
+    fabric: &dyn SchedulerFabric,
+    core_stats: &[CoreStats],
+    mem: &MemorySystem,
+) -> MetricsSample {
+    let (in_flight, ready) = fabric.occupancy();
+    let ms = mem.stats();
+    MetricsSample {
+        cycle,
+        tracker_in_flight: in_flight as u64,
+        ready_queue_len: ready as u64,
+        core_busy_cycles: core_stats.iter().map(|s| s.payload_cycles + s.runtime_cycles).collect(),
+        core_idle_cycles: core_stats.iter().map(|s| s.idle_cycles).collect(),
+        mem_accesses: ms.accesses,
+        mem_stall_cycles: ms.stall_cycles,
+        dram_fetches: ms.dram_fetches,
+        dram_writebacks: ms.dram_writebacks,
+        invalidations: ms.invalidations,
+        dirty_bounces: ms.dirty_bounces,
+        noc_messages: ms.noc_messages,
+        noc_flits: ms.noc_flits,
+        noc_link_wait_cycles: ms.noc_link_wait_cycles,
+        max_link_occupancy: ms.max_link_occupancy,
+    }
+}
+
+fn run_machine_inner(
+    cfg: &MachineConfig,
+    runtime: &mut dyn RuntimeSystem,
+    fabric: &mut dyn SchedulerFabric,
+    mut obs: Option<&mut dyn Observer>,
+) -> Result<ExecutionReport, EngineError> {
     cfg.validate();
     let cores = cfg.cores;
     let mut mem =
         MemorySystem::with_model_and_faults(cores, cfg.l1, cfg.mem_latencies, cfg.memory_model, cfg.fault);
     let mut dram = BandwidthModel::new(cfg.dram_bytes_per_cycle);
+    // Arm the buffered observability paths only when a run carries an observer; unobserved runs
+    // keep every flag false and every emission a dead branch.
+    let sample_interval = match obs.as_deref_mut() {
+        Some(o) => {
+            fabric.set_observing(true);
+            mem.set_observing(o.wants_mem_events());
+            o.sample_interval()
+        }
+        None => None,
+    };
+    // First bucket boundary; `now` below is non-decreasing (the engine always steps the
+    // laggard core), so crossing boundaries in step order yields a monotone timeline.
+    let mut next_sample: Cycle = sample_interval.unwrap_or(Cycle::MAX);
     // Under fault injection the caller may tighten the deadlock watchdog so a dead link is
     // diagnosed in test-sized budgets rather than after the default 50M-cycle window.
     let watchdog_window = if cfg.fault.watchdog_cycles > 0 { cfg.fault.watchdog_cycles } else { NO_PROGRESS_WINDOW };
@@ -187,8 +257,32 @@ pub fn run_machine(
         {
             fabric.set_time_horizon(now);
             let mut ctx = CoreCtx::new(core, now, &mut mem, &mut dram, &cfg.costs, &mut core_stats[core]);
+            if let Some(o) = obs.as_deref_mut() {
+                ctx = ctx.with_observer(o);
+            }
             status = runtime.step_core(&mut ctx, fabric);
             end_time = ctx.finish();
+        }
+        if let Some(o) = obs.as_deref_mut() {
+            // Device-side dependence resolutions surface through the fabric's ready log: the
+            // scheduler, not a core, crossed these tasks into Ready.
+            fabric.drain_ready_log(&mut |cycle, sw_id| {
+                o.on_task(&TaskEvent { cycle, task: sw_id, core: None, stage: TaskStage::Ready, arg: 0 });
+            });
+            mem.drain_noc_legs(&mut |leg| {
+                o.on_mem(&MemEvent::NocLeg {
+                    cycle: leg.at,
+                    from: leg.from,
+                    to: leg.to,
+                    flits: leg.flits,
+                    wait_cycles: leg.wait_cycles,
+                });
+            });
+            if now >= next_sample {
+                o.on_sample(&build_sample(now, fabric, &core_stats, &mem));
+                let interval = sample_interval.unwrap_or(Cycle::MAX);
+                next_sample = (now / interval + 1).saturating_mul(interval);
+            }
         }
         match status {
             CoreStatus::Progressed => {
@@ -231,6 +325,15 @@ pub fn run_machine(
         .map(|(&t, _)| t)
         .max()
         .unwrap_or_else(|| core_time.iter().copied().max().unwrap_or(0));
+
+    if let Some(o) = obs {
+        // One closing sample at the makespan so the timeline always ends on the final state.
+        if sample_interval.is_some() {
+            o.on_sample(&build_sample(total_cycles, fabric, &core_stats, &mem));
+        }
+        fabric.set_observing(false);
+        mem.set_observing(false);
+    }
 
     Ok(ExecutionReport {
         runtime: runtime.name().to_string(),

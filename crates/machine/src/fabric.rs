@@ -108,6 +108,23 @@ pub trait SchedulerFabric {
 
     /// Statistics snapshot.
     fn stats(&self) -> FabricStats;
+
+    /// Arms (or disarms) observability logging inside the fabric. While armed, the fabric
+    /// buffers ready-publication timestamps for [`SchedulerFabric::drain_ready_log`]; while
+    /// disarmed (the default, and the default implementation) it buffers nothing and costs
+    /// nothing — the engine only arms it when a run carries an observer.
+    fn set_observing(&mut self, _on: bool) {}
+
+    /// Drains buffered dependence-resolution events as `(publish_cycle, sw_id)` pairs, oldest
+    /// first. The engine calls this after every agent step on observed runs; the default
+    /// implementation has nothing to drain.
+    fn drain_ready_log(&mut self, _sink: &mut dyn FnMut(Cycle, u64)) {}
+
+    /// Occupancy gauges for the metrics timeline: `(tasks in flight inside the scheduler,
+    /// ready-queue depth)`. Fabrics without tracking hardware report `(0, 0)`.
+    fn occupancy(&self) -> (usize, usize) {
+        (0, 0)
+    }
 }
 
 /// A fabric with no hardware behind it: every operation fails immediately.

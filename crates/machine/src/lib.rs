@@ -42,8 +42,9 @@ pub use tis_mem::{
     NocConfig, NocContention,
 };
 pub use cost::CostModel;
-pub use engine::{run_machine, CoreStatus, EngineError, RuntimeSystem};
+pub use engine::{run_machine, run_machine_observed, CoreStatus, EngineError, RuntimeSystem};
 pub use fabric::{FabricStats, NullFabric, SchedulerFabric};
 pub use report::{
-    mtt_speedup_bound, mtt_speedup_bound_from_throughput, ExecutionReport, TaskLifetimeBreakdown,
+    mtt_speedup_bound, mtt_speedup_bound_from_throughput, CoreUtilisation, ExecutionReport,
+    TaskLifetimeBreakdown,
 };

@@ -83,6 +83,28 @@ impl ExecutionReport {
         self.total_payload_cycles() as f64 / capacity as f64
     }
 
+    /// Per-core busy/idle split of the makespan: each core's busy time is its accounted
+    /// payload + runtime cycles (clamped to the makespan), and its idle time is the remainder —
+    /// so by construction busy + idle sums to exactly `cores × total_cycles`, with parked
+    /// workers (whose local clocks ran past the makespan waiting for work that never came)
+    /// charged as idle for the whole run.
+    pub fn core_utilisation(&self) -> Vec<CoreUtilisation> {
+        let split: Vec<CoreUtilisation> = self
+            .core_stats
+            .iter()
+            .map(|s| {
+                let busy = (s.payload_cycles + s.runtime_cycles).min(self.total_cycles);
+                CoreUtilisation { busy_cycles: busy, idle_cycles: self.total_cycles - busy }
+            })
+            .collect();
+        debug_assert_eq!(
+            split.iter().map(|u| u.busy_cycles + u.idle_cycles).sum::<u64>(),
+            self.total_cycles * self.cores as u64,
+            "busy + idle must partition cores x makespan exactly"
+        );
+        split
+    }
+
     /// Validates the recorded schedule against the program's reference dependence graph.
     ///
     /// # Errors
@@ -103,6 +125,16 @@ impl ExecutionReport {
             self.payload_utilisation()
         )
     }
+}
+
+/// One core's share of the makespan, as split by [`ExecutionReport::core_utilisation`].
+/// `busy_cycles + idle_cycles` is always exactly the makespan.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoreUtilisation {
+    /// Cycles the core spent on payload or runtime work within the makespan.
+    pub busy_cycles: u64,
+    /// Cycles the core was idle (or parked past the end of the program) within the makespan.
+    pub idle_cycles: u64,
 }
 
 /// Breakdown of where one task's lifetime overhead went; filled by runtimes that instrument
@@ -256,6 +288,20 @@ mod tests {
             (mtt_speedup_bound(1_000.0, lo, 8) - mtt_speedup_bound_from_throughput(1_000.0, 1.0 / lo, 8)).abs()
                 < 1e-12
         );
+    }
+
+    #[test]
+    fn core_utilisation_partitions_the_makespan_exactly() {
+        let mut r = report_with(Vec::new(), 1_000, 4);
+        r.core_stats[0].payload_cycles = 700;
+        r.core_stats[0].runtime_cycles = 200;
+        // Core 1 parked far past the makespan: busy clamps, the rest is idle.
+        r.core_stats[1].runtime_cycles = 1_500;
+        let u = r.core_utilisation();
+        assert_eq!(u[0], CoreUtilisation { busy_cycles: 900, idle_cycles: 100 });
+        assert_eq!(u[1], CoreUtilisation { busy_cycles: 1_000, idle_cycles: 0 });
+        let total: u64 = u.iter().map(|c| c.busy_cycles + c.idle_cycles).sum();
+        assert_eq!(total, r.total_cycles * r.cores as u64);
     }
 
     #[test]

@@ -56,5 +56,7 @@ pub use cache::{CacheConfig, CacheStats, L1Cache};
 pub use directory::{DirState, SharerSet};
 pub use mesi::{AccessKind, MesiState};
 pub use noc::{LinkContention, Mesh, NocConfig, NocContention, NocTraffic};
-pub use system::{MemLatencies, MemoryAccessOutcome, MemoryModel, MemoryStats, MemorySystem};
+pub use system::{
+    MemLatencies, MemoryAccessOutcome, MemoryModel, MemoryStats, MemorySystem, NocLegRecord,
+};
 pub use tis_fault::{DegradedOutcome, FaultConfig, FaultDiagnosis, FaultStats};

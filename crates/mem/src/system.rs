@@ -213,6 +213,27 @@ pub struct MemorySystem {
     noc_messages: u64,
     noc_hop_total: u64,
     invalidations: u64,
+    /// Observability: while `true`, every [`MemorySystem::noc_send`] appends a
+    /// [`NocLegRecord`] for the engine to drain. Plain data — this crate has no observer
+    /// dependency — and nothing is buffered while disarmed (the default).
+    observing: bool,
+    noc_leg_log: Vec<NocLegRecord>,
+}
+
+/// One NoC protocol leg, recorded while observability logging is armed
+/// (see [`MemorySystem::set_observing`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NocLegRecord {
+    /// Cycle at which the message was injected.
+    pub at: Cycle,
+    /// Source tile.
+    pub from: usize,
+    /// Destination tile.
+    pub to: usize,
+    /// Flits carried (zero under the ideal, bandwidth-free link model).
+    pub flits: u64,
+    /// Cycles the message queued behind concurrent traffic (zero under the ideal model).
+    pub wait_cycles: u64,
 }
 
 impl MemorySystem {
@@ -284,6 +305,26 @@ impl MemorySystem {
             noc_messages: 0,
             noc_hop_total: 0,
             invalidations: 0,
+            observing: false,
+            noc_leg_log: Vec::new(),
+        }
+    }
+
+    /// Arms (or disarms) NoC-leg logging. While armed, every protocol leg sent through the
+    /// interconnect is buffered as a [`NocLegRecord`] until drained; while disarmed — the
+    /// default — nothing is buffered and the send path is untouched.
+    pub fn set_observing(&mut self, on: bool) {
+        self.observing = on;
+        if !on {
+            self.noc_leg_log.clear();
+        }
+    }
+
+    /// Drains buffered NoC-leg records, oldest first, into `sink`. Called by the engine after
+    /// every agent step on observed runs.
+    pub fn drain_noc_legs(&mut self, sink: &mut dyn FnMut(&NocLegRecord)) {
+        for leg in self.noc_leg_log.drain(..) {
+            sink(&leg);
         }
     }
 
@@ -480,10 +521,24 @@ impl MemorySystem {
     fn noc_send(&mut self, from: usize, to: usize, bytes: u64, noc: &NocConfig, now: Cycle) -> Cycle {
         let hops = self.mesh.hops(from, to);
         self.note_noc(1, hops);
+        let snapshot = self
+            .observing
+            .then(|| self.noc.as_ref().map_or((0, 0), |t| (t.flits(), t.link_wait_cycles())));
         let base = match &mut self.noc {
             Some(traffic) => traffic.send(&self.mesh, noc, from, to, bytes, now),
             None => noc.message_latency(hops),
         };
+        if let Some((flits0, wait0)) = snapshot {
+            let (flits1, wait1) =
+                self.noc.as_ref().map_or((0, 0), |t| (t.flits(), t.link_wait_cycles()));
+            self.noc_leg_log.push(NocLegRecord {
+                at: now,
+                from,
+                to,
+                flits: flits1 - flits0,
+                wait_cycles: wait1 - wait0,
+            });
+        }
         let Some(faults) = &mut self.faults else { return base };
         match faults.dead_route_check(self.mesh.xy_route(from, to), from, to, now) {
             Some(detect) => base + detect,

@@ -20,6 +20,7 @@
 
 use tis_machine::fabric::{FabricOutcome, SchedulerFabric};
 use tis_machine::{CoreCtx, CoreStatus, RuntimeSystem};
+use tis_obs::TaskStage;
 use tis_picos::{encode_prefix_into, DependenceTracker, PicosId, SubmittedTask, TrackerConfig};
 use tis_sim::{FxHashMap, TimedQueue};
 use tis_taskmodel::{ExecRecord, ProgramOp, TaskProgram, TaskSpec};
@@ -175,6 +176,9 @@ impl Nanos {
         if !woken_entries.is_empty() {
             self.sched_lock.acquire(ctx);
             for e in woken_entries {
+                // Software-tracked dependence resolution: the wake was decided at the
+                // retirement's completion time, not on this core at this instant.
+                ctx.observe_task_at(e.available_at, TaskStage::Ready, e.sw_id);
                 self.ready_queue.push(ctx, e);
             }
             self.sched_lock.release(ctx);
@@ -288,6 +292,7 @@ impl Nanos {
     fn try_execute_one(&mut self, ctx: &mut CoreCtx<'_>, fabric: &mut dyn SchedulerFabric) -> bool {
         let Some(entry) = self.acquire_work(ctx, fabric) else { return false };
         let core = ctx.core();
+        ctx.observe_task(TaskStage::Dispatched, entry.sw_id);
         // Scheduler policy code + WorkDescriptor load.
         ctx.spend(self.tuning.fetch_bookkeeping);
         self.charge_plugin_calls(ctx);
@@ -295,7 +300,7 @@ impl Nanos {
 
         let spec = self.specs[entry.sw_id as usize].clone();
         let start = ctx.now();
-        ctx.execute_payload(spec.payload);
+        ctx.execute_task_payload(entry.sw_id, spec.payload);
         let end = ctx.now();
         self.records.push(ExecRecord { task: spec.id, core, start, end });
 
@@ -322,6 +327,7 @@ impl Nanos {
         ctx.spend(ctx.costs().heap_free);
         ctx.atomic(addrs::TASKWAIT_COUNTER);
         self.retire_log.push(ctx.now());
+        ctx.observe_task(TaskStage::Retired, entry.sw_id);
         if self.main_in_taskwait && core != 0 {
             // Signal the condition variable the taskwait is parked on (the waiter itself does
             // not need to wake anyone).
@@ -338,6 +344,7 @@ impl Nanos {
         match self.ops.get(self.cursor).cloned() {
             Some(ProgramOp::Spawn(spec)) => {
                 self.main_in_taskwait = false;
+                ctx.observe_task(TaskStage::Submitted, spec.id.raw());
                 // WorkDescriptor construction and plugin hooks.
                 ctx.spend(self.tuning.submit_bookkeeping);
                 self.charge_plugin_calls(ctx);
@@ -348,6 +355,7 @@ impl Nanos {
                 } else {
                     let ready = self.sw_submit(ctx, &spec);
                     if ready {
+                        ctx.observe_task_at(ctx.now(), TaskStage::Ready, spec.id.raw());
                         self.sched_lock.acquire(ctx);
                         self.ready_queue.push(
                             ctx,

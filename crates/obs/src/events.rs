@@ -1,0 +1,146 @@
+//! The typed event vocabulary flowing through the [`Observer`](crate::Observer) chokepoint.
+//!
+//! These replace ad-hoc trace strings: each event is a plain-old-data struct whose fields are
+//! exactly what the analysis passes (span building, metrics, Perfetto export, critical path)
+//! consume, so recording one allocates nothing.
+
+use tis_sim::Cycle;
+
+/// A stage of the task lifecycle, in the order the paper's Figure 7 decomposes it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TaskStage {
+    /// The runtime began submitting the task descriptor to the scheduler.
+    Submitted,
+    /// The scheduler resolved the task's dependences and published its ready descriptor.
+    Ready,
+    /// A core fetched the task for execution (successful work fetch).
+    Dispatched,
+    /// The core entered the task body.
+    ExecStart,
+    /// The core left the task body.
+    ExecEnd,
+    /// The core notified the scheduler that the task retired.
+    Retired,
+}
+
+/// One task-lifecycle event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaskEvent {
+    /// Simulated cycle of the transition.
+    pub cycle: Cycle,
+    /// Software task id (the task's index in its program).
+    pub task: u64,
+    /// Core on which the transition happened; `None` for device-side transitions
+    /// (dependence resolution happens inside the scheduler, not on a core).
+    pub core: Option<usize>,
+    /// Which lifecycle stage was crossed.
+    pub stage: TaskStage,
+    /// Stage-specific argument: for [`TaskStage::ExecEnd`] the DRAM-stall share of the payload
+    /// in cycles; `0` for every other stage.
+    pub arg: u64,
+}
+
+/// The kind of a coherence transaction, mirroring the memory system's access kinds without
+/// depending on it (this crate sits below `tis-mem` in the workspace layering).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemAccessKind {
+    /// A cache-coherent load.
+    Read,
+    /// A cache-coherent store.
+    Write,
+    /// An atomic read-modify-write.
+    Atomic,
+}
+
+/// A memory-system event: one coherence transaction or one NoC message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemEvent {
+    /// A coherence transaction completed (MESI state machine walked end to end).
+    Coherence {
+        /// Cycle the access was issued.
+        cycle: Cycle,
+        /// Issuing core.
+        core: usize,
+        /// Access kind.
+        kind: MemAccessKind,
+        /// Total latency charged to the core.
+        latency: Cycle,
+        /// Whether every touched line hit in the local L1.
+        l1_hit: bool,
+        /// Whether a remote dirty copy had to be bounced through memory.
+        remote_dirty: bool,
+    },
+    /// One message traversed the mesh NoC.
+    NocLeg {
+        /// Cycle the message was injected.
+        cycle: Cycle,
+        /// Source tile.
+        from: usize,
+        /// Destination tile.
+        to: usize,
+        /// Flit count of the message.
+        flits: u64,
+        /// Cycles spent waiting for link bandwidth / buffer space (0 on an ideal NoC).
+        wait_cycles: Cycle,
+    },
+}
+
+/// A cycle-bucketed snapshot of every gauge the run exposes.
+///
+/// Counters are cumulative since cycle 0 — consumers difference adjacent samples to get
+/// per-bucket rates. The per-core vectors are indexed by core id.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MetricsSample {
+    /// Simulated cycle of the snapshot (a multiple of the sampling interval, plus one final
+    /// sample at the makespan).
+    pub cycle: Cycle,
+    /// Tasks currently in flight inside the scheduler's dependence tracker.
+    pub tracker_in_flight: u64,
+    /// Depth of the scheduler's ready queue (published + staged descriptors).
+    pub ready_queue_len: u64,
+    /// Cumulative busy cycles (payload + runtime) per core.
+    pub core_busy_cycles: Vec<u64>,
+    /// Cumulative idle cycles per core.
+    pub core_idle_cycles: Vec<u64>,
+    /// Cumulative coherent memory accesses.
+    pub mem_accesses: u64,
+    /// Cumulative cycles cores stalled on the memory system.
+    pub mem_stall_cycles: u64,
+    /// Cumulative DRAM line fetches (MESI misses that left the chip).
+    pub dram_fetches: u64,
+    /// Cumulative dirty-line writebacks.
+    pub dram_writebacks: u64,
+    /// Cumulative invalidation messages.
+    pub invalidations: u64,
+    /// Cumulative dirty-line bounces through memory.
+    pub dirty_bounces: u64,
+    /// Cumulative NoC messages (0 on the snooping bus).
+    pub noc_messages: u64,
+    /// Cumulative NoC flits (0 unless link contention is modelled).
+    pub noc_flits: u64,
+    /// Cumulative cycles messages waited on saturated links / full buffers.
+    pub noc_link_wait_cycles: u64,
+    /// High-water flit occupancy across all links so far.
+    pub max_link_occupancy: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn task_stages_order_like_the_lifecycle() {
+        use TaskStage::*;
+        let order = [Submitted, Ready, Dispatched, ExecStart, ExecEnd, Retired];
+        for w in order.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn samples_default_to_cycle_zero() {
+        let s = MetricsSample::default();
+        assert_eq!(s.cycle, 0);
+        assert!(s.core_busy_cycles.is_empty());
+    }
+}

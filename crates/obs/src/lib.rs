@@ -1,0 +1,107 @@
+//! Zero-cost-when-off observability for the simulated machine.
+//!
+//! The paper argues for Picos by *measuring* it — per-phase task-lifetime overheads (Fig. 7)
+//! and end-to-end speedups (Fig. 9) — and this crate gives the reproduction the same
+//! introspective power: every layer of the simulation (engine, memory system, Picos tracker,
+//! scheduler fabrics, sweep runner) can stream typed events into an [`Observer`] without
+//! moving a single simulated cycle.
+//!
+//! The crate is organised around four pieces:
+//!
+//! * [`events`] — the typed event vocabulary: [`TaskEvent`] (the task-lifecycle stages
+//!   submit → deps-ready → dispatch → execute → retire), [`MemEvent`] (coherence transactions
+//!   and NoC legs) and [`MetricsSample`] (a cycle-bucketed gauge snapshot), all flowing
+//!   through the single [`Observer`] trait chokepoint;
+//! * [`metrics`] — a registry of counters, gauges and histograms with cycle-bucketed
+//!   time-series sampling, exported as a hand-rolled JSON document ([`tis_sim::json`] — no new
+//!   dependencies);
+//! * [`perfetto`] — a Chrome trace-event exporter: task spans become per-core tracks and
+//!   tracker/NoC activity become counter tracks, loadable in `ui.perfetto.dev`;
+//! * [`critical`] — a critical-path profiler that walks the executed happens-before graph and
+//!   attributes the makespan to task-body vs memory-stall vs dispatch-wait vs
+//!   scheduler-overhead cycles, machine-checked to sum exactly to the makespan.
+//!
+//! # The chokepoint contract
+//!
+//! Observer methods are invoked from exactly two places outside this crate: the engine's step
+//! loop and the core-context emission helpers (`tis-machine`). Everything else — fabrics, the
+//! Picos device, the memory system — buffers plain data behind an `observing` flag and is
+//! drained *by* the engine. `tis-lint` enforces this statically, and the figure pins plus the
+//! five `bench-baselines/` artifacts prove the [`NullObserver`] path byte-identical to a build
+//! without observability at all.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod critical;
+pub mod events;
+pub mod metrics;
+pub mod perfetto;
+pub mod recorder;
+pub mod span;
+
+pub use critical::{critical_path, CriticalPath, PathCategory, PathSegment};
+pub use events::{MemAccessKind, MemEvent, MetricsSample, TaskEvent, TaskStage};
+pub use metrics::MetricsRegistry;
+pub use recorder::{ObsConfig, Recorder};
+pub use span::{SpanCollector, TaskSpan};
+
+/// The single chokepoint through which every simulation layer reports what happened.
+///
+/// All methods have no-op defaults, so an observer implements only what it cares about. The
+/// engine consults [`Observer::wants_mem_events`] and [`Observer::sample_interval`] once per
+/// run to decide which producers to arm — a disarmed producer buffers nothing and the
+/// simulation's cycle arithmetic never changes either way.
+pub trait Observer {
+    /// A task crossed a lifecycle stage (submit, deps-ready, dispatch, execute, retire).
+    fn on_task(&mut self, _event: &TaskEvent) {}
+
+    /// A coherence transaction completed or a NoC message traversed its route.
+    fn on_mem(&mut self, _event: &MemEvent) {}
+
+    /// A cycle-bucket boundary was crossed: a snapshot of every gauge at that instant.
+    fn on_sample(&mut self, _sample: &MetricsSample) {}
+
+    /// Whether per-transaction memory events should be produced (they are the highest-volume
+    /// stream; gauges and task events flow regardless).
+    fn wants_mem_events(&self) -> bool {
+        false
+    }
+
+    /// Bucket width for gauge sampling, or `None` to disable the timeline.
+    fn sample_interval(&self) -> Option<tis_sim::Cycle> {
+        None
+    }
+}
+
+/// The do-nothing observer: proves the obs-off path is free.
+///
+/// Running a simulation with a `NullObserver` attached produces bit-identical
+/// [`ExecutionReport`]s (and therefore artifacts) to running with no observer at all — the
+/// figure-pin tests assert this.
+///
+/// [`ExecutionReport`]: https://docs.rs/tis-machine
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullObserver;
+
+impl Observer for NullObserver {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_observer_accepts_everything_and_requests_nothing() {
+        let mut o = NullObserver;
+        assert!(!o.wants_mem_events());
+        assert_eq!(o.sample_interval(), None);
+        o.on_task(&TaskEvent {
+            cycle: 1,
+            task: 0,
+            core: Some(0),
+            stage: TaskStage::Submitted,
+            arg: 0,
+        });
+        o.on_mem(&MemEvent::NocLeg { cycle: 1, from: 0, to: 1, flits: 1, wait_cycles: 0 });
+    }
+}

@@ -1,0 +1,181 @@
+//! Chrome trace-event / Perfetto export.
+//!
+//! Renders an observed run as a JSON document in the [Chrome trace-event format] — the
+//! `TRACE_*.json` artifacts load directly in `ui.perfetto.dev` (or `chrome://tracing`). Task
+//! spans become three slices per task on the executing core's track (dispatch overhead, task
+//! body, retire overhead), and the sampled gauges become counter tracks (tracker occupancy,
+//! ready-queue depth, NoC activity). Timestamps are simulated cycles reported in the format's
+//! microsecond field: read "1 µs" as "1 cycle".
+//!
+//! [Chrome trace-event format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+
+use crate::events::MetricsSample;
+use crate::span::TaskSpan;
+use tis_sim::json::Json;
+
+/// Process id used for all tracks (one simulated machine = one Perfetto process).
+const PID: u64 = 0;
+
+/// Renders task spans plus the gauge timeline as a Chrome trace-event document.
+///
+/// `label` names the process in the UI (typically the sweep cell or workload label);
+/// `cores` sizes the per-core thread tracks (cores with no executed task still get a named
+/// track, making idle cores visible).
+pub fn trace_json(label: &str, cores: usize, spans: &[TaskSpan], samples: &[MetricsSample]) -> Json {
+    let mut events: Vec<Json> = Vec::new();
+    events.push(meta_event("process_name", PID, None, label));
+    for core in 0..cores {
+        events.push(meta_event("thread_name", PID, Some(core as u64), &format!("core {core}")));
+        events.push(Json::obj([
+            ("name", Json::Str("thread_sort_index".to_string())),
+            ("ph", Json::Str("M".to_string())),
+            ("pid", Json::UInt(PID)),
+            ("tid", Json::UInt(core as u64)),
+            ("args", Json::obj([("sort_index", Json::UInt(core as u64))])),
+        ]));
+    }
+    for span in spans {
+        let (Some(core), Some(dispatch), Some(start), Some(end), Some(retire)) =
+            (span.core, span.dispatch, span.exec_start, span.exec_end, span.retire)
+        else {
+            continue; // incomplete span: nothing executed, nothing to draw
+        };
+        let tid = core as u64;
+        // Fetch/meta-read overhead between the work fetch and the body.
+        events.push(slice("fetch", "sched", tid, dispatch, start - dispatch, span.task));
+        // The task body, with the full lifecycle in args for the selection panel.
+        events.push(Json::obj([
+            ("name", Json::Str(format!("task {}", span.task))),
+            ("cat", Json::Str("task".to_string())),
+            ("ph", Json::Str("X".to_string())),
+            ("ts", Json::UInt(start)),
+            ("dur", Json::UInt(end - start)),
+            ("pid", Json::UInt(PID)),
+            ("tid", Json::UInt(tid)),
+            ("args", Json::obj([
+                ("task", Json::UInt(span.task)),
+                ("submit", opt_cycle(span.submit)),
+                ("ready", opt_cycle(span.ready)),
+                ("dispatch", Json::UInt(dispatch)),
+                ("retire", Json::UInt(retire)),
+                ("payload_mem_cycles", Json::UInt(span.payload_mem_cycles)),
+            ])),
+        ]));
+        // Retirement notification overhead after the body.
+        events.push(slice("retire", "sched", tid, end, retire - end, span.task));
+    }
+    for s in samples {
+        events.push(counter("tracker in-flight", s.cycle, "tasks", s.tracker_in_flight));
+        events.push(counter("ready queue", s.cycle, "tasks", s.ready_queue_len));
+        events.push(counter("noc flits (cum)", s.cycle, "flits", s.noc_flits));
+        events.push(counter("noc link wait (cum)", s.cycle, "cycles", s.noc_link_wait_cycles));
+        events.push(counter("mem stall (cum)", s.cycle, "cycles", s.mem_stall_cycles));
+    }
+    Json::obj([
+        ("traceEvents", Json::Arr(events)),
+        ("displayTimeUnit", Json::Str("ns".to_string())),
+        ("otherData", Json::obj([("timeUnit", Json::Str("simulated cycles".to_string()))])),
+    ])
+}
+
+fn meta_event(name: &str, pid: u64, tid: Option<u64>, value: &str) -> Json {
+    let mut pairs = vec![
+        ("name".to_string(), Json::Str(name.to_string())),
+        ("ph".to_string(), Json::Str("M".to_string())),
+        ("pid".to_string(), Json::UInt(pid)),
+    ];
+    if let Some(t) = tid {
+        pairs.push(("tid".to_string(), Json::UInt(t)));
+    }
+    pairs.push(("args".to_string(), Json::obj([("name", Json::Str(value.to_string()))])));
+    Json::Obj(pairs)
+}
+
+fn opt_cycle(c: Option<u64>) -> Json {
+    match c {
+        Some(v) => Json::UInt(v),
+        None => Json::Null,
+    }
+}
+
+fn slice(name: &str, cat: &str, tid: u64, ts: u64, dur: u64, task: u64) -> Json {
+    Json::obj([
+        ("name", Json::Str(format!("{name} {task}"))),
+        ("cat", Json::Str(cat.to_string())),
+        ("ph", Json::Str("X".to_string())),
+        ("ts", Json::UInt(ts)),
+        ("dur", Json::UInt(dur)),
+        ("pid", Json::UInt(PID)),
+        ("tid", Json::UInt(tid)),
+        ("args", Json::obj([("task", Json::UInt(task))])),
+    ])
+}
+
+fn counter(name: &str, ts: u64, series: &str, value: u64) -> Json {
+    Json::obj([
+        ("name", Json::Str(name.to_string())),
+        ("ph", Json::Str("C".to_string())),
+        ("ts", Json::UInt(ts)),
+        ("pid", Json::UInt(PID)),
+        ("args", Json::Obj(vec![(series.to_string(), Json::UInt(value))])),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::MetricsSample;
+
+    fn complete_span(task: u64, core: usize, base: u64) -> TaskSpan {
+        TaskSpan {
+            task,
+            core: Some(core),
+            submit: Some(base),
+            ready: Some(base + 10),
+            dispatch: Some(base + 20),
+            exec_start: Some(base + 25),
+            exec_end: Some(base + 125),
+            retire: Some(base + 130),
+            payload_mem_cycles: 40,
+        }
+    }
+
+    #[test]
+    fn every_event_satisfies_the_trace_event_schema() {
+        let spans = [complete_span(0, 0, 0), complete_span(1, 1, 50)];
+        let samples =
+            [MetricsSample { cycle: 0, ..Default::default() }, MetricsSample { cycle: 1024, ..Default::default() }];
+        let doc = trace_json("unit", 2, &spans, &samples);
+        let Some(Json::Arr(events)) = doc.get("traceEvents") else {
+            panic!("traceEvents must be an array");
+        };
+        assert!(!events.is_empty());
+        for e in events {
+            let ph = e.get("ph").and_then(|p| p.as_str()).expect("every event has a phase");
+            assert!(matches!(ph, "M" | "X" | "C"), "unexpected phase {ph}");
+            assert!(e.get("name").is_some());
+            assert!(e.get("pid").is_some());
+            if ph == "X" {
+                assert!(e.get("ts").is_some() && e.get("dur").is_some() && e.get("tid").is_some());
+            }
+            if ph == "C" {
+                assert!(e.get("ts").is_some() && e.get("args").is_some());
+            }
+        }
+        // Three slices per complete span.
+        let slices = events.iter().filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X"));
+        assert_eq!(slices.count(), 6);
+        // The document parses back (valid JSON).
+        assert_eq!(Json::parse(&doc.render()).unwrap(), doc);
+    }
+
+    #[test]
+    fn incomplete_spans_draw_nothing_but_tracks_remain() {
+        let spans = [TaskSpan { task: 9, submit: Some(3), ..TaskSpan::default() }];
+        let doc = trace_json("unit", 4, &spans, &[]);
+        let Some(Json::Arr(events)) = doc.get("traceEvents") else { unreachable!() };
+        assert!(events.iter().all(|e| e.get("ph").and_then(|p| p.as_str()) != Some("X")));
+        // 1 process_name + 4 × (thread_name + thread_sort_index).
+        assert_eq!(events.len(), 9);
+    }
+}

@@ -1,0 +1,129 @@
+//! The one-stop observer: spans + metrics + exporters behind a single config.
+
+use crate::critical::{critical_path, CriticalPath};
+use crate::events::{MemEvent, MetricsSample, TaskEvent};
+use crate::metrics::MetricsRegistry;
+use crate::perfetto;
+use crate::span::{SpanCollector, TaskSpan};
+use crate::Observer;
+use tis_sim::json::Json;
+use tis_sim::Cycle;
+
+/// What a [`Recorder`] collects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObsConfig {
+    /// Gauge-sampling bucket width in cycles; `0` disables the timeline.
+    pub sample_interval: Cycle,
+    /// Whether to stream per-transaction memory events (the highest-volume stream; off by
+    /// default so observing a long run stays cheap).
+    pub mem_events: bool,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        ObsConfig { sample_interval: 4096, mem_events: false }
+    }
+}
+
+impl ObsConfig {
+    /// Everything on: fine sampling and the full memory-event stream.
+    pub fn full() -> Self {
+        ObsConfig { sample_interval: 1024, mem_events: true }
+    }
+}
+
+/// Collects everything an observed run produces: task spans, the metrics registry, and the
+/// gauge timeline — ready to export as Perfetto/metrics JSON or a critical-path table.
+#[derive(Debug, Clone, Default)]
+pub struct Recorder {
+    config: ObsConfig,
+    spans: SpanCollector,
+    metrics: MetricsRegistry,
+    task_events: u64,
+}
+
+impl Recorder {
+    /// Creates a recorder with the given config.
+    pub fn new(config: ObsConfig) -> Self {
+        Recorder { config, ..Recorder::default() }
+    }
+
+    /// The assembled task spans, in first-submission order.
+    pub fn spans(&self) -> &[TaskSpan] {
+        self.spans.spans()
+    }
+
+    /// The metrics registry (counters, histograms, timeline).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// Total task events observed.
+    pub fn task_events(&self) -> u64 {
+        self.task_events
+    }
+
+    /// Renders the Chrome trace-event / Perfetto document for this run.
+    pub fn perfetto_json(&self, label: &str, cores: usize) -> Json {
+        perfetto::trace_json(label, cores, self.spans.spans(), self.metrics.samples())
+    }
+
+    /// Renders the metrics document for this run.
+    pub fn metrics_json(&self, label: &str, makespan: Cycle) -> Json {
+        self.metrics.to_json(label, makespan)
+    }
+
+    /// Decomposes the makespan over the executed happens-before graph (see
+    /// [`critical_path`]); `edges` are the program's dependence edges, e.g.
+    /// `GraphSpec::from_program(&program).edges` from `tis-analyze`.
+    pub fn critical_path(&self, edges: &[(usize, usize)], makespan: Cycle) -> CriticalPath {
+        critical_path(self.spans.spans(), edges, makespan)
+    }
+}
+
+impl Observer for Recorder {
+    fn on_task(&mut self, event: &TaskEvent) {
+        self.task_events += 1;
+        self.spans.apply(event);
+    }
+
+    fn on_mem(&mut self, event: &MemEvent) {
+        self.metrics.record_mem(event);
+    }
+
+    fn on_sample(&mut self, sample: &MetricsSample) {
+        self.metrics.push_sample(sample);
+    }
+
+    fn wants_mem_events(&self) -> bool {
+        self.config.mem_events
+    }
+
+    fn sample_interval(&self) -> Option<Cycle> {
+        (self.config.sample_interval > 0).then_some(self.config.sample_interval)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::TaskStage;
+
+    #[test]
+    fn recorder_routes_streams_to_the_right_collectors() {
+        let mut r = Recorder::new(ObsConfig::full());
+        assert!(r.wants_mem_events());
+        assert_eq!(r.sample_interval(), Some(1024));
+        r.on_task(&TaskEvent { cycle: 5, task: 0, core: None, stage: TaskStage::Submitted, arg: 0 });
+        r.on_sample(&MetricsSample { cycle: 0, ..Default::default() });
+        assert_eq!(r.task_events(), 1);
+        assert_eq!(r.spans().len(), 1);
+        assert_eq!(r.metrics().samples().len(), 1);
+    }
+
+    #[test]
+    fn zero_interval_disables_sampling() {
+        let r = Recorder::new(ObsConfig { sample_interval: 0, mem_events: false });
+        assert_eq!(r.sample_interval(), None);
+    }
+}

@@ -104,6 +104,11 @@ pub struct Picos {
     /// Deterministic submission-loss state; `None` unless [`PicosConfig::fault`] engages.
     faults: Option<TrackerFaults>,
     stats: PicosStats,
+    /// Observability: while `true`, every ready publication appends `(publish_cycle, sw_id)`
+    /// to [`Picos::drain_ready_log`]'s buffer. Plain data — this crate carries no observer
+    /// dependency — and nothing is buffered while disarmed (the default).
+    observing: bool,
+    ready_log: Vec<(Cycle, u64)>,
 }
 
 impl Picos {
@@ -121,6 +126,23 @@ impl Picos {
             time_horizon: None,
             faults: config.fault.engages().then(|| TrackerFaults::new(config.fault)),
             stats: PicosStats::default(),
+            observing: false,
+            ready_log: Vec::new(),
+        }
+    }
+
+    /// Arms (or disarms) ready-publication logging (see the `observing` field).
+    pub fn set_observing(&mut self, on: bool) {
+        self.observing = on;
+        if !on {
+            self.ready_log.clear();
+        }
+    }
+
+    /// Drains buffered ready publications as `(publish_cycle, sw_id)` pairs, oldest first.
+    pub fn drain_ready_log(&mut self, sink: &mut dyn FnMut(Cycle, u64)) {
+        for (t, sw_id) in self.ready_log.drain(..) {
+            sink(t, sw_id);
         }
     }
 
@@ -182,6 +204,9 @@ impl Picos {
             self.ready_queue
                 .push(entry)
                 .expect("checked for space above");
+            if self.observing {
+                self.ready_log.push((t, sw_id));
+            }
             self.stats.ready_published += 1;
             self.stats.ready_high_water = self.stats.ready_high_water.max(self.ready_queue.len());
         }

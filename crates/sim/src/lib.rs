@@ -16,7 +16,9 @@
 //!   tables on the simulator's hot paths;
 //! * [`inline`] — [`InlineVec`], a small vector with inline storage for the short lists the
 //!   Picos task memory and address table are made of;
-//! * [`trace`] — a lightweight bounded event trace for debugging simulations.
+//! * [`trace`] — a lightweight bounded event trace for debugging simulations;
+//! * [`json`] — the dependency-free JSON value tree shared by the benchmark artifacts and the
+//!   observability exports (`tis-bench` re-exports it for backward compatibility).
 //!
 //! The whole simulator is single-threaded and deterministic: given the same configuration and the
 //! same seeds, every run produces bit-identical results. This mirrors the methodology of the
@@ -42,6 +44,7 @@ pub mod clock;
 pub mod fxhash;
 pub mod hwqueue;
 pub mod inline;
+pub mod json;
 pub mod rng;
 pub mod stats;
 pub mod trace;
@@ -50,6 +53,7 @@ pub use clock::{Cycle, CycleClock, Frequency};
 pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use hwqueue::{BoundedQueue, TimedQueue};
 pub use inline::InlineVec;
+pub use json::{Json, JsonParseError};
 pub use rng::SimRng;
 pub use stats::{geomean, Counter, Histogram, RunningStats};
-pub use trace::{TraceBuffer, TraceEvent, TraceLevel};
+pub use trace::{TraceBuffer, TraceEvent, TraceLevel, TracePayload};

@@ -4,6 +4,12 @@
 //! capacity) by default so production experiments pay nothing; tests and the examples enable it
 //! to explain *why* a schedule looks the way it does (who submitted which task, which core
 //! fetched it, when it retired).
+//!
+//! Events are typed: the `source` is a `&'static str` and the payload a [`TracePayload`], so
+//! recording a task-lifecycle event allocates nothing even with tracing enabled. The freeform
+//! string path ([`TraceBuffer::record`]) is kept for ad-hoc debugging but is deprecated in
+//! favour of [`TraceBuffer::record_event`] here and the structured `tis-obs` observer layer for
+//! anything analysis-grade.
 
 use crate::clock::Cycle;
 use std::collections::VecDeque;
@@ -19,6 +25,56 @@ pub enum TraceLevel {
     Debug,
 }
 
+/// Typed content of a trace record.
+///
+/// The structured variants cover the task-lifecycle vocabulary shared with `tis-obs` and cost
+/// no allocation to record; [`TracePayload::Message`] is the legacy freeform escape hatch.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TracePayload {
+    /// Freeform text (allocates; prefer a structured variant on any hot path).
+    Message(String),
+    /// A task descriptor was accepted by the scheduler.
+    TaskSubmitted {
+        /// Software task id.
+        task: u64,
+    },
+    /// A task's dependences were satisfied and its descriptor published as ready.
+    TaskReady {
+        /// Software task id.
+        task: u64,
+    },
+    /// A core fetched the task for execution.
+    TaskDispatched {
+        /// Software task id.
+        task: u64,
+        /// Core that fetched it.
+        core: usize,
+    },
+    /// A core retired the task.
+    TaskRetired {
+        /// Software task id.
+        task: u64,
+        /// Core that retired it.
+        core: usize,
+    },
+}
+
+impl core::fmt::Display for TracePayload {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            TracePayload::Message(m) => f.write_str(m),
+            TracePayload::TaskSubmitted { task } => write!(f, "task {task} submitted"),
+            TracePayload::TaskReady { task } => write!(f, "task {task} ready"),
+            TracePayload::TaskDispatched { task, core } => {
+                write!(f, "task {task} dispatched on core {core}")
+            }
+            TracePayload::TaskRetired { task, core } => {
+                write!(f, "task {task} retired on core {core}")
+            }
+        }
+    }
+}
+
 /// One timestamped trace record.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceEvent {
@@ -27,14 +83,21 @@ pub struct TraceEvent {
     /// Verbosity class of the event.
     pub level: TraceLevel,
     /// Component that emitted the event (e.g. `"picos"`, `"core3"`, `"phentos"`).
-    pub source: String,
-    /// Human-readable description.
-    pub message: String,
+    pub source: &'static str,
+    /// What happened.
+    pub payload: TracePayload,
+}
+
+impl TraceEvent {
+    /// The payload rendered as text (the historical `message` field).
+    pub fn message(&self) -> String {
+        self.payload.to_string()
+    }
 }
 
 impl core::fmt::Display for TraceEvent {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        write!(f, "[{:>10}] {:<8} {}", self.cycle, self.source, self.message)
+        write!(f, "[{:>10}] {:<8} {}", self.cycle, self.source, self.payload)
     }
 }
 
@@ -77,13 +140,14 @@ impl TraceBuffer {
         }
     }
 
-    /// Records an event, evicting the oldest one if the buffer is full.
-    pub fn record(
+    /// Records a typed event, evicting the oldest one if the buffer is full. Structured
+    /// payloads allocate nothing.
+    pub fn record_event(
         &mut self,
         cycle: Cycle,
         level: TraceLevel,
-        source: impl Into<String>,
-        message: impl Into<String>,
+        source: &'static str,
+        payload: TracePayload,
     ) {
         if !self.accepts(level) {
             return;
@@ -92,12 +156,27 @@ impl TraceBuffer {
             self.events.pop_front();
             self.dropped += 1;
         }
-        self.events.push_back(TraceEvent {
-            cycle,
-            level,
-            source: source.into(),
-            message: message.into(),
-        });
+        self.events.push_back(TraceEvent { cycle, level, source, payload });
+    }
+
+    /// Records a freeform text event (the legacy string path).
+    ///
+    /// Deprecated in spirit: this allocates per event, so structured call sites should use
+    /// [`TraceBuffer::record_event`], and anything feeding analysis should emit `tis-obs`
+    /// events instead. The method stays for ad-hoc printf-style debugging only. Note that the
+    /// message is only materialised after the level check, so a disabled buffer still pays
+    /// nothing when callers pass `format!` results lazily via `&str`.
+    pub fn record(
+        &mut self,
+        cycle: Cycle,
+        level: TraceLevel,
+        source: &'static str,
+        message: impl Into<String>,
+    ) {
+        if !self.accepts(level) {
+            return;
+        }
+        self.record_event(cycle, level, source, TracePayload::Message(message.into()));
     }
 
     /// Number of events currently retained.
@@ -140,6 +219,7 @@ mod tests {
         let mut t = TraceBuffer::disabled();
         assert!(!t.is_enabled());
         t.record(1, TraceLevel::Info, "x", "y");
+        t.record_event(2, TraceLevel::Info, "x", TracePayload::TaskReady { task: 1 });
         assert!(t.is_empty());
     }
 
@@ -151,28 +231,39 @@ mod tests {
         t.record(1, TraceLevel::Detail, "picos", "ignored");
         t.record(2, TraceLevel::Info, "picos", "kept");
         assert_eq!(t.len(), 1);
-        assert_eq!(t.iter().next().unwrap().message, "kept");
+        assert_eq!(t.iter().next().unwrap().message(), "kept");
     }
 
     #[test]
     fn ring_buffer_evicts_oldest() {
         let mut t = TraceBuffer::new(3, TraceLevel::Debug);
         for i in 0..5u64 {
-            t.record(i, TraceLevel::Info, "core0", format!("e{i}"));
+            t.record_event(i, TraceLevel::Info, "core0", TracePayload::TaskReady { task: i });
         }
         assert_eq!(t.len(), 3);
         assert_eq!(t.dropped(), 2);
-        let msgs: Vec<_> = t.iter().map(|e| e.message.clone()).collect();
-        assert_eq!(msgs, vec!["e2", "e3", "e4"]);
+        let tasks: Vec<_> = t
+            .iter()
+            .map(|e| match e.payload {
+                TracePayload::TaskReady { task } => task,
+                _ => panic!("only ready events were recorded"),
+            })
+            .collect();
+        assert_eq!(tasks, vec![2, 3, 4]);
     }
 
     #[test]
-    fn render_contains_cycle_and_source() {
+    fn typed_events_render_like_the_string_path() {
         let mut t = TraceBuffer::new(4, TraceLevel::Debug);
-        t.record(123, TraceLevel::Info, "phentos", "task 7 retired");
+        t.record_event(
+            123,
+            TraceLevel::Info,
+            "phentos",
+            TracePayload::TaskRetired { task: 7, core: 2 },
+        );
         let s = t.render();
         assert!(s.contains("123"));
         assert!(s.contains("phentos"));
-        assert!(s.contains("task 7 retired"));
+        assert!(s.contains("task 7 retired on core 2"));
     }
 }

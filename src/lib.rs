@@ -2,7 +2,7 @@
 //! *Adding Tightly-Integrated Task Scheduling Acceleration to a RISC-V Multi-core Processor*
 //! (Morais et al., MICRO 2019).
 //!
-//! The workspace is split into twelve layered crates; this crate simply re-exports all of them so
+//! The workspace is split into thirteen layered crates; this crate simply re-exports all of them so
 //! the top-level `examples/` and `tests/` directories have a single anchor package, and so
 //! downstream users can depend on one crate:
 //!
@@ -16,6 +16,7 @@
 //! | device | [`picos`] | the Picos hardware task-dependence manager (function + timing) |
 //! | platform | [`core`] | RoCC instructions, Picos Delegate/Manager, TIS fabric, Phentos runtime |
 //! | platform | [`nanos`] | Nanos-SW / Nanos-RV / Nanos-AXI behavioural runtime models |
+//! | observability | [`obs`] | typed task-lifecycle events, metrics timelines, Perfetto export, critical-path profiler |
 //! | input | [`workloads`] | blackscholes, jacobi, sparselu, stream, microbenches, Figure 9 catalog |
 //! | harness | [`bench`](mod@bench) | the experiment harness reproducing the paper's tables and figures |
 //! | harness | [`exp`] | declarative sweeps, synthetic task graphs, parallel sweep runner |
@@ -76,6 +77,7 @@ pub use tis_fault as fault;
 pub use tis_machine as machine;
 pub use tis_mem as mem;
 pub use tis_nanos as nanos;
+pub use tis_obs as obs;
 pub use tis_picos as picos;
 pub use tis_sim as sim;
 pub use tis_taskmodel as taskmodel;

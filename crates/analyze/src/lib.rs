@@ -31,6 +31,11 @@
 //! Analyses 1 and 2 are gated by [`AnalysisConfig`] so the default
 //! experiment path pays nothing — reports and artifacts stay byte-identical
 //! with analysis off.
+//!
+//! For *streamed* workloads — which never materialize a whole graph — the
+//! [`windowed`] module provides the incremental counterpart to preflight: a
+//! [`WindowedPreflight`] checks structure per spawn and enumerates the
+//! conflict frontier over a bounded history window.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -39,11 +44,13 @@ pub mod graph;
 pub mod lint;
 pub mod protocol;
 pub mod race;
+pub mod windowed;
 
 pub use graph::{
     analyze_graph, analyze_program, conflict_frontier, ConflictPair, GraphAnalysis, GraphError,
     GraphSpec,
 };
+pub use windowed::{WindowedAnalysis, WindowedPreflight};
 pub use lint::{default_rules, lint_source, lint_workspace, LintFinding, LintRule};
 pub use protocol::{
     check_global_invariants, model_check_protocol, ModelCheckReport, ProtocolViolation,

@@ -6,6 +6,9 @@
 //!
 //! These measure the *simulator's* throughput (host-side), which is what bounds how large an
 //! experiment the harness can run; the simulated latencies are covered by the figure benches.
+//! A second guard reports `tasks_per_host_second` through the full streaming engine (a
+//! bounded-window [`TaskSource`] chain on Phentos with records off), so the end-to-end cost of
+//! simulating one task is a number every CI run prints.
 //! The tracker chains drive both implementations identically and in steady state (persistent
 //! tracker, reused descriptor and wake buffers) — the same shape the Picos device model uses —
 //! so the ratio isolates the implementation difference.
@@ -15,10 +18,13 @@
 use criterion::{criterion_group, Criterion};
 use std::hint::black_box;
 use std::time::Instant;
+use tis_bench::{Harness, Platform};
 use tis_core::rocc::{RoccInstruction, TaskSchedOp};
 use tis_mem::{AccessKind, CacheConfig, MemLatencies, MemorySystem};
 use tis_picos::{decode_descriptor, encode_descriptor, DependenceTracker, PicosId, SubmittedTask, TrackerConfig};
-use tis_taskmodel::Dependence;
+use tis_taskmodel::{
+    Dependence, Payload, ProgramOp, SourcePoll, TaskId, TaskSource, TaskSpec,
+};
 
 /// Tasks per measured chain (one insert + one retire each).
 const CHAIN: u64 = 200;
@@ -332,9 +338,135 @@ fn tracker_regression_guard() {
     }
 }
 
+/// A minimal dependence-chain [`TaskSource`], implemented here from scratch rather than via
+/// `tis_exp::StreamingSynth`: the bench crate sits below `tis-exp`, and a from-first-principles
+/// implementation doubles as proof that the trait is usable outside the workspace's own
+/// generators. Task `i` writes its slot and reads slot `i-1`; only `window` descriptors are
+/// ever resident.
+#[derive(Debug)]
+struct ChainSource {
+    tasks: u64,
+    window: usize,
+    next_id: u64,
+    wait_emitted: bool,
+    resident: std::collections::BTreeMap<u64, TaskSpec>,
+    peak_resident: usize,
+}
+
+impl ChainSource {
+    fn new(tasks: u64, window: usize) -> Self {
+        ChainSource {
+            tasks,
+            window,
+            next_id: 0,
+            wait_emitted: false,
+            resident: std::collections::BTreeMap::new(),
+            peak_resident: 0,
+        }
+    }
+}
+
+impl TaskSource for ChainSource {
+    fn name(&self) -> &str {
+        "host-throughput-chain"
+    }
+
+    fn poll(&mut self) -> SourcePoll {
+        if self.next_id >= self.tasks {
+            if self.wait_emitted {
+                return SourcePoll::Done;
+            }
+            self.wait_emitted = true;
+            return SourcePoll::Op(ProgramOp::TaskWait);
+        }
+        if self.resident.len() >= self.window {
+            return SourcePoll::Blocked;
+        }
+        let i = self.next_id;
+        let addr = |id: u64| 0xC000_0000 + id * 64;
+        let mut deps = vec![Dependence::write(addr(i))];
+        if i > 0 {
+            deps.push(Dependence::read(addr(i - 1)));
+        }
+        let spec = TaskSpec::new(TaskId(i), Payload::compute(500), deps);
+        self.resident.insert(i, spec.clone());
+        self.peak_resident = self.peak_resident.max(self.resident.len());
+        self.next_id += 1;
+        SourcePoll::Op(ProgramOp::Spawn(spec))
+    }
+
+    fn spec(&self, sw_id: u64) -> &TaskSpec {
+        &self.resident[&sw_id]
+    }
+
+    fn retire(&mut self, sw_id: u64) {
+        self.resident.remove(&sw_id);
+    }
+
+    fn max_deps(&self) -> usize {
+        2
+    }
+
+    fn resident(&self) -> usize {
+        self.resident.len()
+    }
+
+    fn peak_resident(&self) -> usize {
+        self.peak_resident
+    }
+}
+
+/// The host-throughput guard for the streaming engine: simulated **tasks per host second**
+/// through the full machine (Phentos + TIS fabric, records off), the figure that bounds how
+/// large a streamed cell the harness can afford. The floor is far below the locally observed
+/// rate so the guard trips on an algorithmic regression (e.g. an O(tasks) scan sneaking back
+/// into the per-step path), not on a slow CI host.
+fn streaming_host_throughput_guard() {
+    const TASKS: u64 = 200_000;
+    const WINDOW: usize = 1_024;
+    const FLOOR_TASKS_PER_SEC: f64 = 50_000.0;
+    let harness = Harness::paper_prototype();
+    // Warm-up run (page-in, branch training), then the measured run.
+    for _ in 0..1 {
+        let r = harness
+            .run_source(Platform::Phentos, Box::new(ChainSource::new(TASKS, WINDOW)), false)
+            .expect("streamed warm-up chain must complete");
+        assert_eq!(r.tasks_retired, TASKS);
+    }
+    let t0 = Instant::now();
+    let report = harness
+        .run_source(Platform::Phentos, Box::new(ChainSource::new(TASKS, WINDOW)), false)
+        .expect("streamed chain must complete");
+    let elapsed = t0.elapsed().as_secs_f64();
+    assert_eq!(report.tasks_retired, TASKS);
+    assert!(
+        report.peak_resident_tasks <= WINDOW as u64,
+        "peak resident descriptors {} exceeded the {}-task window",
+        report.peak_resident_tasks,
+        WINDOW
+    );
+    let tasks_per_host_second = TASKS as f64 / elapsed;
+    let verdict = if tasks_per_host_second >= FLOOR_TASKS_PER_SEC { "ok" } else { "REGRESSION" };
+    println!(
+        "tasks_per_host_second: {:.0} ({} tasks in {:.3} s, window {}, peak resident {}, floor {:.0}) ... {}",
+        tasks_per_host_second,
+        TASKS,
+        elapsed,
+        WINDOW,
+        report.peak_resident_tasks,
+        FLOOR_TASKS_PER_SEC,
+        verdict
+    );
+    if tasks_per_host_second < FLOOR_TASKS_PER_SEC && std::env::var_os("TIS_BENCH_STRICT").is_some()
+    {
+        std::process::exit(1);
+    }
+}
+
 criterion_group!(benches, bench_tracker, bench_packet_codec, bench_rocc_codec, bench_mesi);
 
 fn main() {
     benches();
     tracker_regression_guard();
+    streaming_host_throughput_guard();
 }

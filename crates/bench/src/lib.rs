@@ -21,7 +21,7 @@ use tis_machine::{
 };
 use tis_nanos::{AxiConfig, AxiFabric, Nanos, NanosTuning, NanosVariant};
 use tis_sim::geomean;
-use tis_taskmodel::TaskProgram;
+use tis_taskmodel::{TaskProgram, TaskSource};
 use tis_workloads::{paper_catalog, task_chain, task_free, WorkloadInstance};
 
 /// The four Task Scheduling platforms compared throughout the paper's evaluation.
@@ -161,6 +161,57 @@ impl Harness {
         obs: &mut dyn tis_obs::Observer,
     ) -> Result<ExecutionReport, EngineError> {
         self.run_inner(platform, program, Some(obs))
+    }
+
+    /// Runs a streamed workload ([`TaskSource`]) on the given platform.
+    ///
+    /// The streaming counterpart of [`Harness::run`]: the runtime pulls ops on demand and
+    /// frees each descriptor on retire, so a bounded-window source simulates millions of
+    /// tasks in `O(window)` host memory. With `collect_records` off the runtime also skips
+    /// accumulating per-task [`tis_taskmodel::ExecRecord`]s — the whole run is then
+    /// `O(window)` resident, which is exactly what the streaming-scale gate measures (the
+    /// report's `peak_resident_tasks` field carries the high-water mark).
+    ///
+    /// There is no up-front preflight pass here — a streamed program never exists in memory
+    /// at once. Sources are expected to validate themselves as they generate (see
+    /// `tis_analyze::WindowedPreflight`, which `tis_exp::StreamingSynth` runs inline).
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`EngineError`] (deadlock / cycle-cap) from the simulation.
+    pub fn run_source(
+        &self,
+        platform: Platform,
+        source: Box<dyn TaskSource>,
+        collect_records: bool,
+    ) -> Result<ExecutionReport, EngineError> {
+        let cores = self.machine.cores;
+        match platform {
+            Platform::Phentos => {
+                let mut runtime = Phentos::from_source(source, cores, self.phentos);
+                runtime.set_collect_records(collect_records);
+                let mut fabric = TisFabric::new(cores, self.tis);
+                run_machine(&self.machine, &mut runtime, &mut fabric)
+            }
+            Platform::NanosRv => {
+                let mut runtime = Nanos::from_source(source, cores, NanosVariant::PicosRocc, self.nanos);
+                runtime.set_collect_records(collect_records);
+                let mut fabric = TisFabric::new(cores, self.tis);
+                run_machine(&self.machine, &mut runtime, &mut fabric)
+            }
+            Platform::NanosAxi => {
+                let mut runtime = Nanos::from_source(source, cores, NanosVariant::PicosAxi, self.nanos);
+                runtime.set_collect_records(collect_records);
+                let mut fabric = AxiFabric::new(cores, self.axi);
+                run_machine(&self.machine, &mut runtime, &mut fabric)
+            }
+            Platform::NanosSw => {
+                let mut runtime = Nanos::from_source(source, cores, NanosVariant::Software, self.nanos);
+                runtime.set_collect_records(collect_records);
+                let mut fabric = NullFabric::new();
+                run_machine(&self.machine, &mut runtime, &mut fabric)
+            }
+        }
     }
 
     fn run_inner(

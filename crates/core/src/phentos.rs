@@ -25,7 +25,9 @@ use tis_machine::{CoreCtx, CoreStatus, RuntimeSystem};
 use tis_obs::TaskStage;
 use tis_picos::encode_prefix_into;
 use tis_sim::Cycle;
-use tis_taskmodel::{ExecRecord, ProgramOp, TaskProgram, TaskSpec};
+use tis_taskmodel::{
+    ExecRecord, MaterializedSource, ProgramOp, SourcePoll, TaskProgram, TaskSource, TaskSpec,
+};
 
 /// Base simulated address of the Task Metadata Array.
 const META_BASE: u64 = 0x9000_0000;
@@ -81,13 +83,19 @@ struct WorkerState {
 }
 
 /// The Phentos runtime plugged into the machine engine.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Phentos {
     cfg: PhentosConfig,
-    ops: Vec<ProgramOp>,
-    specs: Vec<TaskSpec>,
+    /// Where main-thread ops come from: a [`MaterializedSource`] for built programs, or a true
+    /// streaming source holding only `O(window)` descriptors for million-task runs.
+    source: Box<dyn TaskSource>,
+    /// A pulled-but-not-yet-completed op. Sources consume ops on poll, so a submission that the
+    /// saturated hardware rejects parks here and is retried — reproducing the old
+    /// cursor-does-not-advance semantics exactly.
+    pending: Option<ProgramOp>,
+    /// The source answered [`SourcePoll::Done`]; only the final barrier remains.
+    source_done: bool,
     element_bytes: u64,
-    cursor: usize,
     submitted: u64,
     /// Ground truth of the shared retirement counter's value in simulated memory.
     shared_retired: u64,
@@ -95,6 +103,7 @@ pub struct Phentos {
     done: bool,
     workers: Vec<WorkerState>,
     records: Vec<ExecRecord>,
+    collect_records: bool,
     name: String,
     /// Scratch buffer for descriptor packets, reused across submissions.
     packet_scratch: Vec<u32>,
@@ -108,26 +117,42 @@ impl Phentos {
     /// Panics if the program fails validation (a workload-generator bug).
     pub fn new(program: &TaskProgram, cores: usize, cfg: PhentosConfig) -> Self {
         program.validate().expect("program must satisfy the Picos descriptor constraints");
-        let specs: Vec<TaskSpec> = program.tasks().cloned().collect();
+        Phentos::from_source(Box::new(MaterializedSource::new(program)), cores, cfg)
+    }
+
+    /// Instantiates Phentos over a streaming [`TaskSource`]: descriptors are pulled on demand
+    /// and freed on retire, so memory stays `O(window)` no matter how many tasks the source
+    /// streams. Driving a [`MaterializedSource`] through this constructor is byte-identical to
+    /// [`Phentos::new`] on the underlying program.
+    pub fn from_source(source: Box<dyn TaskSource>, cores: usize, cfg: PhentosConfig) -> Self {
         // Section V-B: one cache line is enough for up to 7 dependences, two for up to 15. A
-        // pre-processor macro picks the size per application; we pick it per program.
-        let max_deps = specs.iter().map(|t| t.dep_count()).max().unwrap_or(0);
-        let element_bytes = if max_deps <= 7 { 64 } else { 128 };
+        // pre-processor macro picks the size per application; we pick it per program, from the
+        // source's declared bound (a stream cannot be scanned up front).
+        let element_bytes = if source.max_deps() <= 7 { 64 } else { 128 };
+        let name = format!("phentos({})", source.name());
         Phentos {
             cfg,
-            ops: program.ops().to_vec(),
-            specs,
+            source,
+            pending: None,
+            source_done: false,
             element_bytes,
-            cursor: 0,
             submitted: 0,
             shared_retired: 0,
             total_retired: 0,
             done: false,
             workers: vec![WorkerState::default(); cores],
             records: Vec::new(),
-            name: format!("phentos({})", program.name()),
+            collect_records: true,
+            name,
             packet_scratch: Vec::new(),
         }
+    }
+
+    /// Disables per-task [`ExecRecord`] collection. Records are `O(tasks)` host memory — the
+    /// one thing a bounded-window streamed run cannot afford — so million-task cells switch
+    /// them off; every differential and validation path keeps the default (on).
+    pub fn set_collect_records(&mut self, on: bool) {
+        self.collect_records = on;
     }
 
     /// Size in bytes of one Task Metadata Array element for this program (64 or 128).
@@ -162,15 +187,18 @@ impl Phentos {
 
         // Read the task metadata element (one or two cache lines, written by the submitter).
         ctx.read(self.meta_addr(sw_id), self.element_bytes);
-        let spec = self.specs[sw_id as usize].clone();
+        let spec = self.source.spec(sw_id).clone();
         let start = ctx.now();
         ctx.execute_task_payload(sw_id, spec.payload);
         let end = ctx.now();
-        self.records.push(ExecRecord { task: spec.id, core, start, end });
+        if self.collect_records {
+            self.records.push(ExecRecord { task: spec.id, core, start, end });
+        }
 
         let lat = fabric.retire_task(core, picos_id, ctx.now());
         ctx.spend(lat);
         ctx.observe_task(TaskStage::Retired, sw_id);
+        self.source.retire(sw_id);
         self.workers[core].private_retired += 1;
         self.workers[core].failures_since_flush = 0;
         self.total_retired += 1;
@@ -219,10 +247,26 @@ impl Phentos {
         if self.done {
             return CoreStatus::Finished;
         }
-        match self.ops.get(self.cursor).cloned() {
+        // Pull the next op on demand. A blocked source (in-flight window full) is handled like
+        // saturated hardware: execute resident work so retirements free the window. Streamed
+        // dependences only point backwards, so the in-flight set always holds runnable work and
+        // this cannot deadlock.
+        if self.pending.is_none() && !self.source_done {
+            match self.source.poll() {
+                SourcePoll::Op(op) => self.pending = Some(op),
+                SourcePoll::Blocked => {
+                    if !self.try_execute_one(ctx, fabric) {
+                        ctx.spin_backoff();
+                    }
+                    return CoreStatus::Progressed;
+                }
+                SourcePoll::Done => self.source_done = true,
+            }
+        }
+        match self.pending.clone() {
             Some(ProgramOp::Spawn(spec)) => {
                 if self.submit_current(ctx, fabric, &spec) {
-                    self.cursor += 1;
+                    self.pending = None;
                 } else {
                     // Non-blocking submission failed (hardware saturated): do useful work
                     // instead of stalling — the deadlock-avoidance pattern of Section IV-C.
@@ -237,7 +281,7 @@ impl Phentos {
                 self.flush_private(ctx);
                 ctx.read(SHARED_RETIRE_COUNTER, 8);
                 if self.shared_retired >= target {
-                    self.cursor += 1;
+                    self.pending = None;
                     return CoreStatus::Progressed;
                 }
                 if self.try_execute_one(ctx, fabric) {
@@ -312,6 +356,10 @@ impl RuntimeSystem for Phentos {
 
     fn tasks_retired(&self) -> u64 {
         self.total_retired
+    }
+
+    fn peak_resident_tasks(&self) -> u64 {
+        self.source.peak_resident() as u64
     }
 }
 

@@ -13,6 +13,10 @@
 //! * [`synth`] — deterministic synthetic task-graph families (chain, tree, diamond, layered
 //!   fork-join, windowed Erdős–Rényi), seeded from [`tis_sim::SimRng`] streams so workloads go
 //!   far beyond the fixed catalog while staying perfectly reproducible;
+//! * [`stream`] — the streaming counterpart ([`StreamingSynth`]): the locally-structured
+//!   families (chain, fork-join, windowed ER) as bounded-residency
+//!   [`TaskSource`](tis_taskmodel::TaskSource)s, so a single cell simulates millions of tasks
+//!   in `O(window)` host memory with bit-identical RNG consumption;
 //! * [`runner`] — evaluates cells through `tis_machine::engine::run_machine`, optionally on N
 //!   host threads; results are merged in grid order so output is bit-identical for any worker
 //!   count;
@@ -50,11 +54,13 @@
 pub mod grid;
 pub mod report;
 pub mod runner;
+pub mod stream;
 pub mod synth;
 
 pub use grid::{CellSpec, Sweep, WorkloadSpec};
 pub use report::{ObsCellData, SweepCell, SweepReport};
 pub use runner::{run_sweep, run_sweep_with_workers, workers_from_env};
+pub use stream::StreamingSynth;
 pub use synth::{SynthFamily, SynthSpec, ER_WINDOW, MAX_IN_DEGREE};
 // The memory-model axis values, re-exported so sweep definitions need no extra dependency.
 pub use tis_machine::{

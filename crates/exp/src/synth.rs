@@ -19,6 +19,12 @@ use tis_taskmodel::{Dependence, Payload, ProgramBuilder, TaskProgram, MAX_DEPEND
 /// address ranges only for readability in traces; programs never share an address space).
 const SYNTH_BASE: u64 = 0xD000_0000;
 
+/// Output address of synthetic task `i` — shared by the materializing generator and the
+/// streaming source so the two emit bit-identical descriptors.
+pub(crate) fn out_addr(i: usize) -> u64 {
+    SYNTH_BASE + (i as u64) * 64
+}
+
 /// Maximum number of predecessors a synthetic task may read: one dependence slot is reserved
 /// for the task's own output write.
 pub const MAX_IN_DEGREE: usize = MAX_DEPENDENCES - 1;
@@ -158,7 +164,7 @@ impl SynthSpec {
         self.assert_params();
         let n = self.tasks;
         let mut b = ProgramBuilder::new(self.name());
-        let out = |i: usize| SYNTH_BASE + (i as u64) * 64;
+        let out = out_addr;
         for i in 0..n {
             let mut deps = vec![Dependence::write(out(i))];
             match self.family {
@@ -219,7 +225,7 @@ impl SynthSpec {
     }
 
     /// Draws one task's compute cycles (mean `task_cycles`, uniform ±`jitter`).
-    fn draw_cycles(&self, rng: &mut SimRng) -> u64 {
+    pub(crate) fn draw_cycles(&self, rng: &mut SimRng) -> u64 {
         if self.jitter == 0.0 {
             return self.task_cycles;
         }

@@ -33,6 +33,12 @@ pub enum CoreStatus {
 
 /// A runtime plugged into the machine: it owns the program being executed and the per-core agent
 /// state, and spends cycles exclusively through the [`CoreCtx`] it is handed.
+///
+/// Runtimes are *pull-based*: the engine never hands them work — each step the agent decides
+/// what to do next, pulling ops from its task source (materialized or streaming) and task
+/// identities from the fabric. This keeps the single inner loop of `run_machine_inner`
+/// workload-shape agnostic: a million-task streamed cell and a 40-task materialized one drive
+/// the exact same engine code.
 pub trait RuntimeSystem {
     /// Human-readable runtime name (e.g. `"phentos"`, `"nanos-sw"`).
     fn name(&self) -> &'static str;
@@ -49,6 +55,14 @@ pub trait RuntimeSystem {
 
     /// Number of tasks the runtime has retired so far.
     fn tasks_retired(&self) -> u64;
+
+    /// High-water mark of task descriptors resident in the runtime's task source over the whole
+    /// run — the memory-footprint proxy the streaming-scale gate checks against the configured
+    /// in-flight window. Runtimes that do not stream (every test double, and any runtime built
+    /// before the streaming refactor) report `0`.
+    fn peak_resident_tasks(&self) -> u64 {
+        0
+    }
 }
 
 /// Errors terminating a simulation without a result.
@@ -345,6 +359,7 @@ fn run_machine_inner(
         fabric_stats: fabric.stats(),
         memory_stats: mem.stats(),
         tasks_retired: runtime.tasks_retired(),
+        peak_resident_tasks: runtime.peak_resident_tasks(),
     })
 }
 

@@ -32,6 +32,11 @@ pub struct ExecutionReport {
     pub memory_stats: MemoryStats,
     /// Number of tasks the runtime retired.
     pub tasks_retired: u64,
+    /// High-water mark of task descriptors resident in the runtime's task source (0 for
+    /// runtimes predating the streaming refactor and for engine test doubles). For a streamed
+    /// run this is the `O(window)` memory-footprint proxy the streaming-scale bench gates on;
+    /// for a materialized run it is the true maximum number of simultaneously in-flight tasks.
+    pub peak_resident_tasks: u64,
 }
 
 impl ExecutionReport {
@@ -68,7 +73,12 @@ impl ExecutionReport {
         let busy: u64 = self
             .core_stats
             .iter()
-            .map(|s| s.payload_cycles + s.runtime_cycles + s.idle_cycles)
+            .map(|s| {
+                s.payload_cycles
+                    .checked_add(s.runtime_cycles)
+                    .and_then(|a| a.checked_add(s.idle_cycles))
+                    .expect("per-core cycle totals overflow u64")
+            })
             .sum();
         let payload = self.total_payload_cycles();
         (busy.saturating_sub(payload)) as f64 / self.tasks_retired as f64
@@ -93,13 +103,27 @@ impl ExecutionReport {
             .core_stats
             .iter()
             .map(|s| {
-                let busy = (s.payload_cycles + s.runtime_cycles).min(self.total_cycles);
+                // Checked rather than bare addition: at 10⁶–10⁷ streamed tasks the per-core
+                // counters are far from u64::MAX, but a silent wrap here would corrupt the
+                // partition invariant below instead of failing loudly.
+                let accounted = s
+                    .payload_cycles
+                    .checked_add(s.runtime_cycles)
+                    .expect("per-core busy cycles overflow u64");
+                let busy = accounted.min(self.total_cycles);
                 CoreUtilisation { busy_cycles: busy, idle_cycles: self.total_cycles - busy }
             })
             .collect();
         debug_assert_eq!(
-            split.iter().map(|u| u.busy_cycles + u.idle_cycles).sum::<u64>(),
-            self.total_cycles * self.cores as u64,
+            split
+                .iter()
+                .try_fold(0u64, |acc, u| acc
+                    .checked_add(u.busy_cycles)
+                    .and_then(|a| a.checked_add(u.idle_cycles)))
+                .expect("utilisation sum overflows u64"),
+            self.total_cycles
+                .checked_mul(self.cores as u64)
+                .expect("cores x makespan overflows u64"),
             "busy + idle must partition cores x makespan exactly"
         );
         split
@@ -211,6 +235,7 @@ mod tests {
             fabric_stats: FabricStats::default(),
             memory_stats: MemoryStats::default(),
             tasks_retired: tasks,
+            peak_resident_tasks: 0,
         }
     }
 

@@ -23,7 +23,7 @@ use tis_machine::{CoreCtx, CoreStatus, RuntimeSystem};
 use tis_obs::TaskStage;
 use tis_picos::{encode_prefix_into, DependenceTracker, PicosId, SubmittedTask, TrackerConfig};
 use tis_sim::{FxHashMap, TimedQueue};
-use tis_taskmodel::{ExecRecord, ProgramOp, TaskProgram, TaskSpec};
+use tis_taskmodel::{ExecRecord, MaterializedSource, ProgramOp, SourcePoll, TaskProgram, TaskSource, TaskSpec};
 
 use crate::shared::{addrs, CentralEntry, CentralReadyQueue, NanosLock};
 use crate::tuning::NanosTuning;
@@ -67,18 +67,25 @@ struct NanosWorker {
 }
 
 /// The Nanos runtime plugged into the machine engine.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Nanos {
     variant: NanosVariant,
     tuning: NanosTuning,
-    ops: Vec<ProgramOp>,
-    specs: Vec<TaskSpec>,
-    cursor: usize,
+    source: Box<dyn TaskSource>,
+    /// Op pulled from the source but not yet acted on (a refused hardware submission or an
+    /// unsatisfied `taskwait` keeps the main thread on the same op across steps).
+    pending: Option<ProgramOp>,
+    source_done: bool,
     submitted: u64,
-    /// Simulated cycle of every retirement, in the order they were performed. Kept as a log so
-    /// that a `taskwait` polling at simulated time `t` only observes retirements that had
-    /// completed by `t` (cores are stepped in relaxed time order).
+    /// Simulated cycle of every retirement *not yet folded into `retired_base`*, in the order
+    /// they were performed. Kept as a log so that a `taskwait` polling at simulated time `t`
+    /// only observes retirements that had completed by `t` (cores are stepped in relaxed time
+    /// order).
     retire_log: Vec<u64>,
+    /// Retirements whose completion time is at or before the current step's start — visible to
+    /// every core from now on, so their individual timestamps no longer matter. Folding them
+    /// out of `retire_log` keeps the `taskwait` poll O(in-flight) instead of O(total tasks).
+    retired_base: u64,
     /// Software-variant retirements accepted but not yet applied to the dependence domain,
     /// keyed by completion cycle — applied once simulated time catches up, mirroring the
     /// deferral inside the Picos device.
@@ -92,6 +99,9 @@ pub struct Nanos {
     sw_ids: FxHashMap<u64, PicosId>,
     workers: Vec<NanosWorker>,
     records: Vec<ExecRecord>,
+    /// Whether per-task [`ExecRecord`]s are collected. On by default; streamed million-task
+    /// runs switch this off so record storage stays O(1) instead of O(tasks).
+    collect_records: bool,
     /// Scratch buffer for descriptor packets, reused across hardware submissions.
     packet_scratch: Vec<u32>,
     /// Scratch buffer for the software tracker's wake-up lists, reused across retirements.
@@ -108,14 +118,24 @@ impl Nanos {
     /// Panics if the program fails validation.
     pub fn new(program: &TaskProgram, cores: usize, variant: NanosVariant, tuning: NanosTuning) -> Self {
         program.validate().expect("program must satisfy the descriptor constraints");
+        Nanos::from_source(Box::new(MaterializedSource::new(program)), cores, variant, tuning)
+    }
+
+    /// Instantiates a Nanos variant over a streaming [`TaskSource`].
+    ///
+    /// The source is trusted to uphold the [`TaskSource`] contract (dense sequential SW IDs,
+    /// backward-only dependences); streamed workloads validate themselves incrementally as they
+    /// generate, since an unbounded stream cannot be scanned up front.
+    pub fn from_source(source: Box<dyn TaskSource>, cores: usize, variant: NanosVariant, tuning: NanosTuning) -> Self {
         Nanos {
             variant,
             tuning,
-            ops: program.ops().to_vec(),
-            specs: program.tasks().cloned().collect(),
-            cursor: 0,
+            source,
+            pending: None,
+            source_done: false,
             submitted: 0,
             retire_log: Vec::new(),
+            retired_base: 0,
             sw_pending: TimedQueue::new(),
             done: false,
             main_in_taskwait: false,
@@ -129,6 +149,7 @@ impl Nanos {
             sw_ids: FxHashMap::default(),
             workers: vec![NanosWorker::default(); cores],
             records: Vec::new(),
+            collect_records: true,
             packet_scratch: Vec::new(),
             sw_woken_scratch: Vec::new(),
             sw_submit_scratch: SubmittedTask::new(0, Vec::new()),
@@ -145,13 +166,33 @@ impl Nanos {
         self.variant
     }
 
+    /// Switches per-task [`ExecRecord`] collection on or off (on by default).
+    pub fn set_collect_records(&mut self, on: bool) {
+        self.collect_records = on;
+    }
+
     fn wd_addr(sw_id: u64) -> u64 {
         WD_BASE + (sw_id % 4096) * WD_BYTES
     }
 
     /// Number of retirements visible at simulated cycle `now`.
+    ///
+    /// Callers query with `now >= ctx.step_start()`, so everything folded into `retired_base`
+    /// (completion time at or before some earlier step's start) is always visible.
     fn retired_at(&self, now: u64) -> u64 {
-        self.retire_log.iter().filter(|&&t| t <= now).count() as u64
+        self.retired_base + self.retire_log.iter().filter(|&&t| t <= now).count() as u64
+    }
+
+    /// Folds retirements that completed at or before `horizon` into `retired_base`.
+    ///
+    /// The step-start time is monotone across steps, so once a retirement's completion time is
+    /// at or before it, every later query observes it regardless of its exact timestamp. Without
+    /// this, the `taskwait` poll rescans an ever-growing log — O(tasks²) over a million-task
+    /// run.
+    fn compact_retirements(&mut self, horizon: u64) {
+        let before = self.retire_log.len();
+        self.retire_log.retain(|&t| t > horizon);
+        self.retired_base += (before - self.retire_log.len()) as u64;
     }
 
     /// Applies software-variant retirements whose completion time has been reached, waking their
@@ -298,11 +339,13 @@ impl Nanos {
         self.charge_plugin_calls(ctx);
         ctx.read(Self::wd_addr(entry.sw_id), WD_BYTES);
 
-        let spec = self.specs[entry.sw_id as usize].clone();
+        let spec = self.source.spec(entry.sw_id).clone();
         let start = ctx.now();
         ctx.execute_task_payload(entry.sw_id, spec.payload);
         let end = ctx.now();
-        self.records.push(ExecRecord { task: spec.id, core, start, end });
+        if self.collect_records {
+            self.records.push(ExecRecord { task: spec.id, core, start, end });
+        }
 
         // Retirement.
         ctx.spend(self.tuning.retire_bookkeeping);
@@ -319,7 +362,12 @@ impl Nanos {
                 self.dep_lock.acquire(ctx);
                 ctx.spend(ctx.costs().hash_probe * spec.dep_count().max(1) as u64);
                 self.dep_lock.release(ctx);
-                let pid = self.sw_ids[&entry.sw_id];
+                // The mapping is dead once the retirement is scheduled: prune it, or a
+                // million-task stream grows the map without bound.
+                let pid = self
+                    .sw_ids
+                    .remove(&entry.sw_id)
+                    .expect("software-tracked task has a registered Picos ID");
                 self.sw_pending.schedule(ctx.now(), pid);
                 self.process_sw_pending(ctx);
             }
@@ -328,6 +376,7 @@ impl Nanos {
         ctx.atomic(addrs::TASKWAIT_COUNTER);
         self.retire_log.push(ctx.now());
         ctx.observe_task(TaskStage::Retired, entry.sw_id);
+        self.source.retire(entry.sw_id);
         if self.main_in_taskwait && core != 0 {
             // Signal the condition variable the taskwait is parked on (the waiter itself does
             // not need to wake anyone).
@@ -341,7 +390,21 @@ impl Nanos {
         if self.done {
             return CoreStatus::Finished;
         }
-        match self.ops.get(self.cursor).cloned() {
+        if self.pending.is_none() && !self.source_done {
+            match self.source.poll() {
+                SourcePoll::Op(op) => self.pending = Some(op),
+                SourcePoll::Blocked => {
+                    // The source's in-flight window is full: drain resident work instead of
+                    // spawning, exactly as on a refused hardware submission.
+                    if !self.try_execute_one(ctx, fabric) {
+                        ctx.spend(ctx.costs().mutex_uncontended);
+                    }
+                    return CoreStatus::Progressed;
+                }
+                SourcePoll::Done => self.source_done = true,
+            }
+        }
+        match self.pending.clone() {
             Some(ProgramOp::Spawn(spec)) => {
                 self.main_in_taskwait = false;
                 ctx.observe_task(TaskStage::Submitted, spec.id.raw());
@@ -367,16 +430,19 @@ impl Nanos {
                 };
                 if submitted {
                     self.submitted += 1;
-                    self.cursor += 1;
+                    self.pending = None;
                 } else if !self.try_execute_one(ctx, fabric) {
                     ctx.spend(ctx.costs().mutex_uncontended);
                 }
                 CoreStatus::Progressed
             }
             Some(ProgramOp::TaskWait) | None => {
-                let final_barrier = self.cursor >= self.ops.len();
+                // `pending` can only be `None` here once the source has answered `Done`, so a
+                // missing op is the implicit final barrier.
+                let final_barrier = self.pending.is_none();
                 let target = self.submitted;
                 self.process_sw_pending(ctx);
+                self.compact_retirements(ctx.step_start());
                 ctx.read(addrs::TASKWAIT_COUNTER, 8);
                 if self.retired_at(ctx.now()) >= target {
                     self.main_in_taskwait = false;
@@ -385,7 +451,7 @@ impl Nanos {
                         self.done = true;
                         self.workers[ctx.core()].finished = true;
                     } else {
-                        self.cursor += 1;
+                        self.pending = None;
                     }
                     return CoreStatus::Progressed;
                 }
@@ -443,7 +509,11 @@ impl RuntimeSystem for Nanos {
     }
 
     fn tasks_retired(&self) -> u64 {
-        self.retire_log.len() as u64
+        self.retired_base + self.retire_log.len() as u64
+    }
+
+    fn peak_resident_tasks(&self) -> u64 {
+        self.source.peak_resident() as u64
     }
 }
 

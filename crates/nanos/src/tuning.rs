@@ -26,7 +26,10 @@ pub struct NanosTuning {
     /// Number of virtual (plugin) calls charged per scheduling interaction.
     pub virtual_calls_per_phase: u32,
     /// Software dependence handling, fixed part per task (Nanos-SW only): DependenciesDomain
-    /// entry, region lookup setup, readiness bookkeeping.
+    /// entry, region lookup setup, readiness bookkeeping. Together with
+    /// [`sw_dep_per_dep`](Self::sw_dep_per_dep) this is fitted so the composed Nanos-SW
+    /// Task-Free overheads land on Figure 7's published 25 208 (1 dep) and 99 008 (15 deps)
+    /// cycles/task.
     pub sw_dep_base: Cycle,
     /// Software dependence handling, per declared dependence (Nanos-SW only): region-map probe,
     /// dependency-object allocation, version-list maintenance — both at submission and at
@@ -47,8 +50,8 @@ impl Default for NanosTuning {
             fetch_bookkeeping: 3_800,
             retire_bookkeeping: 2_300,
             virtual_calls_per_phase: 6,
-            sw_dep_base: 6_500,
-            sw_dep_per_dep: 5_400,
+            sw_dep_base: 8_266,
+            sw_dep_per_dep: 4_993,
             idle_sleep_quantum: 4_000,
             lock_contention_window: 400,
         }

@@ -137,6 +137,57 @@ impl CriticalPath {
     }
 }
 
+/// Why a run cannot be critical-path profiled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CriticalPathError {
+    /// The run retired tasks but the trace holds no complete span for any of them. This is
+    /// the signature of a *streamed* run profiled without task tracing (records off, no
+    /// observer): the walk would have nothing to anchor on and would silently attribute the
+    /// entire makespan to [`PathCategory::Scheduler`] — a decomposition that type-checks but
+    /// means nothing. Re-run with an observer attached to profile a streamed cell.
+    NoObservedSpans {
+        /// How many tasks the unprofileable run retired.
+        tasks_retired: u64,
+    },
+}
+
+impl std::fmt::Display for CriticalPathError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CriticalPathError::NoObservedSpans { tasks_retired } => write!(
+                f,
+                "run retired {tasks_retired} tasks but the trace observed none of them \
+                 (streamed records-off run?) — a critical-path decomposition would be \
+                 all-scheduler noise; attach an observer to profile this run"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CriticalPathError {}
+
+/// The checked front door to [`critical_path`] for whole-run profiling: `tasks_retired`
+/// comes from the run's `ExecutionReport`, and a run that retired tasks the trace never saw
+/// — a streamed records-off run — is rejected with a typed error instead of decomposed into
+/// meaningless all-scheduler segments.
+///
+/// # Errors
+///
+/// [`CriticalPathError::NoObservedSpans`] when `tasks_retired > 0` but no span is complete
+/// (executed and retired).
+pub fn critical_path_for_run(
+    spans: &[TaskSpan],
+    edges: &[(usize, usize)],
+    makespan: Cycle,
+    tasks_retired: u64,
+) -> Result<CriticalPath, CriticalPathError> {
+    let complete = spans.iter().any(|s| s.retire.is_some() && s.exec_start.is_some());
+    if tasks_retired > 0 && !complete {
+        return Err(CriticalPathError::NoObservedSpans { tasks_retired });
+    }
+    Ok(critical_path(spans, edges, makespan))
+}
+
 /// Decomposes `makespan` over the executed happens-before graph.
 ///
 /// `spans` are the observed task lifecycles; `edges` are `(from, to)` dependence pairs over
@@ -318,6 +369,25 @@ mod tests {
         ];
         let cp = critical_path(&spans, &[(0, 1)], 410);
         assert_eq!(cp.total(), 410);
+    }
+
+    #[test]
+    fn streamed_records_off_runs_are_rejected_with_a_typed_error() {
+        // 1M retired tasks, zero observed spans: the profiler must refuse, not hand back a
+        // 100%-scheduler decomposition.
+        let err = critical_path_for_run(&[], &[], 5_000, 1_000_000).unwrap_err();
+        assert_eq!(err, CriticalPathError::NoObservedSpans { tasks_retired: 1_000_000 });
+        assert!(err.to_string().contains("streamed"), "error must name the cause: {err}");
+
+        // A genuinely empty run (nothing retired) still profiles: all scheduler.
+        let cp = critical_path_for_run(&[], &[], 42, 0).unwrap();
+        assert_eq!(cp.scheduler, 42);
+
+        // And a traced run goes through unchanged.
+        let spans = [span(0, 0, 5, 6, 10, 50, 55, 0)];
+        let cp = critical_path_for_run(&spans, &[], 60, 1).unwrap();
+        assert_eq!(cp.total(), 60);
+        assert_eq!(cp, critical_path(&spans, &[], 60));
     }
 
     #[test]

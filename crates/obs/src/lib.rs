@@ -40,7 +40,10 @@ pub mod perfetto;
 pub mod recorder;
 pub mod span;
 
-pub use critical::{critical_path, CriticalPath, PathCategory, PathSegment};
+pub use critical::{
+    critical_path, critical_path_for_run, CriticalPath, CriticalPathError, PathCategory,
+    PathSegment,
+};
 pub use events::{MemAccessKind, MemEvent, MetricsSample, TaskEvent, TaskStage};
 pub use metrics::MetricsRegistry;
 pub use recorder::{ObsConfig, Recorder};

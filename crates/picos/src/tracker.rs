@@ -834,6 +834,163 @@ mod proptests {
     }
 
     proptest! {
+        #![proptest_config(ProptestConfig::with_cases(3))]
+        /// Long-churn soak: 120k tasks stream through a 64-entry task memory, so every slot is
+        /// recycled ~2000 times and every serial tag, address-table scrub and wake-up list is
+        /// exercised deep into the ID-reuse regime a streamed million-task run lives in.
+        ///
+        /// The oracle is an independent mirror of the matching rules keyed by *software* IDs —
+        /// which are never reused — so any defect where the tracker confuses a recycled Picos
+        /// ID for its retired predecessor (stale address-table reference, serial-tag mismatch,
+        /// lost or spurious wake-up) shows up as a divergence between the two.
+        #[test]
+        fn long_churn_through_a_tiny_task_memory_matches_a_sw_id_oracle(
+            seed in 1u64..1_000_000u64
+        ) {
+            use tis_sim::SimRng;
+
+            #[derive(Default)]
+            struct MirrorAddr {
+                last_writer: Option<u64>,
+                readers: Vec<u64>,
+            }
+
+            let total: u64 = 120_000;
+            let cfg = TrackerConfig { task_memory_entries: 64, address_table_entries: 256 };
+            let mut t = DependenceTracker::new(cfg);
+            let mut rng = SimRng::new(seed);
+            let addr_of = |i: u64| 0x7000_0000 + i * 64;
+
+            // The sw-id oracle: per-address frontier, per-task unresolved counts, successor
+            // lists and collapsed dependence lists (for the retire-time scrub).
+            let mut mirror: FxHashMap<u64, MirrorAddr> = FxHashMap::default();
+            let mut unresolved: FxHashMap<u64, usize> = FxHashMap::default();
+            let mut succs: FxHashMap<u64, Vec<u64>> = FxHashMap::default();
+            let mut mirror_deps: FxHashMap<u64, Vec<(u64, Direction)>> = FxHashMap::default();
+            let mut mirror_edges = 0u64;
+
+            let mut ready: Vec<(PicosId, u64)> = Vec::new();
+            let mut next_sw = 0u64;
+            let mut retired = 0u64;
+            while retired < total {
+                let can_insert = next_sw < total && !t.is_full();
+                if can_insert && (ready.is_empty() || rng.chance(0.6)) {
+                    // 0..=3 annotations over a 96-address pool: small enough for constant
+                    // conflict churn, occasional within-task duplicates included.
+                    let n_deps = rng.below(4) as usize;
+                    let deps: Vec<Dependence> = (0..n_deps)
+                        .map(|_| Dependence::new(addr_of(rng.below(96)), Direction::ALL[rng.below(3) as usize]))
+                        .collect();
+                    let sw = next_sw;
+                    next_sw += 1;
+
+                    // Oracle: collapse duplicates, gather predecessors, update the frontier.
+                    let mut collapsed: Vec<(u64, Direction)> = Vec::new();
+                    'dd: for d in &deps {
+                        for c in collapsed.iter_mut() {
+                            if c.0 == d.addr {
+                                c.1 = c.1.merge(d.dir);
+                                continue 'dd;
+                            }
+                        }
+                        collapsed.push((d.addr, d.dir));
+                    }
+                    let mut preds: Vec<u64> = Vec::new();
+                    for &(addr, dir) in &collapsed {
+                        let e = mirror.entry(addr).or_default();
+                        if dir.reads() {
+                            if let Some(w) = e.last_writer {
+                                if !preds.contains(&w) {
+                                    preds.push(w);
+                                }
+                            }
+                        }
+                        if dir.writes() {
+                            if let Some(w) = e.last_writer {
+                                if !preds.contains(&w) {
+                                    preds.push(w);
+                                }
+                            }
+                            for &r in &e.readers {
+                                if !preds.contains(&r) {
+                                    preds.push(r);
+                                }
+                            }
+                            e.last_writer = Some(sw);
+                            e.readers.clear();
+                            if dir.reads() {
+                                e.readers.push(sw);
+                            }
+                        } else {
+                            e.readers.push(sw);
+                        }
+                    }
+                    for &p in &preds {
+                        succs.entry(p).or_default().push(sw);
+                        mirror_edges += 1;
+                    }
+                    unresolved.insert(sw, preds.len());
+                    mirror_deps.insert(sw, collapsed);
+
+                    let (pid, is_ready) = t.insert(&SubmittedTask::new(sw, deps)).unwrap();
+                    prop_assert_eq!(t.sw_id(pid), Some(sw));
+                    prop_assert_eq!(
+                        is_ready, preds.is_empty(),
+                        "T{} readiness diverges from the oracle (preds {:?})", sw, preds
+                    );
+                    if is_ready {
+                        ready.push((pid, sw));
+                    }
+                } else {
+                    // Lost-wakeup detector: an acyclic in-flight set always has a ready task.
+                    prop_assert!(!ready.is_empty(), "tracker stalled with {} in flight", t.in_flight());
+                    let idx = rng.below(ready.len() as u64) as usize;
+                    let (pid, sw) = ready.swap_remove(idx);
+
+                    // Oracle: scrub the frontier and wake successors.
+                    for (addr, _) in mirror_deps.remove(&sw).unwrap() {
+                        if let Some(e) = mirror.get_mut(&addr) {
+                            if e.last_writer == Some(sw) {
+                                e.last_writer = None;
+                            }
+                            e.readers.retain(|&r| r != sw);
+                            if e.last_writer.is_none() && e.readers.is_empty() {
+                                mirror.remove(&addr);
+                            }
+                        }
+                    }
+                    let mut expected_woke: Vec<u64> = Vec::new();
+                    for s in succs.remove(&sw).unwrap_or_default() {
+                        if let Some(u) = unresolved.get_mut(&s) {
+                            *u -= 1;
+                            if *u == 0 {
+                                expected_woke.push(s);
+                            }
+                        }
+                    }
+                    unresolved.remove(&sw);
+
+                    let woke = t.retire(pid).unwrap();
+                    let woke_sw: Vec<u64> =
+                        woke.iter().map(|&w| t.sw_id(w).expect("woken task is in flight")).collect();
+                    prop_assert_eq!(
+                        &woke_sw, &expected_woke,
+                        "T{}'s wake-ups diverge from the oracle", sw
+                    );
+                    ready.extend(woke.into_iter().zip(expected_woke));
+                    retired += 1;
+                }
+            }
+            prop_assert_eq!(t.in_flight(), 0);
+            prop_assert_eq!(t.live_addresses(), 0, "retirement must scrub every address entry");
+            prop_assert_eq!(t.stats().inserted, total);
+            prop_assert_eq!(t.stats().retired, total);
+            prop_assert_eq!(t.stats().edges, mirror_edges);
+            prop_assert!(t.stats().max_in_flight <= 64);
+        }
+    }
+
+    proptest! {
         #![proptest_config(ProptestConfig::with_cases(48))]
         /// Driving the tracker with an arbitrary program and greedily retiring ready tasks
         /// produces an execution order that the reference dependence graph accepts, and every

@@ -14,6 +14,9 @@
 //!   memory bytes);
 //! * [`program`] — whole programs ([`TaskProgram`]): an ordered stream of spawns and
 //!   `taskwait` barriers, as emitted by the main thread of an OmpSs application;
+//! * [`source`] — streaming programs ([`TaskSource`]): the same op stream pulled on demand
+//!   with a bounded in-flight descriptor window, so million-task workloads run in
+//!   `O(window)` memory ([`MaterializedSource`] adapts any built program losslessly);
 //! * [`graph`] — a *reference* dependence graph builder used to validate every scheduler in the
 //!   workspace against the paradigm's sequential-semantics definition, plus critical-path and
 //!   parallelism analysis.
@@ -42,9 +45,11 @@
 pub mod dep;
 pub mod graph;
 pub mod program;
+pub mod source;
 pub mod task;
 
 pub use dep::{DepAddr, Dependence, Direction};
 pub use graph::{DepGraph, ExecRecord, ExecutionValidator, GraphStats, ValidationError};
 pub use program::{ProgramBuilder, ProgramOp, ProgramStats, TaskProgram};
+pub use source::{MaterializedSource, SourcePoll, TaskSource};
 pub use task::{Payload, TaskId, TaskSpec, TaskSpecError, MAX_DEPENDENCES};

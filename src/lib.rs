@@ -65,6 +65,26 @@
 //! assert!(contended.noc_link_wait_cycles > 0, "contended links queue");
 //! assert_eq!(ideal.noc_link_wait_cycles, 0, "ideal links never do");
 //! ```
+//!
+//! # Example: streaming execution
+//!
+//! The README's "Streaming a million tasks" snippet, kept compiling and passing here at
+//! debug-build scale (the million-task version is the `sweep_streaming_scale` CI bench;
+//! only the task count differs):
+//!
+//! ```
+//! use tis::bench::{Harness, Platform};
+//! use tis::exp::{StreamingSynth, SynthFamily, SynthSpec};
+//! use tis::sim::SimRng;
+//!
+//! let spec = SynthSpec::uniform(SynthFamily::Chain, 20_000, 500);
+//! let source = StreamingSynth::new(spec, 1_024, SimRng::new(42)); // 1 024-task window
+//! let report = Harness::paper_prototype()
+//!     .run_source(Platform::Phentos, Box::new(source), false) // false: no per-task records
+//!     .unwrap();
+//! assert_eq!(report.tasks_retired, 20_000);
+//! assert!(report.peak_resident_tasks <= 1_024); // O(window) memory, machine-checked
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

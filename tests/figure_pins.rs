@@ -37,14 +37,14 @@ const FIG07_PINS: &[(&str, &str, u64)] = &[
     ("nanos-rv", "Task-Free 15 deps", 1835649),
     ("nanos-rv", "Task-Chain 1 dep", 1767567),
     ("nanos-rv", "Task-Chain 15 deps", 1771767),
-    ("nanos-axi", "Task-Free 1 dep", 2373867),
-    ("nanos-axi", "Task-Free 15 deps", 2653373),
-    ("nanos-axi", "Task-Chain 1 dep", 2373867),
-    ("nanos-axi", "Task-Chain 15 deps", 2562867),
-    ("nanos-sw", "Task-Free 1 dep", 3577305),
-    ("nanos-sw", "Task-Free 15 deps", 15501682),
-    ("nanos-sw", "Task-Chain 1 dep", 3573763),
-    ("nanos-sw", "Task-Chain 15 deps", 15498278),
+    ("nanos-axi", "Task-Free 1 dep", 2276817),
+    ("nanos-axi", "Task-Free 15 deps", 2547912),
+    ("nanos-axi", "Task-Chain 1 dep", 2276817),
+    ("nanos-axi", "Task-Chain 15 deps", 2465817),
+    ("nanos-sw", "Task-Free 1 dep", 3781155),
+    ("nanos-sw", "Task-Free 15 deps", 14850832),
+    ("nanos-sw", "Task-Chain 1 dep", 3777613),
+    ("nanos-sw", "Task-Chain 15 deps", 14847428),
 ];
 
 /// The Figure 9 catalog rows pinned here: one entry per benchmark family, at the paper's
@@ -60,19 +60,19 @@ const FIG09_ENTRIES: &[(&str, &str)] = &[
 /// Pinned Figure 9 makespans: `(benchmark, input, platform key, total cycles)` at 8 cores, in
 /// `FIG09_ENTRIES` × `Platform::FIGURE9` order.
 const FIG09_PINS: &[(&str, &str, &str, u64)] = &[
-    ("blackscholes", "4K B64", "nanos-sw", 1359414),
+    ("blackscholes", "4K B64", "nanos-sw", 1437297),
     ("blackscholes", "4K B64", "nanos-rv", 363061),
     ("blackscholes", "4K B64", "phentos", 187302),
-    ("jacobi", "N128 B1", "nanos-sw", 38024881),
+    ("jacobi", "N128 B1", "nanos-sw", 38284268),
     ("jacobi", "N128 B1", "nanos-rv", 5132823),
     ("jacobi", "N128 B1", "phentos", 231582),
-    ("sparselu", "N32 M4", "nanos-sw", 4914667),
+    ("sparselu", "N32 M4", "nanos-sw", 5027313),
     ("sparselu", "N32 M4", "nanos-rv", 896277),
     ("sparselu", "N32 M4", "phentos", 8205),
-    ("stream-barr", "64", "nanos-sw", 29645364),
+    ("stream-barr", "64", "nanos-sw", 30420069),
     ("stream-barr", "64", "nanos-rv", 5542192),
     ("stream-barr", "64", "phentos", 1386176),
-    ("stream-deps", "64", "nanos-sw", 29346071),
+    ("stream-deps", "64", "nanos-sw", 30129176),
     ("stream-deps", "64", "nanos-rv", 5140053),
     ("stream-deps", "64", "phentos", 1316243),
 ];
@@ -91,31 +91,31 @@ const FIG07_DIR_MESH_PINS: &[(&str, &str, u64)] = &[
     ("nanos-rv", "Task-Free 15 deps", 1840101),
     ("nanos-rv", "Task-Chain 1 dep", 1772019),
     ("nanos-rv", "Task-Chain 15 deps", 1776219),
-    ("nanos-axi", "Task-Free 1 dep", 2378319),
-    ("nanos-axi", "Task-Free 15 deps", 2657825),
-    ("nanos-axi", "Task-Chain 1 dep", 2378319),
-    ("nanos-axi", "Task-Chain 15 deps", 2567319),
-    ("nanos-sw", "Task-Free 1 dep", 3583941),
-    ("nanos-sw", "Task-Free 15 deps", 15541904),
-    ("nanos-sw", "Task-Chain 1 dep", 3578243),
-    ("nanos-sw", "Task-Chain 15 deps", 15536428),
+    ("nanos-axi", "Task-Free 1 dep", 2281269),
+    ("nanos-axi", "Task-Free 15 deps", 2552364),
+    ("nanos-axi", "Task-Chain 1 dep", 2281269),
+    ("nanos-axi", "Task-Chain 15 deps", 2470269),
+    ("nanos-sw", "Task-Free 1 dep", 3787791),
+    ("nanos-sw", "Task-Free 15 deps", 14891054),
+    ("nanos-sw", "Task-Chain 1 dep", 3782093),
+    ("nanos-sw", "Task-Chain 15 deps", 14885578),
 ];
 
 /// Pinned Figure 9 makespans under `MemoryModel::directory_mesh()` at 8 cores.
 const FIG09_DIR_MESH_PINS: &[(&str, &str, &str, u64)] = &[
-    ("blackscholes", "4K B64", "nanos-sw", 1370167),
+    ("blackscholes", "4K B64", "nanos-sw", 1454419),
     ("blackscholes", "4K B64", "nanos-rv", 362147),
     ("blackscholes", "4K B64", "phentos", 187989),
-    ("jacobi", "N128 B1", "nanos-sw", 38196283),
+    ("jacobi", "N128 B1", "nanos-sw", 38441305),
     ("jacobi", "N128 B1", "nanos-rv", 5168411),
     ("jacobi", "N128 B1", "phentos", 240410),
-    ("sparselu", "N32 M4", "nanos-sw", 4953277),
+    ("sparselu", "N32 M4", "nanos-sw", 5060106),
     ("sparselu", "N32 M4", "nanos-rv", 893859),
     ("sparselu", "N32 M4", "phentos", 12107),
-    ("stream-barr", "64", "nanos-sw", 29835182),
+    ("stream-barr", "64", "nanos-sw", 30550935),
     ("stream-barr", "64", "nanos-rv", 5653666),
     ("stream-barr", "64", "phentos", 1386363),
-    ("stream-deps", "64", "nanos-sw", 29578807),
+    ("stream-deps", "64", "nanos-sw", 30278345),
     ("stream-deps", "64", "nanos-rv", 5175350),
     ("stream-deps", "64", "phentos", 1316409),
 ];

@@ -121,3 +121,33 @@ fn core_count_scaling_improves_phentos_makespan() {
         previous = report.total_cycles;
     }
 }
+
+#[test]
+fn materialized_source_adapter_reproduces_real_workload_runs_bit_for_bit() {
+    // The streaming engine consumes every workload through a TaskSource; the MaterializedSource
+    // adapter must make that refactor invisible on real catalog programs — the report from the
+    // pull-based path (records on) equals Harness::run's byte for byte, on every platform, and
+    // its residency high-water mark reflects the program's true maximum in-flight task count.
+    use tis_taskmodel::MaterializedSource;
+
+    let harness = Harness::with_cores(4);
+    for (name, program) in
+        [("blackscholes", blackscholes(512, 32)), ("sparselu", sparselu(6, 24))]
+    {
+        for platform in Platform::ALL {
+            let direct = harness.run(platform, &program).expect("direct run must complete");
+            let adapted = harness
+                .run_source(platform, Box::new(MaterializedSource::new(&program)), true)
+                .expect("adapted run must complete");
+            assert_eq!(
+                adapted, direct,
+                "{name} on {platform:?}: the MaterializedSource path diverged from Harness::run"
+            );
+            assert!(
+                direct.peak_resident_tasks > 0
+                    && direct.peak_resident_tasks <= direct.tasks_retired,
+                "{name} on {platform:?}: residency high-water mark must be within (0, tasks]"
+            );
+        }
+    }
+}

@@ -188,3 +188,44 @@ fn memory_models_share_one_program_but_report_different_latencies() {
     assert!(compared > 0, "the interconnect swap must move at least some memory latencies");
     assert!(contention_moved > 0, "the contended mesh must observe link queueing somewhere");
 }
+
+#[test]
+fn streamed_runs_are_bit_identical_to_materialized_runs_for_every_streamable_family() {
+    // The streaming ≡ materialized differential: with a window the run never fills, a
+    // StreamingSynth source must produce an ExecutionReport equal bit-for-bit (records, core
+    // stats, fabric stats, residency high-water mark — the full struct) to running the
+    // materialized program built from the same spec and seed, on every platform. The streamed
+    // path shares no program object with the materialized one; equality here means the pulled
+    // op stream, and everything the machine did with it, matched exactly.
+    use tis::bench::Harness;
+    use tis::exp::StreamingSynth;
+    use tis::sim::SimRng;
+
+    let harness = Harness::paper_prototype();
+    let seed = 0x00D1_FFE6;
+    for family in [
+        SynthFamily::Chain,
+        SynthFamily::ForkJoin { width: 7 },
+        SynthFamily::ErdosRenyi { density: 0.08 },
+    ] {
+        let spec = SynthSpec { family, tasks: 240, task_cycles: 3_000, jitter: 0.3 };
+        let program = spec.generate(&mut SimRng::new(seed));
+        for platform in
+            [Platform::Phentos, Platform::NanosRv, Platform::NanosAxi, Platform::NanosSw]
+        {
+            let materialized =
+                harness.run(platform, &program).expect("materialized run must complete");
+            let source = StreamingSynth::new(spec, spec.tasks, SimRng::new(seed));
+            let streamed = harness
+                .run_source(platform, Box::new(source), true)
+                .expect("streamed run must complete");
+            assert_eq!(
+                streamed,
+                materialized,
+                "{} on {:?}: streamed report diverged from its materialized twin",
+                spec.name(),
+                platform
+            );
+        }
+    }
+}

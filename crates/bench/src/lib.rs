@@ -21,7 +21,7 @@ use tis_machine::{
 };
 use tis_nanos::{AxiConfig, AxiFabric, Nanos, NanosTuning, NanosVariant};
 use tis_sim::geomean;
-use tis_taskmodel::{TaskProgram, TaskSource};
+use tis_taskmodel::{TaskProgram, TaskSource, TenantRunData, TenantSource};
 use tis_workloads::{paper_catalog, task_chain, task_free, WorkloadInstance};
 
 /// The four Task Scheduling platforms compared throughout the paper's evaluation.
@@ -210,6 +210,79 @@ impl Harness {
                 runtime.set_collect_records(collect_records);
                 let mut fabric = NullFabric::new();
                 run_machine(&self.machine, &mut runtime, &mut fabric)
+            }
+        }
+    }
+
+    /// Runs a multi-tenant co-scheduled workload ([`TenantSource`]) on the given platform,
+    /// returning both the execution report (whose `tenants` field carries per-tenant
+    /// makespan/turnaround metrics) and the run's [`TenantRunData`] — the tenant names plus
+    /// the global-task-id → tenant assignment that per-tenant trace export
+    /// ([`tis_obs::trace_json_tenants`]) and per-tenant critical-path decomposition
+    /// ([`tis_obs::critical_path_per_tenant`]) consume.
+    ///
+    /// The runtime consumes the source, so the assignment is recovered after the run through
+    /// the source's downcast hook. Pass an observer to capture spans/samples for the
+    /// per-tenant artifacts; observation never changes the report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`EngineError`] (deadlock / cycle-cap) from the simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the runtime's source no longer downcasts to a [`TenantSource`] — that would
+    /// be a harness bug, not a workload property.
+    pub fn run_tenants(
+        &self,
+        platform: Platform,
+        source: TenantSource,
+        collect_records: bool,
+        mut obs: Option<&mut dyn tis_obs::Observer>,
+    ) -> Result<(ExecutionReport, TenantRunData), EngineError> {
+        let cores = self.machine.cores;
+        let boxed: Box<dyn TaskSource> = Box::new(source);
+        let mut launch = |runtime: &mut dyn tis_machine::RuntimeSystem,
+                          fabric: &mut dyn tis_machine::SchedulerFabric| {
+            match obs.as_deref_mut() {
+                Some(o) => run_machine_observed(&self.machine, runtime, fabric, o),
+                None => run_machine(&self.machine, runtime, fabric),
+            }
+        };
+        let take = |src: &mut dyn TaskSource| -> TenantRunData {
+            src.as_any_mut()
+                .and_then(|any| any.downcast_mut::<TenantSource>())
+                .map(TenantSource::take_run_data)
+                .expect("run_tenants runtime must hold a TenantSource")
+        };
+        match platform {
+            Platform::Phentos => {
+                let mut runtime = Phentos::from_source(boxed, cores, self.phentos);
+                runtime.set_collect_records(collect_records);
+                let mut fabric = TisFabric::new(cores, self.tis);
+                let report = launch(&mut runtime, &mut fabric)?;
+                Ok((report, take(runtime.source_mut())))
+            }
+            Platform::NanosRv => {
+                let mut runtime = Nanos::from_source(boxed, cores, NanosVariant::PicosRocc, self.nanos);
+                runtime.set_collect_records(collect_records);
+                let mut fabric = TisFabric::new(cores, self.tis);
+                let report = launch(&mut runtime, &mut fabric)?;
+                Ok((report, take(runtime.source_mut())))
+            }
+            Platform::NanosAxi => {
+                let mut runtime = Nanos::from_source(boxed, cores, NanosVariant::PicosAxi, self.nanos);
+                runtime.set_collect_records(collect_records);
+                let mut fabric = AxiFabric::new(cores, self.axi);
+                let report = launch(&mut runtime, &mut fabric)?;
+                Ok((report, take(runtime.source_mut())))
+            }
+            Platform::NanosSw => {
+                let mut runtime = Nanos::from_source(boxed, cores, NanosVariant::Software, self.nanos);
+                runtime.set_collect_records(collect_records);
+                let mut fabric = NullFabric::new();
+                let report = launch(&mut runtime, &mut fabric)?;
+                Ok((report, take(runtime.source_mut())))
             }
         }
     }

@@ -198,7 +198,7 @@ impl Phentos {
         let lat = fabric.retire_task(core, picos_id, ctx.now());
         ctx.spend(lat);
         ctx.observe_task(TaskStage::Retired, sw_id);
-        self.source.retire(sw_id);
+        self.source.retire_at(sw_id, ctx.now());
         self.workers[core].private_retired += 1;
         self.workers[core].failures_since_flush = 0;
         self.total_retired += 1;
@@ -252,6 +252,9 @@ impl Phentos {
         // dependences only point backwards, so the in-flight set always holds runnable work and
         // this cannot deadlock.
         if self.pending.is_none() && !self.source_done {
+            // Time-aware sources (the multi-tenant merger) gate spawn release on the polling
+            // core's clock; plain sources ignore this (default no-op).
+            self.source.advance_to(ctx.now());
             match self.source.poll() {
                 SourcePoll::Op(op) => self.pending = Some(op),
                 SourcePoll::Blocked => {
@@ -361,12 +364,22 @@ impl RuntimeSystem for Phentos {
     fn peak_resident_tasks(&self) -> u64 {
         self.source.peak_resident() as u64
     }
+
+    fn tenant_reports(&self) -> Vec<tis_taskmodel::TenantReport> {
+        self.source.tenant_reports()
+    }
 }
 
 impl Phentos {
     /// Descriptive name including the program (useful in multi-run reports).
     pub fn qualified_name(&self) -> &str {
         &self.name
+    }
+
+    /// Mutable access to the task source, for post-run recovery of source-side state (the
+    /// multi-tenant harness downcasts it to take the tenant assignment).
+    pub fn source_mut(&mut self) -> &mut dyn TaskSource {
+        self.source.as_mut()
     }
 }
 

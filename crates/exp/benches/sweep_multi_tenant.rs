@@ -1,0 +1,246 @@
+//! The multi-tenant serving experiment: N co-scheduled task graphs on one machine.
+//!
+//! PR 10's tenant layer merges independent task graphs into one machine through a
+//! [`tis_taskmodel::TenantSource`], with per-tenant turnaround distributions (exact
+//! p50/p90/p99), Jain fairness, and a tracker-sharing policy axis. This bench sweeps
+//! 1/2/4/8 tenants at 8 and 32 cores — tenant 0 is the *victim* (the cell's own workload,
+//! batch-at-zero) and the co-tenants are *antagonists* arriving in deterministic on/off
+//! bursts — under both tracker policies, and gates the serving story:
+//!
+//! * **Degenerate identity:** the 1-tenant batch/shared cell must be **cycle-identical** to
+//!   the plain single-program control cell — the tenant layer is free until a second tenant
+//!   actually exists;
+//! * **Partitioning bounds p99 inflation:** under a bursty co-tenant flood, the victim's p99
+//!   turnaround with a hard-partitioned task memory must be **strictly below** its p99 with
+//!   the shared (first-come, first-tracked) policy, at every tenant count and core count —
+//!   the admission cap is what keeps an antagonist from evicting the victim's share;
+//! * **Accounting consistency:** per-tenant task counts must sum to each cell's total, and
+//!   every per-tenant percentile must be ordered (p50 ≤ p90 ≤ p99 ≤ tenant makespan).
+//!
+//! Two 8-tenant cells run observed, so the artifact directory also carries per-tenant
+//! Perfetto track groups (`TRACE_multi-tenant-*.json`) — one process track per tenant.
+//!
+//! Run with `cargo bench -p tis-exp --bench sweep_multi_tenant`. Set `TIS_BENCH_JSON=<dir>`
+//! to write `BENCH_sweep_multi-tenant.json` (plus the TRACE_/METRICS_ documents) and
+//! `TIS_SWEEP_WORKERS=<n>` to override the host thread count.
+
+use tis_bench::Platform;
+use tis_exp::{
+    run_sweep_with_workers, workers_from_env, ArrivalProcess, ObsConfig, Sweep, SweepCell,
+    SynthFamily, SynthSpec, TenantScenario, WorkloadSpec,
+};
+use tis_picos::TrackerConfig;
+
+/// Antagonist burst length: each co-tenant releases this many tasks back to back — one
+/// burst alone overflows the whole 16-entry task memory sixfold.
+const BURST: u64 = 96;
+
+/// Antagonist burst period in cycles: short enough that the backlog at the source never
+/// clears while the victim is running, long enough that arrivals stay bursts rather than a
+/// steady stream.
+const PERIOD: u64 = 100_000;
+
+/// Victim mean interarrival gap in cycles, slightly above the mean task length: an open-loop
+/// Poisson trickle that a healthy machine serves at arrival rate with ~one task in flight.
+/// The victim keeps arriving *into* the antagonist clog — a batch-at-zero victim would
+/// already hold its share of entries when the first burst lands; the trickle is what makes
+/// the reservation matter.
+const VICTIM_GAP: u64 = 36_000;
+
+/// The gate scenario at a given tenant count and policy: bursty antagonists, trickling
+/// victim.
+fn serving(tenants: usize, partitioned: bool) -> TenantScenario {
+    TenantScenario::bursty(tenants, BURST, PERIOD, partitioned)
+        .with_victim_arrival(ArrivalProcess::Poisson { mean_interarrival: VICTIM_GAP })
+}
+
+fn main() {
+    // Dependence chains are the tracker-clogging workload: a burst of chained tasks fills
+    // the task memory with entries that are submitted but not ready (each waits on its
+    // predecessor), so a shared tracker ends up full while cores sit idle — exactly the
+    // pathology a per-tenant entry reservation exists to contain.
+    let spec = SynthSpec {
+        family: SynthFamily::Chain,
+        tasks: 192,
+        task_cycles: 30_000,
+        jitter: 0.25,
+    };
+    let scenarios = [
+        None,
+        Some(TenantScenario::batch(1, false)),
+        Some(serving(2, false)),
+        Some(serving(2, true)),
+        Some(serving(4, false)),
+        Some(serving(4, true)),
+        Some(serving(8, false)),
+        Some(serving(8, true)),
+    ];
+    let scenario_count = scenarios.len();
+    // A 16-entry task memory makes the tracker the contended resource (one antagonist burst
+    // alone overflows it sixfold); the two 8-tenant cells at 8 cores run observed (grid
+    // order: tenants ▸ platforms, one platform), so CI uploads per-tenant Perfetto track
+    // groups for both policies.
+    let sweep = Sweep::new("multi-tenant")
+        .over_cores([8, 32])
+        .over_trackers([TrackerConfig::new(16, 1024)])
+        .over_platforms([Platform::Phentos])
+        .over_tenants(scenarios)
+        .with_obs(ObsConfig::default())
+        .observe_only([6, 7])
+        .with_workload(WorkloadSpec::synth(spec));
+
+    let workers = workers_from_env();
+    let report = run_sweep_with_workers(&sweep, workers);
+
+    println!(
+        "multi-tenant sweep: {} cells ({} scenarios x {} core counts), {} workers",
+        report.cells.len(),
+        scenario_count,
+        sweep.cores.len(),
+        workers
+    );
+    println!();
+    print!("{}", report.render_table());
+    println!();
+
+    // Per-cell serving metrics: the victim is tenant 0 (batch-at-zero), the antagonists are
+    // tenants 1..n.
+    println!(
+        "{:>5} | {:<22} | {:>12} | {:>12} | {:>12} | {:>12} | {:>6}",
+        "cores", "scenario", "cycles", "victim p50", "victim p99", "victim mksp", "jain"
+    );
+    for cell in &report.cells {
+        let Some(data) = &cell.tenant else {
+            println!(
+                "{:>5} | {:<22} | {:>12} | {:>12} | {:>12} | {:>12} | {:>6}",
+                cell.cores, "single (control)", cell.total_cycles, "-", "-", "-", "-"
+            );
+            continue;
+        };
+        let victim = &data.reports[0];
+        println!(
+            "{:>5} | {:<22} | {:>12} | {:>12} | {:>12} | {:>12} | {:>6.3}",
+            cell.cores,
+            data.scenario,
+            cell.total_cycles,
+            victim.p50,
+            victim.p99,
+            victim.makespan,
+            data.jain,
+        );
+    }
+    println!();
+
+    let mut failures = 0;
+    let find = |cores: usize, key: &str| -> &SweepCell {
+        report
+            .cells
+            .iter()
+            .find(|c| {
+                c.cores == cores
+                    && c.tenant.as_ref().map(|t| t.scenario.as_str()) == Some(key)
+            })
+            .expect("grid is complete")
+    };
+    for &cores in &sweep.cores {
+        // Gate 1: the tenant layer is free until a second tenant exists.
+        let control = report
+            .cells
+            .iter()
+            .find(|c| c.cores == cores && c.tenant.is_none())
+            .expect("grid is complete");
+        let degenerate = find(cores, &TenantScenario::batch(1, false).key());
+        if degenerate.total_cycles != control.total_cycles {
+            eprintln!(
+                "DEGENERATE DRIFT: {cores} cores: 1-tenant batch cell ran {} cycles vs {} for \
+                 the plain single-program cell",
+                degenerate.total_cycles, control.total_cycles
+            );
+            failures += 1;
+        }
+        // Gate 2: partitioning strictly bounds the victim's p99 under every antagonist count.
+        for tenants in [2usize, 4, 8] {
+            let shared = find(cores, &serving(tenants, false).key());
+            let part = find(cores, &serving(tenants, true).key());
+            let shared_p99 = shared.tenant.as_ref().expect("co-scheduled").reports[0].p99;
+            let part_p99 = part.tenant.as_ref().expect("co-scheduled").reports[0].p99;
+            if part_p99 >= shared_p99 {
+                eprintln!(
+                    "P99 NOT BOUNDED: {tenants} tenants at {cores} cores: partitioned victim \
+                     p99 {part_p99} must be strictly below shared {shared_p99}"
+                );
+                failures += 1;
+            }
+        }
+    }
+    // Gate 3: per-tenant accounting is sum-consistent and distribution-ordered everywhere.
+    for cell in &report.cells {
+        let Some(data) = &cell.tenant else { continue };
+        let label = format!("{} at {} cores", data.scenario, cell.cores);
+        let total: u64 = data.reports.iter().map(|r| r.tasks).sum();
+        if total != cell.tasks as u64 {
+            eprintln!(
+                "ACCOUNTING DRIFT: {label}: per-tenant tasks sum to {total}, cell retired {}",
+                cell.tasks
+            );
+            failures += 1;
+        }
+        for r in &data.reports {
+            if !(r.p50 <= r.p90 && r.p90 <= r.p99 && r.p99 <= r.makespan) {
+                eprintln!(
+                    "DISORDERED DISTRIBUTION: {label}, tenant {}: p50 {} / p90 {} / p99 {} / \
+                     makespan {}",
+                    r.name, r.p50, r.p90, r.p99, r.makespan
+                );
+                failures += 1;
+            }
+        }
+        if !(0.0..=1.0 + 1e-12).contains(&data.jain) {
+            eprintln!("FAIRNESS OUT OF RANGE: {label}: Jain index {}", data.jain);
+            failures += 1;
+        }
+    }
+
+    let violations = report.bound_violations();
+    for c in &violations {
+        // Co-scheduled cells measure speedup against the summed serial baseline, which the
+        // MTT bound still caps: a violation is a cost-model inconsistency, tenants or not.
+        eprintln!(
+            "BOUND EXCEEDED: {} ({}): measured {:.2}x > bound {:.2}x",
+            c.workload,
+            c.tenant.as_ref().map_or("single".to_string(), |t| t.scenario.clone()),
+            c.speedup,
+            c.mtt_bound
+        );
+    }
+    println!(
+        "{} of {} cells exceed their MTT bound, {} multi-tenant gate failure(s)",
+        violations.len(),
+        report.cells.len(),
+        failures
+    );
+
+    match report.write_json_if_requested() {
+        Ok(Some(path)) => println!("wrote machine-readable results to {}", path.display()),
+        Ok(None) => {}
+        Err(e) => {
+            eprintln!("failed to write the sweep artifact: {e}");
+            std::process::exit(1);
+        }
+    }
+    match report.write_obs_artifacts_if_requested() {
+        Ok(paths) => {
+            for p in paths {
+                println!("wrote per-tenant trace artifact {}", p.display());
+            }
+        }
+        Err(e) => {
+            eprintln!("failed to write the trace artifacts: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    if !violations.is_empty() || failures > 0 {
+        std::process::exit(1);
+    }
+}

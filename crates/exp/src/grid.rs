@@ -2,9 +2,9 @@
 //!
 //! A [`Sweep`] names the axes the related design-space-exploration literature varies — core
 //! count, memory-system model, runtime/fabric platform, Picos tracker capacities, fault
-//! schedule, workload — and expands them into a flat list of [`CellSpec`]s in a fixed **grid
-//! order** (workloads ▸ cores ▸ memory models ▸ trackers ▸ faults ▸ platforms). Grid order is
-//! part of the contract: the
+//! schedule, multi-tenant scenario, workload — and expands them into a flat list of
+//! [`CellSpec`]s in a fixed **grid order** (workloads ▸ cores ▸ memory models ▸ trackers ▸
+//! faults ▸ tenants ▸ platforms). Grid order is part of the contract: the
 //! runner may evaluate cells on any worker in any order, but reports are always assembled in
 //! grid order, so sweep output is bit-identical regardless of parallelism.
 
@@ -14,7 +14,7 @@ use tis_obs::ObsConfig;
 use tis_machine::{FaultConfig, MemoryModel};
 use tis_picos::TrackerConfig;
 use tis_sim::SimRng;
-use tis_taskmodel::TaskProgram;
+use tis_taskmodel::{ArrivalProcess, TaskProgram};
 use tis_workloads::entry_for_cores;
 
 use crate::synth::SynthSpec;
@@ -144,6 +144,85 @@ impl WorkloadSpec {
     }
 }
 
+/// One entry of the multi-tenant axis: co-schedule `tenants` independent instances of the
+/// cell's workload on one machine under a deterministic arrival process and tracker policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantScenario {
+    /// Number of co-scheduled tenants (≥ 1). Tenant 0 — the *victim* — runs the cell's own
+    /// instantiated program under [`TenantScenario::victim_arrival`], so a 1-tenant
+    /// batch-at-zero scenario is the degenerate case — the runner's differential wall pins it
+    /// cycle-identical to the plain single-program cell. Tenants `1..n` run independent
+    /// instances drawn from the cell RNG's per-tenant substreams.
+    pub tenants: usize,
+    /// Arrival process of the victim (tenant 0). Batch-at-zero by default; a Poisson trickle
+    /// here is what exposes the reservation value of partitioning — a trickling victim task
+    /// can find the shared tracker flooded by a co-tenant burst, while a partitioned tracker
+    /// always holds its share free.
+    pub victim_arrival: ArrivalProcess,
+    /// Arrival process of the co-tenants (tenants `1..n`).
+    pub co_arrival: ArrivalProcess,
+    /// When true the Picos task memory is hard-partitioned: every tenant's in-flight window
+    /// is admission-capped at `tracker.per_tenant_entries(tenants)`, so a flooding co-tenant
+    /// cannot evict a victim's share. When false all tenants contend for the full tracker
+    /// (shared-with-tagging).
+    pub partitioned: bool,
+}
+
+impl TenantScenario {
+    /// All tenants released at cycle zero.
+    pub fn batch(tenants: usize, partitioned: bool) -> Self {
+        TenantScenario {
+            tenants,
+            victim_arrival: ArrivalProcess::BatchAtZero,
+            co_arrival: ArrivalProcess::BatchAtZero,
+            partitioned,
+        }
+    }
+
+    /// Co-tenants arrive open-loop Poisson with the given mean interarrival gap.
+    pub fn poisson(tenants: usize, mean_interarrival: u64, partitioned: bool) -> Self {
+        TenantScenario {
+            tenants,
+            victim_arrival: ArrivalProcess::BatchAtZero,
+            co_arrival: ArrivalProcess::Poisson { mean_interarrival },
+            partitioned,
+        }
+    }
+
+    /// Co-tenants arrive in deterministic on/off bursts: `burst` back-to-back spawns every
+    /// `period` cycles — the antagonist of the `sweep_multi_tenant` p99-inflation gate.
+    pub fn bursty(tenants: usize, burst: u64, period: u64, partitioned: bool) -> Self {
+        TenantScenario {
+            tenants,
+            victim_arrival: ArrivalProcess::BatchAtZero,
+            co_arrival: ArrivalProcess::Bursty { burst, period },
+            partitioned,
+        }
+    }
+
+    /// Replaces the victim's arrival process (tenant 0; batch-at-zero by default).
+    pub fn with_victim_arrival(mut self, arrival: ArrivalProcess) -> Self {
+        self.victim_arrival = arrival;
+        self
+    }
+
+    /// Stable column label, e.g. `t4-burst64x200000-part` / `t1-batch-shared`. A non-batch
+    /// victim appends its own arrival key (`…-vpoi2000`), so scenario keys stay unique per
+    /// configuration.
+    pub fn key(&self) -> String {
+        let mut key = format!(
+            "t{}-{}-{}",
+            self.tenants,
+            self.co_arrival.key(),
+            if self.partitioned { "part" } else { "shared" }
+        );
+        if self.victim_arrival != ArrivalProcess::BatchAtZero {
+            key.push_str(&format!("-v{}", self.victim_arrival.key()));
+        }
+        key
+    }
+}
+
 /// Coordinates of one grid cell (indices into the sweep's axes, plus the resolved values).
 #[derive(Debug, Clone)]
 pub struct CellSpec {
@@ -161,6 +240,8 @@ pub struct CellSpec {
     pub tracker: usize,
     /// Index into [`Sweep::faults`].
     pub fault: usize,
+    /// Index into [`Sweep::tenants`].
+    pub tenant: usize,
     /// Index into [`Sweep::platforms`].
     pub platform: usize,
 }
@@ -203,6 +284,11 @@ pub struct Sweep {
     /// `tis-fault`). The default single [`FaultConfig::none`] entry constructs no fault layer
     /// at all, so fault-free sweeps stay bit-identical to the pre-fault engine.
     pub faults: Vec<FaultConfig>,
+    /// Multi-tenant scenario axis. The default single `None` entry runs every cell on the
+    /// plain single-program path, so sweeps that never touch this axis stay byte-identical
+    /// to the pre-tenant runner; a `Some` entry co-schedules N instances of the cell's
+    /// workload through a [`tis_taskmodel::TenantSource`].
+    pub tenants: Vec<Option<TenantScenario>>,
     /// Workload axis.
     pub workloads: Vec<WorkloadSpec>,
     /// Which `tis-analyze` passes the runner performs: a preflight graph
@@ -239,6 +325,7 @@ impl Sweep {
             platforms: vec![Platform::Phentos],
             trackers: vec![TrackerConfig::default()],
             faults: vec![FaultConfig::none()],
+            tenants: vec![None],
             workloads: Vec::new(),
             analysis: AnalysisConfig::off(),
             obs: None,
@@ -276,6 +363,15 @@ impl Sweep {
     /// fault schedule exactly at any worker count.
     pub fn over_faults(mut self, faults: impl IntoIterator<Item = FaultConfig>) -> Self {
         self.faults = faults.into_iter().collect();
+        self
+    }
+
+    /// Replaces the multi-tenant scenario axis. `None` entries run the plain single-program
+    /// path; `Some` entries co-schedule. Mixing both in one sweep puts single-tenant control
+    /// columns next to co-scheduled ones (how the `sweep_multi_tenant` bench pins its
+    /// 1-tenant column cycle-identical to the control).
+    pub fn over_tenants(mut self, tenants: impl IntoIterator<Item = Option<TenantScenario>>) -> Self {
+        self.tenants = tenants.into_iter().collect();
         self
     }
 
@@ -331,11 +427,12 @@ impl Sweep {
             * self.memory_models.len()
             * self.trackers.len()
             * self.faults.len()
+            * self.tenants.len()
             * self.platforms.len()
     }
 
     /// Expands the grid into cells, in grid order (workloads ▸ cores ▸ memory models ▸
-    /// trackers ▸ faults ▸ platforms).
+    /// trackers ▸ faults ▸ tenants ▸ platforms).
     pub fn cells(&self) -> Vec<CellSpec> {
         let mut out = Vec::with_capacity(self.cell_count());
         for (wi, _) in self.workloads.iter().enumerate() {
@@ -343,17 +440,20 @@ impl Sweep {
                 for (mi, _) in self.memory_models.iter().enumerate() {
                     for (ti, _) in self.trackers.iter().enumerate() {
                         for (fi, _) in self.faults.iter().enumerate() {
-                            for (pi, _) in self.platforms.iter().enumerate() {
-                                out.push(CellSpec {
-                                    index: out.len(),
-                                    workload: wi,
-                                    core_axis: ci,
-                                    cores,
-                                    memory: mi,
-                                    tracker: ti,
-                                    fault: fi,
-                                    platform: pi,
-                                });
+                            for (ni, _) in self.tenants.iter().enumerate() {
+                                for (pi, _) in self.platforms.iter().enumerate() {
+                                    out.push(CellSpec {
+                                        index: out.len(),
+                                        workload: wi,
+                                        core_axis: ci,
+                                        cores,
+                                        memory: mi,
+                                        tracker: ti,
+                                        fault: fi,
+                                        tenant: ni,
+                                        platform: pi,
+                                    });
+                                }
                             }
                         }
                     }
@@ -388,6 +488,14 @@ impl Sweep {
         assert!(!self.platforms.is_empty(), "sweep '{}' has an empty platform axis", self.name);
         assert!(!self.trackers.is_empty(), "sweep '{}' has an empty tracker axis", self.name);
         assert!(!self.faults.is_empty(), "sweep '{}' has an empty fault axis", self.name);
+        assert!(!self.tenants.is_empty(), "sweep '{}' has an empty tenant axis", self.name);
+        for scenario in self.tenants.iter().flatten() {
+            assert!(
+                scenario.tenants >= 1,
+                "sweep '{}': a tenant scenario needs at least one tenant",
+                self.name
+            );
+        }
         for &c in &self.cores {
             assert!(c > 0, "sweep '{}': zero-core machines cannot run", self.name);
         }
@@ -483,6 +591,44 @@ mod tests {
         assert_eq!((cells[2].tracker, cells[2].fault, cells[2].platform), (0, 1, 0));
         assert_eq!((cells[4].tracker, cells[4].fault, cells[4].platform), (1, 0, 0));
         sweep.check();
+    }
+
+    #[test]
+    fn tenant_axis_sits_between_faults_and_platforms() {
+        let sweep = Sweep::new("tenant-order")
+            .over_faults([FaultConfig::none(), FaultConfig::recoverable()])
+            .over_tenants([None, Some(TenantScenario::batch(2, false))])
+            .over_platforms([Platform::Phentos, Platform::NanosSw])
+            .with_workload(WorkloadSpec::synth(SynthSpec::uniform(SynthFamily::Chain, 10, 100)));
+        assert_eq!(sweep.cell_count(), 2 * 2 * 2);
+        let cells = sweep.cells();
+        assert_eq!((cells[0].fault, cells[0].tenant, cells[0].platform), (0, 0, 0));
+        assert_eq!((cells[1].fault, cells[1].tenant, cells[1].platform), (0, 0, 1));
+        assert_eq!((cells[2].fault, cells[2].tenant, cells[2].platform), (0, 1, 0));
+        assert_eq!((cells[4].fault, cells[4].tenant, cells[4].platform), (1, 0, 0));
+        sweep.check();
+    }
+
+    #[test]
+    fn tenant_scenario_keys_are_stable() {
+        assert_eq!(TenantScenario::batch(1, false).key(), "t1-batch-shared");
+        assert_eq!(TenantScenario::poisson(4, 200, true).key(), "t4-poi200-part");
+        assert_eq!(TenantScenario::bursty(2, 64, 200_000, true).key(), "t2-burst64x200000-part");
+        assert_eq!(
+            TenantScenario::bursty(2, 64, 200_000, true)
+                .with_victim_arrival(ArrivalProcess::Poisson { mean_interarrival: 2_000 })
+                .key(),
+            "t2-burst64x200000-part-vpoi2000"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tenant")]
+    fn zero_tenant_scenarios_fail_at_check_time() {
+        Sweep::new("bad-tenants")
+            .over_tenants([Some(TenantScenario::batch(0, false))])
+            .with_workload(WorkloadSpec::catalog("blackscholes", "4K B64"))
+            .check();
     }
 
     #[test]

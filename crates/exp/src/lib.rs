@@ -57,8 +57,8 @@ pub mod runner;
 pub mod stream;
 pub mod synth;
 
-pub use grid::{CellSpec, Sweep, WorkloadSpec};
-pub use report::{ObsCellData, SweepCell, SweepReport};
+pub use grid::{CellSpec, Sweep, TenantScenario, WorkloadSpec};
+pub use report::{ObsCellData, SweepCell, SweepReport, TenantCellData};
 pub use runner::{run_sweep, run_sweep_with_workers, workers_from_env};
 pub use stream::StreamingSynth;
 pub use synth::{SynthFamily, SynthSpec, ER_WINDOW, MAX_IN_DEGREE};
@@ -70,3 +70,5 @@ pub use tis_machine::{
 pub use tis_analyze::AnalysisConfig;
 // The observability switch, likewise.
 pub use tis_obs::ObsConfig;
+// The multi-tenant vocabulary (arrival processes, per-tenant reports), likewise.
+pub use tis_taskmodel::{ArrivalProcess, TenantReport, TenantTrackerPolicy};

@@ -5,6 +5,19 @@ use tis_bench::{Json, Platform};
 use tis_machine::{FaultConfig, MemoryModel};
 use tis_obs::{CriticalPath, ObsConfig};
 use tis_picos::TrackerConfig;
+use tis_taskmodel::TenantReport;
+
+/// Per-tenant serving measurements of one co-scheduled cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantCellData {
+    /// The scenario key the cell ran under (e.g. `t4-burst64x200000-part`).
+    pub scenario: String,
+    /// Per-tenant serving reports, in tenant order (tenant 0 is the cell's own shared
+    /// program; co-tenants follow).
+    pub reports: Vec<TenantReport>,
+    /// Jain fairness index over the tenants' throughputs (1.0 = perfectly even service).
+    pub jain: f64,
+}
 
 /// The measurements of one grid cell.
 #[derive(Debug, Clone, PartialEq)]
@@ -73,6 +86,10 @@ pub struct SweepCell {
     /// Conflicting frontier pairs the race detector proved happens-before-ordered in this
     /// cell's trace (zero when race detection was off).
     pub race_pairs_checked: u64,
+    /// Per-tenant serving metrics for co-scheduled cells (`None` on the single-program path,
+    /// so legacy sweeps — and every checked-in baseline — render byte-identical JSON). Boxed
+    /// so the common single-tenant cell stays small.
+    pub tenant: Option<Box<TenantCellData>>,
     /// What the cell's observer collected, for observed cells only (`None` otherwise — and
     /// observation is a pure tap, so every other field is identical either way). Boxed so the
     /// common unobserved cell stays small.
@@ -93,6 +110,10 @@ pub struct ObsCellData {
     /// The critical-path decomposition of the cell's makespan (segment totals sum to the
     /// makespan exactly).
     pub critical: CriticalPath,
+    /// Per-tenant critical-path decompositions, in tenant order — populated only for
+    /// co-scheduled cells (empty on the single-program path). Each decomposition sums to
+    /// that tenant's own makespan.
+    pub tenant_critical: Vec<CriticalPath>,
     /// The rendered Chrome trace-event / Perfetto document.
     pub trace_json: String,
     /// The rendered metrics document (counters, histograms, gauge timeline).
@@ -192,6 +213,35 @@ impl SweepReport {
                         ]);
                     }
                 }
+                // Tenant keys appear only for co-scheduled cells, so single-tenant sweeps
+                // (and every pre-existing checked-in baseline) stay byte-identical.
+                if let Some(tenant) = &c.tenant {
+                    if let Json::Obj(entries) = &mut pairs {
+                        let reports = tenant
+                            .reports
+                            .iter()
+                            .map(|r| {
+                                Json::obj([
+                                    ("name", Json::Str(r.name.clone())),
+                                    ("tasks", Json::UInt(r.tasks)),
+                                    ("first_arrival", Json::UInt(r.first_arrival)),
+                                    ("last_retire", Json::UInt(r.last_retire)),
+                                    ("makespan", Json::UInt(r.makespan)),
+                                    ("mean_turnaround", Json::Num(r.mean_turnaround())),
+                                    ("p50_turnaround", Json::UInt(r.p50)),
+                                    ("p90_turnaround", Json::UInt(r.p90)),
+                                    ("p99_turnaround", Json::UInt(r.p99)),
+                                    ("throughput_tasks_per_cycle", Json::Num(r.throughput())),
+                                ])
+                            })
+                            .collect();
+                        entries.extend([
+                            ("tenants".to_string(), Json::Str(tenant.scenario.clone())),
+                            ("tenant_jain_fairness".to_string(), Json::Num(tenant.jain)),
+                            ("tenant_reports".to_string(), Json::Arr(reports)),
+                        ]);
+                    }
+                }
                 // Obs keys appear only for observed cells (same byte-identity rule). The full
                 // trace/metrics documents are separate TRACE_/METRICS_ artifacts; the sweep
                 // report inlines only the critical-path summary and stream counts.
@@ -215,6 +265,27 @@ impl SweepReport {
                                 ]),
                             ),
                         ]);
+                        // Per-tenant decompositions ride along only for observed co-scheduled
+                        // cells, keeping every single-tenant observed artifact byte-identical.
+                        if !obs.tenant_critical.is_empty() {
+                            let per_tenant = obs
+                                .tenant_critical
+                                .iter()
+                                .map(|cp| {
+                                    Json::obj([
+                                        ("task_body", Json::UInt(cp.task_body)),
+                                        ("memory_stall", Json::UInt(cp.memory_stall)),
+                                        ("dispatch_wait", Json::UInt(cp.dispatch_wait)),
+                                        ("scheduler", Json::UInt(cp.scheduler)),
+                                        ("makespan", Json::UInt(cp.makespan)),
+                                    ])
+                                })
+                                .collect();
+                            entries.push((
+                                "tenant_critical_paths".to_string(),
+                                Json::Arr(per_tenant),
+                            ));
+                        }
                     }
                 }
                 pairs
@@ -257,6 +328,14 @@ impl SweepReport {
             .map(|c| c.analysis.key().len())
             .max()
             .map(|w| w.max("analysis".len()));
+        // And for the tenants column: single-tenant sweeps render exactly as before.
+        let tenant_width = self
+            .cells
+            .iter()
+            .filter_map(|c| c.tenant.as_ref())
+            .map(|t| t.scenario.len())
+            .max()
+            .map(|w| w.max("tenants".len()));
         let mut out = String::new();
         out.push_str(&format!(
             "{:<label_width$} | {:>5} | {:>10} | {:>noc_width$} | {:>9} | {:>13} | {:>6} | {:>8} | {:>9} | {:>8} | {:>6}",
@@ -268,13 +347,17 @@ impl SweepReport {
         if let Some(analysis_width) = analysis_width {
             out.push_str(&format!(" | {:>analysis_width$}", "analysis"));
         }
+        if let Some(tenant_width) = tenant_width {
+            out.push_str(&format!(" | {:>tenant_width$}", "tenants"));
+        }
         out.push('\n');
         out.push_str(&"-".repeat(
             label_width
                 + noc_width
                 + 103
                 + fault_width.map_or(0, |w| w + 3)
-                + analysis_width.map_or(0, |w| w + 3),
+                + analysis_width.map_or(0, |w| w + 3)
+                + tenant_width.map_or(0, |w| w + 3),
         ));
         out.push('\n');
         for c in &self.cells {
@@ -297,6 +380,10 @@ impl SweepReport {
             }
             if let Some(analysis_width) = analysis_width {
                 out.push_str(&format!(" | {:>analysis_width$}", c.analysis.key()));
+            }
+            if let Some(tenant_width) = tenant_width {
+                let scenario = c.tenant.as_ref().map_or("single", |t| t.scenario.as_str());
+                out.push_str(&format!(" | {:>tenant_width$}", scenario));
             }
             out.push('\n');
         }
@@ -401,6 +488,7 @@ mod tests {
             fault_recovery_cycles: 0,
             analysis: AnalysisConfig::off(),
             race_pairs_checked: 0,
+            tenant: None,
             obs: None,
         }
     }
@@ -552,6 +640,7 @@ mod tests {
                 dispatch_wait: 20,
                 scheduler: 130,
             },
+            tenant_critical: Vec::new(),
             trace_json: "{}".into(),
             metrics_json: "{}".into(),
         }));
@@ -568,6 +657,115 @@ mod tests {
         let cp = cells[1].get("critical_path").expect("observed cells inline the decomposition");
         assert_eq!(cp.get("task_body").and_then(Json::as_f64), Some(300.0));
         assert_eq!(cp.get("makespan").and_then(Json::as_f64), Some(500.0));
+    }
+
+    #[test]
+    fn tenant_keys_and_column_appear_only_for_co_scheduled_cells() {
+        let plain = SweepReport { name: "mt".into(), seed: 1, cells: vec![cell(2.0, 4.0)] };
+        let rendered = plain.to_json().render();
+        assert!(
+            !rendered.contains("tenant"),
+            "single-tenant cells carry no tenant keys:\n{rendered}"
+        );
+        assert!(!plain.render_table().contains("tenants"));
+
+        let mut co_cell = cell(2.0, 4.0);
+        co_cell.tenant = Some(Box::new(TenantCellData {
+            scenario: "t2-burst64x200000-part".into(),
+            reports: vec![
+                TenantReport {
+                    name: "t0".into(),
+                    tasks: 10,
+                    first_arrival: 0,
+                    last_retire: 500,
+                    makespan: 500,
+                    turnaround_total: 1_000,
+                    p50: 90,
+                    p90: 180,
+                    p99: 240,
+                },
+                TenantReport {
+                    name: "t1".into(),
+                    tasks: 10,
+                    first_arrival: 100,
+                    last_retire: 600,
+                    makespan: 500,
+                    turnaround_total: 1_500,
+                    p50: 120,
+                    p90: 260,
+                    p99: 380,
+                },
+            ],
+            jain: 1.0,
+        }));
+        let co = SweepReport { name: "mt".into(), seed: 1, cells: vec![cell(2.0, 4.0), co_cell] };
+        let parsed = Json::parse(&co.to_json().render()).unwrap();
+        let cells = match parsed.get("cells") {
+            Some(Json::Arr(c)) => c,
+            other => panic!("cells must be an array, got {other:?}"),
+        };
+        assert!(cells[0].get("tenants").is_none(), "the single-tenant cell stays key-free");
+        assert_eq!(
+            cells[1].get("tenants").and_then(Json::as_str),
+            Some("t2-burst64x200000-part")
+        );
+        assert_eq!(cells[1].get("tenant_jain_fairness").and_then(Json::as_f64), Some(1.0));
+        let reports = match cells[1].get("tenant_reports") {
+            Some(Json::Arr(r)) => r,
+            other => panic!("tenant_reports must be an array, got {other:?}"),
+        };
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[0].get("name").and_then(Json::as_str), Some("t0"));
+        assert_eq!(reports[0].get("p99_turnaround").and_then(Json::as_f64), Some(240.0));
+        assert_eq!(reports[1].get("mean_turnaround").and_then(Json::as_f64), Some(150.0));
+        assert_eq!(reports[1].get("makespan").and_then(Json::as_f64), Some(500.0));
+        let table = co.render_table();
+        assert!(table.contains("tenants"), "a co-scheduled cell brings the column:\n{table}");
+        assert!(table.contains("t2-burst64x200000-part"));
+        assert!(table.contains("single"), "single-tenant rows show 'single' in the column");
+    }
+
+    #[test]
+    fn per_tenant_critical_paths_ride_only_on_observed_co_scheduled_cells() {
+        let mut observed_cell = cell(2.0, 4.0);
+        observed_cell.obs = Some(Box::new(ObsCellData {
+            config: ObsConfig::default(),
+            task_events: 60,
+            samples: 3,
+            critical: CriticalPath {
+                makespan: 500,
+                segments: vec![],
+                task_body: 300,
+                memory_stall: 50,
+                dispatch_wait: 20,
+                scheduler: 130,
+            },
+            tenant_critical: vec![CriticalPath {
+                makespan: 220,
+                segments: vec![],
+                task_body: 150,
+                memory_stall: 40,
+                dispatch_wait: 10,
+                scheduler: 20,
+            }],
+            trace_json: "{}".into(),
+            metrics_json: "{}".into(),
+        }));
+        let report =
+            SweepReport { name: "mtc".into(), seed: 1, cells: vec![cell(2.0, 4.0), observed_cell] };
+        let parsed = Json::parse(&report.to_json().render()).unwrap();
+        let cells = match parsed.get("cells") {
+            Some(Json::Arr(c)) => c,
+            other => panic!("cells must be an array, got {other:?}"),
+        };
+        assert!(cells[0].get("tenant_critical_paths").is_none());
+        let per_tenant = match cells[1].get("tenant_critical_paths") {
+            Some(Json::Arr(t)) => t,
+            other => panic!("tenant_critical_paths must be an array, got {other:?}"),
+        };
+        assert_eq!(per_tenant.len(), 1);
+        assert_eq!(per_tenant[0].get("makespan").and_then(Json::as_f64), Some(220.0));
+        assert_eq!(per_tenant[0].get("task_body").and_then(Json::as_f64), Some(150.0));
     }
 
     #[test]

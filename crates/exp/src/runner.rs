@@ -14,10 +14,11 @@ use std::sync::Mutex;
 use tis_bench::{measure_lifetime_overhead, measure_task_throughput, Harness};
 use tis_machine::{mtt_speedup_bound_from_throughput, FaultConfig};
 use tis_sim::SimRng;
+use tis_taskmodel::{MaterializedSource, TenantSet, TenantTrackerPolicy};
 use tis_workloads::task_chain;
 
-use crate::grid::{CellSpec, Sweep};
-use crate::report::{ObsCellData, SweepCell, SweepReport};
+use crate::grid::{CellSpec, Sweep, TenantScenario};
+use crate::report::{ObsCellData, SweepCell, SweepReport, TenantCellData};
 
 /// Number of tasks in the Task-Chain probe used to measure per-platform lifetime overhead.
 const OVERHEAD_PROBE_TASKS: usize = 100;
@@ -177,6 +178,9 @@ fn run_cell(
     program: &tis_taskmodel::TaskProgram,
     probes: &SchedulerProbes,
 ) -> SweepCell {
+    if let Some(scenario) = sweep.tenants[cell.tenant] {
+        return run_tenant_cell(sweep, cell, program, probes, scenario);
+    }
     let lifetime_overhead = probes.lifetime_overhead(sweep, cell);
     let tasks_per_cycle = probes.throughput(sweep, cell);
     let spec = &sweep.workloads[cell.workload];
@@ -260,6 +264,7 @@ fn run_cell(
             task_events: r.task_events(),
             samples: r.metrics().samples().len() as u64,
             critical: r.critical_path(&edges, report.total_cycles),
+            tenant_critical: Vec::new(),
             trace_json: r.perfetto_json(&label, cell.cores).render(),
             metrics_json: r.metrics_json(&label, report.total_cycles).render(),
         })
@@ -299,6 +304,182 @@ fn run_cell(
             + report.fabric_stats.tracker_recovery_cycles,
         analysis: sweep.analysis,
         race_pairs_checked,
+        tenant: None,
+        obs,
+    }
+}
+
+/// Evaluates one co-scheduled cell. Tenant 0 runs the grid point's shared program
+/// batch-at-zero — so the 1-tenant batch/shared scenario is the degenerate case, pinned
+/// cycle-identical to the plain single-program cell — and tenants `1..n` run independent
+/// instances of the same workload spec drawn from per-tenant substreams of the cell RNG.
+/// The whole scenario replays bit-exactly from `(sweep seed, cell coordinates)` alone.
+///
+/// Schedule validation and race detection are skipped here: both check against a single
+/// program's reference graph, and a merged run's global task IDs span all tenants. The
+/// per-tenant critical paths (observed cells) cover the merged run instead.
+fn run_tenant_cell(
+    sweep: &Sweep,
+    cell: &CellSpec,
+    program: &tis_taskmodel::TaskProgram,
+    probes: &SchedulerProbes,
+    scenario: TenantScenario,
+) -> SweepCell {
+    let lifetime_overhead = probes.lifetime_overhead(sweep, cell);
+    let tasks_per_cycle = probes.throughput(sweep, cell);
+    let spec = &sweep.workloads[cell.workload];
+    let platform = sweep.platforms[cell.platform];
+    let tracker = sweep.trackers[cell.tracker];
+    let memory = sweep.memory_models[cell.memory];
+    let base_fault = sweep.faults[cell.fault];
+    let fault = if base_fault.engages() {
+        let mut seeds = SimRng::new(sweep.seed).stream("sweep-fault", cell.index as u64);
+        FaultConfig { seed: seeds.next_u64(), ..base_fault }
+    } else {
+        base_fault
+    };
+    let harness = Harness::with_cores(cell.cores)
+        .with_tracker(tracker)
+        .with_memory_model(memory)
+        .with_faults(fault);
+    let context = || {
+        format!(
+            "sweep '{}' cell {}: {} ({}) on {} cores, {}, {}, {}, fault {}",
+            sweep.name,
+            cell.index,
+            spec.label(),
+            scenario.key(),
+            cell.cores,
+            memory.label(),
+            platform.label(),
+            tracker.label(),
+            fault.key()
+        )
+    };
+    let mut tenant_programs = vec![program.clone()];
+    for t in 1..scenario.tenants {
+        let mut rng = sweep.cell_rng(cell.workload, cell.cores).stream("tenant", t as u64);
+        tenant_programs.push(spec.instantiate(cell.cores, &mut rng));
+    }
+    let policy = if scenario.partitioned {
+        TenantTrackerPolicy::Partitioned {
+            per_tenant_entries: tracker.per_tenant_entries(scenario.tenants),
+        }
+    } else {
+        TenantTrackerPolicy::Shared
+    };
+    let mut set = TenantSet::new().with_policy(policy);
+    for (t, p) in tenant_programs.iter().enumerate() {
+        let arrival = if t == 0 { scenario.victim_arrival } else { scenario.co_arrival };
+        set = set.tenant(format!("t{t}"), Box::new(MaterializedSource::new(p)), arrival);
+    }
+    // Arrival draws are offered load, not schedule: deriving them from the cell's
+    // (workload, cores) stream — never from the policy or the grid index — keeps a
+    // shared-vs-partitioned pair of cells facing byte-identical arrival times, so the pair
+    // isolates the tracker policy and nothing else.
+    let arrivals = sweep.cell_rng(cell.workload, cell.cores).stream("tenant-arrivals", 0);
+    let source = set.into_source(arrivals);
+    let cell_obs = sweep.cell_obs(cell.index);
+    let mut recorder = cell_obs.map(tis_obs::Recorder::new);
+    let (report, run_data) = harness
+        .run_tenants(
+            platform,
+            source,
+            false,
+            recorder.as_mut().map(|r| r as &mut dyn tis_obs::Observer),
+        )
+        .unwrap_or_else(|e| panic!("{} failed: {e}", context()));
+    let obs = recorder.map(|r| {
+        // The merged run's happens-before edges are each tenant's program edges remapped to
+        // global task IDs through the release-order assignment (tenant t's k-th release is
+        // the k-th global ID assigned to t), so the whole-run critical path stays
+        // machine-checked; the per-tenant decompositions reuse the same assignment.
+        let tenant_edges: Vec<Vec<(usize, usize)>> = tenant_programs
+            .iter()
+            .map(|p| tis_analyze::GraphSpec::from_program(p).edges)
+            .collect();
+        let mut globals: Vec<Vec<usize>> = vec![Vec::new(); tenant_programs.len()];
+        for (global, &t) in run_data.assignment.iter().enumerate() {
+            globals[t as usize].push(global);
+        }
+        let merged_edges: Vec<(usize, usize)> = tenant_edges
+            .iter()
+            .enumerate()
+            .flat_map(|(t, edges)| {
+                let map = &globals[t];
+                edges.iter().map(move |&(a, b)| (map[a], map[b]))
+            })
+            .collect();
+        let label = format!("{} cell {} ({})", sweep.name, cell.index, spec.label());
+        Box::new(ObsCellData {
+            config: cell_obs.expect("a recorder implies an engaged obs config"),
+            task_events: r.task_events(),
+            samples: r.metrics().samples().len() as u64,
+            critical: r.critical_path(&merged_edges, report.total_cycles),
+            tenant_critical: tis_obs::critical_path_per_tenant(
+                r.spans(),
+                &run_data.assignment,
+                &tenant_edges,
+            ),
+            trace_json: tis_obs::trace_json_tenants(
+                &label,
+                cell.cores,
+                r.spans(),
+                r.metrics().samples(),
+                &run_data.names,
+                &run_data.assignment,
+            )
+            .render(),
+            metrics_json: r.metrics_json(&label, report.total_cycles).render(),
+        })
+    });
+    // Aggregate workload statistics across tenants; the serial baseline is one machine doing
+    // every tenant's work back to back, so speedup stays speedup-over-serial for the whole
+    // offered load.
+    let mut tasks = 0usize;
+    let mut weighted_cycles = 0.0;
+    let mut serial = 0u64;
+    for p in &tenant_programs {
+        let stats = p.stats(harness.machine.dram_bytes_per_cycle);
+        weighted_cycles += stats.mean_task_cycles * stats.tasks as f64;
+        tasks += stats.tasks;
+        serial += harness.serial_cycles(p);
+    }
+    let mean_task_cycles = if tasks == 0 { 0.0 } else { weighted_cycles / tasks as f64 };
+    SweepCell {
+        workload: spec.label(),
+        family: spec.family(),
+        cores: cell.cores,
+        memory,
+        platform,
+        tracker,
+        tasks,
+        mean_task_cycles,
+        serial_cycles: serial,
+        total_cycles: report.total_cycles,
+        speedup: report.speedup_over(serial),
+        lifetime_overhead,
+        mtt_tasks_per_cycle: tasks_per_cycle,
+        mtt_bound: mtt_speedup_bound_from_throughput(mean_task_cycles, tasks_per_cycle, cell.cores),
+        mem_accesses: report.memory_stats.accesses,
+        mem_stall_cycles: report.memory_stats.stall_cycles,
+        mean_mem_latency: report.memory_stats.mean_access_latency(),
+        noc_link_wait_cycles: report.memory_stats.noc_link_wait_cycles,
+        max_link_occupancy: report.memory_stats.max_link_occupancy,
+        fault,
+        fault_drops: report.memory_stats.fault.drops,
+        fault_delays: report.memory_stats.fault.delays,
+        fault_retries: report.memory_stats.fault.retries + report.fabric_stats.tracker_resubmits,
+        fault_tracker_losses: report.fabric_stats.tracker_losses,
+        fault_recovery_cycles: report.memory_stats.fault.recovery_cycles
+            + report.fabric_stats.tracker_recovery_cycles,
+        analysis: sweep.analysis,
+        race_pairs_checked: 0,
+        tenant: Some(Box::new(TenantCellData {
+            scenario: scenario.key(),
+            reports: report.tenants.clone(),
+            jain: report.tenant_jain_fairness(),
+        })),
         obs,
     }
 }
@@ -450,6 +631,90 @@ mod tests {
         for (i, cell) in report.cells.iter().enumerate() {
             assert_eq!(cell.obs.is_some(), i == 2, "only cell 2 opted in");
         }
+    }
+
+    #[test]
+    fn one_tenant_batch_cells_are_cycle_identical_to_the_plain_path() {
+        // The degenerate scenario — one tenant, batch-at-zero, shared tracker — is a pure
+        // passthrough: its cells must reproduce the plain single-program cells' cycle counts
+        // exactly, on every platform in the sweep.
+        let sweep = small_sweep().over_tenants([None, Some(TenantScenario::batch(1, false))]);
+        let report = sweep.run();
+        let (plain, tenant): (Vec<_>, Vec<_>) =
+            report.cells.iter().partition(|c| c.tenant.is_none());
+        assert_eq!(plain.len(), tenant.len());
+        for (p, t) in plain.iter().zip(&tenant) {
+            assert_eq!(p.total_cycles, t.total_cycles, "{}: degenerate tenant run", p.workload);
+            assert_eq!(p.serial_cycles, t.serial_cycles);
+            assert_eq!(p.speedup, t.speedup);
+            assert_eq!(p.mem_stall_cycles, t.mem_stall_cycles);
+            let data = t.tenant.as_ref().expect("co-scheduled cells carry tenant data");
+            assert_eq!(data.scenario, "t1-batch-shared");
+            assert_eq!(data.reports.len(), 1);
+            assert_eq!(data.reports[0].tasks, t.tasks as u64);
+            assert_eq!(data.jain, 1.0, "a single tenant is trivially fair");
+        }
+    }
+
+    #[test]
+    fn co_scheduled_cells_report_per_tenant_distributions() {
+        let sweep = Sweep::new("mt")
+            .over_cores([4])
+            .over_platforms([Platform::Phentos, Platform::NanosSw])
+            .over_tenants([Some(TenantScenario::batch(3, false))])
+            .with_workload(WorkloadSpec::synth(SynthSpec::uniform(
+                SynthFamily::ForkJoin { width: 8 },
+                32,
+                5_000,
+            )));
+        let report = sweep.run();
+        assert_eq!(report.cells.len(), 2);
+        for cell in &report.cells {
+            let data = cell.tenant.as_ref().expect("tenant axis engaged");
+            assert_eq!(data.reports.len(), 3);
+            let total: u64 = data.reports.iter().map(|r| r.tasks).sum();
+            assert_eq!(total, cell.tasks as u64, "per-tenant tasks sum to the cell total");
+            assert_eq!(cell.tasks, 96, "three instances of the 32-task workload");
+            for r in &data.reports {
+                assert!(r.tasks > 0 && r.makespan > 0);
+                assert!(r.p50 <= r.p90 && r.p90 <= r.p99, "{}: percentiles are ordered", r.name);
+                assert!(r.p99 <= r.makespan, "a turnaround cannot exceed the tenant makespan");
+            }
+            assert!(data.jain > 0.0 && data.jain <= 1.0 + 1e-12);
+            assert!(cell.serial_cycles > 0 && cell.total_cycles > 0);
+        }
+        // Replay: same sweep, same cells, bit for bit — and worker count changes nothing.
+        assert_eq!(sweep.run(), report);
+        assert_eq!(run_sweep_with_workers(&sweep, 8), report);
+    }
+
+    #[test]
+    fn observed_tenant_cells_carry_per_tenant_tracks_and_critical_paths() {
+        let sweep = Sweep::new("mt-obs")
+            .over_cores([4])
+            .over_platforms([Platform::Phentos])
+            .over_tenants([Some(TenantScenario::batch(2, false))])
+            .with_obs(tis_obs::ObsConfig::default())
+            .with_workload(WorkloadSpec::synth(SynthSpec::uniform(
+                SynthFamily::ForkJoin { width: 8 },
+                32,
+                5_000,
+            )));
+        let report = sweep.run();
+        let cell = &report.cells[0];
+        let obs = cell.obs.as_ref().expect("observed sweep");
+        // The merged-run critical path still partitions the makespan exactly.
+        assert_eq!(obs.critical.total(), cell.total_cycles);
+        assert_eq!(obs.tenant_critical.len(), 2);
+        for (cp, r) in obs.tenant_critical.iter().zip(
+            &cell.tenant.as_ref().expect("tenant data").reports,
+        ) {
+            assert!(cp.makespan > 0);
+            assert!(cp.makespan <= r.last_retire, "tenant path is bounded by its last retire");
+        }
+        // The trace groups tasks into per-tenant process tracks.
+        assert!(obs.trace_json.contains("tenant 0"));
+        assert!(obs.trace_json.contains("tenant 1"));
     }
 
     #[test]

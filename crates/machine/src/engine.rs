@@ -63,6 +63,13 @@ pub trait RuntimeSystem {
     fn peak_resident_tasks(&self) -> u64 {
         0
     }
+
+    /// Per-tenant serving metrics, if the runtime's task source multiplexes tenants. Empty for
+    /// single-program runs and for every runtime predating multi-tenant serving, which keeps
+    /// legacy [`ExecutionReport`]s bit-identical.
+    fn tenant_reports(&self) -> Vec<tis_taskmodel::TenantReport> {
+        Vec::new()
+    }
 }
 
 /// Errors terminating a simulation without a result.
@@ -360,6 +367,7 @@ fn run_machine_inner(
         memory_stats: mem.stats(),
         tasks_retired: runtime.tasks_retired(),
         peak_resident_tasks: runtime.peak_resident_tasks(),
+        tenants: runtime.tenant_reports(),
     })
 }
 

@@ -2,7 +2,7 @@
 
 use tis_mem::MemoryStats;
 use tis_sim::Cycle;
-use tis_taskmodel::{ExecRecord, ExecutionValidator, TaskProgram, ValidationError};
+use tis_taskmodel::{ExecRecord, ExecutionValidator, TaskProgram, TenantReport, ValidationError};
 
 use crate::context::CoreStats;
 use crate::fabric::FabricStats;
@@ -37,6 +37,10 @@ pub struct ExecutionReport {
     /// run this is the `O(window)` memory-footprint proxy the streaming-scale bench gates on;
     /// for a materialized run it is the true maximum number of simultaneously in-flight tasks.
     pub peak_resident_tasks: u64,
+    /// Per-tenant serving metrics for multi-tenant runs (one entry per tenant, in tenant
+    /// order). Empty for single-program runs, so legacy reports stay bit-identical and the
+    /// `Eq`-means-identical-execution property is preserved.
+    pub tenants: Vec<TenantReport>,
 }
 
 impl ExecutionReport {
@@ -139,6 +143,18 @@ impl ExecutionReport {
         ExecutionValidator::new(program).check(&self.records)
     }
 
+    /// Jain fairness index over the per-tenant task throughputs of a multi-tenant run:
+    /// `(Σx)² / (n·Σx²)`, which is `1.0` for a perfectly even split and `1/n` when one tenant
+    /// monopolises the machine. Returns `1.0` for runs with fewer than two tenants (a single
+    /// tenant is trivially fair to itself).
+    pub fn tenant_jain_fairness(&self) -> f64 {
+        if self.tenants.len() < 2 {
+            return 1.0;
+        }
+        let throughputs: Vec<f64> = self.tenants.iter().map(|t| t.throughput()).collect();
+        jain_fairness(&throughputs)
+    }
+
     /// One-line human-readable summary.
     pub fn summary(&self) -> String {
         format!(
@@ -149,6 +165,23 @@ impl ExecutionReport {
             self.payload_utilisation()
         )
     }
+}
+
+/// Jain's fairness index of a set of non-negative allocations: `(Σx)² / (n·Σx²)`.
+///
+/// Bounded in `[1/n, 1]`: `1.0` when every allocation is equal, `1/n` when a single party
+/// receives everything. Returns `1.0` for empty input and `0.0` when every allocation is zero
+/// (no work was served, so no fairness claim can be made).
+pub fn jain_fairness(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = xs.iter().sum();
+    let sum_sq: f64 = xs.iter().map(|x| x * x).sum();
+    if sum_sq == 0.0 {
+        return 0.0;
+    }
+    (sum * sum) / (xs.len() as f64 * sum_sq)
 }
 
 /// One core's share of the makespan, as split by [`ExecutionReport::core_utilisation`].
@@ -236,6 +269,7 @@ mod tests {
             memory_stats: MemoryStats::default(),
             tasks_retired: tasks,
             peak_resident_tasks: 0,
+            tenants: Vec::new(),
         }
     }
 
@@ -340,5 +374,41 @@ mod tests {
         let r = report_with(Vec::new(), 500, 10);
         let s = r.summary();
         assert!(s.contains("test") && s.contains("10"));
+    }
+
+    #[test]
+    fn jain_fairness_spans_its_bounds() {
+        // Even split → 1.0; total monopoly among n parties → 1/n.
+        assert!((jain_fairness(&[3.0, 3.0, 3.0, 3.0]) - 1.0).abs() < 1e-12);
+        assert!((jain_fairness(&[1.0, 0.0, 0.0, 0.0]) - 0.25).abs() < 1e-12);
+        // Mixed allocation: (1+2+3)² / (3 · (1+4+9)) = 36/42.
+        assert!((jain_fairness(&[1.0, 2.0, 3.0]) - 36.0 / 42.0).abs() < 1e-12);
+        // Degenerate inputs.
+        assert_eq!(jain_fairness(&[]), 1.0);
+        assert_eq!(jain_fairness(&[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn tenant_fairness_reads_per_tenant_throughput() {
+        let mut r = report_with(Vec::new(), 1_000, 20);
+        // Fewer than two tenants: trivially fair, and legacy reports carry no tenants at all.
+        assert_eq!(r.tenant_jain_fairness(), 1.0);
+        let tenant = |name: &str, tasks: u64, makespan: u64| TenantReport {
+            name: name.into(),
+            tasks,
+            first_arrival: 0,
+            last_retire: makespan,
+            makespan,
+            turnaround_total: 0,
+            p50: 0,
+            p90: 0,
+            p99: 0,
+        };
+        // Equal throughput (10 tasks / 1000 cycles each) → perfectly fair.
+        r.tenants = vec![tenant("a", 10, 1_000), tenant("b", 10, 1_000)];
+        assert!((r.tenant_jain_fairness() - 1.0).abs() < 1e-12);
+        // One tenant served 3x the throughput: (1+3)²/(2·(1+9)) = 16/20.
+        r.tenants = vec![tenant("a", 10, 1_000), tenant("b", 30, 1_000)];
+        assert!((r.tenant_jain_fairness() - 0.8).abs() < 1e-12);
     }
 }

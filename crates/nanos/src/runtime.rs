@@ -376,7 +376,7 @@ impl Nanos {
         ctx.atomic(addrs::TASKWAIT_COUNTER);
         self.retire_log.push(ctx.now());
         ctx.observe_task(TaskStage::Retired, entry.sw_id);
-        self.source.retire(entry.sw_id);
+        self.source.retire_at(entry.sw_id, ctx.now());
         if self.main_in_taskwait && core != 0 {
             // Signal the condition variable the taskwait is parked on (the waiter itself does
             // not need to wake anyone).
@@ -391,6 +391,9 @@ impl Nanos {
             return CoreStatus::Finished;
         }
         if self.pending.is_none() && !self.source_done {
+            // Time-aware sources (the multi-tenant merger) gate spawn release on the polling
+            // core's clock; plain sources ignore this (default no-op).
+            self.source.advance_to(ctx.now());
             match self.source.poll() {
                 SourcePoll::Op(op) => self.pending = Some(op),
                 SourcePoll::Blocked => {
@@ -514,6 +517,18 @@ impl RuntimeSystem for Nanos {
 
     fn peak_resident_tasks(&self) -> u64 {
         self.source.peak_resident() as u64
+    }
+
+    fn tenant_reports(&self) -> Vec<tis_taskmodel::TenantReport> {
+        self.source.tenant_reports()
+    }
+}
+
+impl Nanos {
+    /// Mutable access to the task source, for post-run recovery of source-side state (the
+    /// multi-tenant harness downcasts it to take the tenant assignment).
+    pub fn source_mut(&mut self) -> &mut dyn TaskSource {
+        self.source.as_mut()
     }
 }
 

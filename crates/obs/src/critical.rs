@@ -188,6 +188,57 @@ pub fn critical_path_for_run(
     Ok(critical_path(spans, edges, makespan))
 }
 
+/// Per-tenant critical-path decomposition of a multi-tenant run.
+///
+/// A co-scheduled run merges N independent task graphs into one span stream under *global*
+/// task ids; profiling the merged stream as one program attributes every tenant's gating to a
+/// single fictitious critical chain. This splits the spans by the run's tenant `assignment`
+/// (global id → tenant, as recovered from the multi-tenant source after the run), remaps each
+/// tenant's global ids back to its local id space — global ids are handed out densely in
+/// release order, and release order preserves each tenant's own spawn order, so tenant `t`'s
+/// `k`-th smallest global id is its local task `k` — and decomposes each tenant over its *own*
+/// makespan (the retire cycle of its last observed task) against its *own* dependence edges.
+///
+/// `tenant_edges[t]` are the `(from, to)` local-id dependence pairs of tenant `t` (empty for
+/// tenants whose graphs are not materialized); the returned vector has one decomposition per
+/// entry of `tenant_edges`, in tenant order.
+pub fn critical_path_per_tenant(
+    spans: &[TaskSpan],
+    assignment: &[u32],
+    tenant_edges: &[Vec<(usize, usize)>],
+) -> Vec<CriticalPath> {
+    let tenants = tenant_edges.len();
+    // Global → local id maps, derived from the dense release-order assignment.
+    let mut locals: Vec<FxHashMap<u64, u64>> = vec![FxHashMap::default(); tenants];
+    let mut counters = vec![0u64; tenants];
+    for (global, &t) in assignment.iter().enumerate() {
+        let t = t as usize;
+        if t < tenants {
+            locals[t].insert(global as u64, counters[t]);
+            counters[t] += 1;
+        }
+    }
+    let mut per_tenant: Vec<Vec<TaskSpan>> = vec![Vec::new(); tenants];
+    for s in spans {
+        let Some(&t) = assignment.get(s.task as usize) else { continue };
+        let t = t as usize;
+        if t >= tenants {
+            continue;
+        }
+        let mut local = *s;
+        local.task = locals[t][&s.task];
+        per_tenant[t].push(local);
+    }
+    per_tenant
+        .iter()
+        .zip(tenant_edges)
+        .map(|(spans, edges)| {
+            let makespan = spans.iter().filter_map(|s| s.retire).max().unwrap_or(0);
+            critical_path(spans, edges, makespan)
+        })
+        .collect()
+}
+
 /// Decomposes `makespan` over the executed happens-before graph.
 ///
 /// `spans` are the observed task lifecycles; `edges` are `(from, to)` dependence pairs over
@@ -388,6 +439,34 @@ mod tests {
         let cp = critical_path_for_run(&spans, &[], 60, 1).unwrap();
         assert_eq!(cp.total(), 60);
         assert_eq!(cp, critical_path(&spans, &[], 60));
+    }
+
+    #[test]
+    fn per_tenant_decomposition_splits_and_remaps_the_merged_run() {
+        // Two round-robin tenants: globals 0,2 belong to tenant 0 (a local chain 0→1),
+        // globals 1,3 to tenant 1 (independent local tasks).
+        let assignment = [0u32, 1, 0, 1];
+        let spans = [
+            span(0, 0, 5, 6, 10, 100, 105, 0),
+            span(1, 1, 5, 7, 12, 60, 65, 0),
+            span(2, 3, 110, 112, 115, 215, 220, 40),
+            span(3, 4, 70, 72, 75, 300, 305, 0),
+        ];
+        let edges = vec![vec![(0usize, 1usize)], Vec::new()];
+        let cps = critical_path_per_tenant(&spans, &assignment, &edges);
+        assert_eq!(cps.len(), 2);
+        // Tenant 0: own makespan is its last retire (220), its chain is local 0 → local 1.
+        assert_eq!(cps[0].makespan, 220);
+        assert_eq!(cps[0].total(), 220);
+        assert_eq!(cps[0].tasks(), vec![0, 1], "global ids 0 and 2 remap to local 0 and 1");
+        assert_eq!(cps[0].memory_stall, 40);
+        // Tenant 1: independent tasks, the walk follows only its last retiree (global 3 = local 1).
+        assert_eq!(cps[1].makespan, 305);
+        assert_eq!(cps[1].total(), 305);
+        assert_eq!(cps[1].tasks(), vec![1]);
+        // A tenant with no observed spans decomposes its zero makespan to nothing.
+        let cps = critical_path_per_tenant(&[], &assignment, &edges);
+        assert!(cps.iter().all(|c| c.makespan == 0 && c.total() == 0));
     }
 
     #[test]

@@ -41,9 +41,10 @@ pub mod recorder;
 pub mod span;
 
 pub use critical::{
-    critical_path, critical_path_for_run, CriticalPath, CriticalPathError, PathCategory,
-    PathSegment,
+    critical_path, critical_path_for_run, critical_path_per_tenant, CriticalPath,
+    CriticalPathError, PathCategory, PathSegment,
 };
+pub use perfetto::{trace_json, trace_json_tenants};
 pub use events::{MemAccessKind, MemEvent, MetricsSample, TaskEvent, TaskStage};
 pub use metrics::MetricsRegistry;
 pub use recorder::{ObsConfig, Recorder};

@@ -78,6 +78,84 @@ pub fn trace_json(label: &str, cores: usize, spans: &[TaskSpan], samples: &[Metr
     ])
 }
 
+/// [`trace_json`] with a tenant dimension: each tenant of a co-scheduled run becomes its own
+/// Perfetto *process* (track group), so the UI collapses and filters per tenant.
+///
+/// `names[t]` labels tenant `t`'s track group; `assignment` maps global task id → tenant (as
+/// recovered from the multi-tenant source after the run). Task slices are drawn on thread
+/// `core` of the owning tenant's process; tasks outside `assignment` are skipped. The sampled
+/// machine-wide gauges land in a separate `machine` process (pid `names.len()`) since
+/// tracker/NoC occupancy is shared hardware, not any one tenant's.
+pub fn trace_json_tenants(
+    label: &str,
+    cores: usize,
+    spans: &[TaskSpan],
+    samples: &[MetricsSample],
+    names: &[String],
+    assignment: &[u32],
+) -> Json {
+    let machine_pid = names.len() as u64;
+    let mut events: Vec<Json> = Vec::new();
+    for (t, name) in names.iter().enumerate() {
+        let pid = t as u64;
+        events.push(meta_event("process_name", pid, None, &format!("{label} / tenant {t}: {name}")));
+        events.push(Json::obj([
+            ("name", Json::Str("process_sort_index".to_string())),
+            ("ph", Json::Str("M".to_string())),
+            ("pid", Json::UInt(pid)),
+            ("args", Json::obj([("sort_index", Json::UInt(pid))])),
+        ]));
+        for core in 0..cores {
+            events.push(meta_event("thread_name", pid, Some(core as u64), &format!("core {core}")));
+        }
+    }
+    events.push(meta_event("process_name", machine_pid, None, &format!("{label} / machine")));
+    for span in spans {
+        let (Some(core), Some(dispatch), Some(start), Some(end), Some(retire)) =
+            (span.core, span.dispatch, span.exec_start, span.exec_end, span.retire)
+        else {
+            continue;
+        };
+        let Some(&tenant) = assignment.get(span.task as usize) else {
+            continue; // task not in the tenant assignment: nothing to attribute it to
+        };
+        let pid = tenant as u64;
+        let tid = core as u64;
+        events.push(slice_on(pid, "fetch", "sched", tid, dispatch, start - dispatch, span.task));
+        events.push(Json::obj([
+            ("name", Json::Str(format!("task {}", span.task))),
+            ("cat", Json::Str("task".to_string())),
+            ("ph", Json::Str("X".to_string())),
+            ("ts", Json::UInt(start)),
+            ("dur", Json::UInt(end - start)),
+            ("pid", Json::UInt(pid)),
+            ("tid", Json::UInt(tid)),
+            ("args", Json::obj([
+                ("task", Json::UInt(span.task)),
+                ("tenant", Json::UInt(pid)),
+                ("submit", opt_cycle(span.submit)),
+                ("ready", opt_cycle(span.ready)),
+                ("dispatch", Json::UInt(dispatch)),
+                ("retire", Json::UInt(retire)),
+                ("payload_mem_cycles", Json::UInt(span.payload_mem_cycles)),
+            ])),
+        ]));
+        events.push(slice_on(pid, "retire", "sched", tid, end, retire - end, span.task));
+    }
+    for s in samples {
+        events.push(counter_on(machine_pid, "tracker in-flight", s.cycle, "tasks", s.tracker_in_flight));
+        events.push(counter_on(machine_pid, "ready queue", s.cycle, "tasks", s.ready_queue_len));
+        events.push(counter_on(machine_pid, "noc flits (cum)", s.cycle, "flits", s.noc_flits));
+        events.push(counter_on(machine_pid, "noc link wait (cum)", s.cycle, "cycles", s.noc_link_wait_cycles));
+        events.push(counter_on(machine_pid, "mem stall (cum)", s.cycle, "cycles", s.mem_stall_cycles));
+    }
+    Json::obj([
+        ("traceEvents", Json::Arr(events)),
+        ("displayTimeUnit", Json::Str("ns".to_string())),
+        ("otherData", Json::obj([("timeUnit", Json::Str("simulated cycles".to_string()))])),
+    ])
+}
+
 fn meta_event(name: &str, pid: u64, tid: Option<u64>, value: &str) -> Json {
     let mut pairs = vec![
         ("name".to_string(), Json::Str(name.to_string())),
@@ -99,24 +177,32 @@ fn opt_cycle(c: Option<u64>) -> Json {
 }
 
 fn slice(name: &str, cat: &str, tid: u64, ts: u64, dur: u64, task: u64) -> Json {
+    slice_on(PID, name, cat, tid, ts, dur, task)
+}
+
+fn slice_on(pid: u64, name: &str, cat: &str, tid: u64, ts: u64, dur: u64, task: u64) -> Json {
     Json::obj([
         ("name", Json::Str(format!("{name} {task}"))),
         ("cat", Json::Str(cat.to_string())),
         ("ph", Json::Str("X".to_string())),
         ("ts", Json::UInt(ts)),
         ("dur", Json::UInt(dur)),
-        ("pid", Json::UInt(PID)),
+        ("pid", Json::UInt(pid)),
         ("tid", Json::UInt(tid)),
         ("args", Json::obj([("task", Json::UInt(task))])),
     ])
 }
 
 fn counter(name: &str, ts: u64, series: &str, value: u64) -> Json {
+    counter_on(PID, name, ts, series, value)
+}
+
+fn counter_on(pid: u64, name: &str, ts: u64, series: &str, value: u64) -> Json {
     Json::obj([
         ("name", Json::Str(name.to_string())),
         ("ph", Json::Str("C".to_string())),
         ("ts", Json::UInt(ts)),
-        ("pid", Json::UInt(PID)),
+        ("pid", Json::UInt(pid)),
         ("args", Json::Obj(vec![(series.to_string(), Json::UInt(value))])),
     ])
 }
@@ -166,6 +252,47 @@ mod tests {
         let slices = events.iter().filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("X"));
         assert_eq!(slices.count(), 6);
         // The document parses back (valid JSON).
+        assert_eq!(Json::parse(&doc.render()).unwrap(), doc);
+    }
+
+    #[test]
+    fn tenant_export_groups_tasks_into_per_tenant_processes() {
+        // Round-robin assignment: globals 0,2 → tenant 0; globals 1,3 → tenant 1.
+        let spans = [
+            complete_span(0, 0, 0),
+            complete_span(1, 1, 50),
+            complete_span(2, 0, 200),
+            complete_span(3, 1, 250),
+        ];
+        let names = vec!["alpha".to_string(), "beta".to_string()];
+        let assignment = [0u32, 1, 0, 1];
+        let samples = [MetricsSample { cycle: 1024, ..Default::default() }];
+        let doc = trace_json_tenants("mt", 2, &spans, &samples, &names, &assignment);
+        let Some(Json::Arr(events)) = doc.get("traceEvents") else { panic!("traceEvents") };
+        // Every task slice lives on its tenant's pid.
+        for e in events {
+            if e.get("cat").and_then(|c| c.as_str()) == Some("task") {
+                let task = e.get("args").and_then(|a| a.get("task")).and_then(|t| t.as_f64()).unwrap();
+                let pid = e.get("pid").and_then(|p| p.as_f64()).unwrap();
+                assert_eq!(pid, f64::from(assignment[task as usize]));
+            }
+        }
+        // Counters land on the separate machine process, pid = tenant count.
+        for e in events {
+            if e.get("ph").and_then(|p| p.as_str()) == Some("C") {
+                assert_eq!(e.get("pid").and_then(|p| p.as_f64()), Some(2.0));
+            }
+        }
+        // Both tenant track groups are named after their tenant.
+        let process_names: Vec<String> = events
+            .iter()
+            .filter(|e| e.get("name").and_then(|n| n.as_str()) == Some("process_name"))
+            .filter_map(|e| e.get("args").and_then(|a| a.get("name")).and_then(|n| n.as_str()).map(String::from))
+            .collect();
+        assert!(process_names.iter().any(|n| n.contains("tenant 0: alpha")));
+        assert!(process_names.iter().any(|n| n.contains("tenant 1: beta")));
+        assert!(process_names.iter().any(|n| n.contains("machine")));
+        // The document still parses back.
         assert_eq!(Json::parse(&doc.render()).unwrap(), doc);
     }
 

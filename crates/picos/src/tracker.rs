@@ -67,6 +67,22 @@ impl TrackerConfig {
         format!("tm{}-at{}", self.task_memory_entries, self.address_table_entries)
     }
 
+    /// Task-memory entries available to each of `tenants` co-scheduled clients under hard
+    /// partitioning: an even split of the task memory, never below one entry. The Picos
+    /// descriptor encoding has no spare bits for a tenant tag, so partitioning is enforced at
+    /// admission (`tis_taskmodel::TenantTrackerPolicy::Partitioned`) — capping every tenant's
+    /// in-flight tasks at this share reserves the remaining entries for the other tenants
+    /// exactly as a physically partitioned task memory would.
+    pub const fn per_tenant_entries(&self, tenants: usize) -> usize {
+        let n = if tenants == 0 { 1 } else { tenants };
+        let share = self.task_memory_entries / n;
+        if share == 0 {
+            1
+        } else {
+            share
+        }
+    }
+
     /// Validates the configuration.
     ///
     /// # Panics
@@ -523,6 +539,17 @@ mod tests {
         assert_eq!(c.label(), "tm64-at512");
         c.validate();
         assert_eq!(TrackerConfig::default().label(), "tm256-at2048");
+    }
+
+    #[test]
+    fn per_tenant_partitioning_splits_the_task_memory_evenly() {
+        let c = TrackerConfig::new(64, 512);
+        assert_eq!(c.per_tenant_entries(1), 64);
+        assert_eq!(c.per_tenant_entries(2), 32);
+        assert_eq!(c.per_tenant_entries(8), 8);
+        // Never starves a tenant completely, even in degenerate splits.
+        assert_eq!(c.per_tenant_entries(128), 1);
+        assert_eq!(c.per_tenant_entries(0), 64);
     }
 
     #[test]

@@ -17,6 +17,9 @@
 //! * [`source`] — streaming programs ([`TaskSource`]): the same op stream pulled on demand
 //!   with a bounded in-flight descriptor window, so million-task workloads run in
 //!   `O(window)` memory ([`MaterializedSource`] adapts any built program losslessly);
+//! * [`tenant`] — multi-tenant co-scheduling ([`TenantSet`] / [`TenantSource`]): N independent
+//!   task graphs merged into one op stream under deterministic arrival processes, with
+//!   per-tenant turnaround accounting and tracker-sharing policy;
 //! * [`graph`] — a *reference* dependence graph builder used to validate every scheduler in the
 //!   workspace against the paradigm's sequential-semantics definition, plus critical-path and
 //!   parallelism analysis.
@@ -47,9 +50,14 @@ pub mod graph;
 pub mod program;
 pub mod source;
 pub mod task;
+pub mod tenant;
 
 pub use dep::{DepAddr, Dependence, Direction};
 pub use graph::{DepGraph, ExecRecord, ExecutionValidator, GraphStats, ValidationError};
 pub use program::{ProgramBuilder, ProgramOp, ProgramStats, TaskProgram};
 pub use source::{MaterializedSource, SourcePoll, TaskSource};
 pub use task::{Payload, TaskId, TaskSpec, TaskSpecError, MAX_DEPENDENCES};
+pub use tenant::{
+    ArrivalGen, ArrivalProcess, TenantReport, TenantRunData, TenantSet, TenantSource, TenantSpec,
+    TenantTrackerPolicy, TENANT_ADDR_SHIFT,
+};

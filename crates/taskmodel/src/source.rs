@@ -68,6 +68,34 @@ pub trait TaskSource: std::fmt::Debug {
     /// the same ID is allowed to panic.
     fn retire(&mut self, sw_id: u64);
 
+    /// [`retire`](TaskSource::retire) with the retiring core's simulated timestamp attached.
+    ///
+    /// Runtimes call this variant so time-aware sources (the multi-tenant merger measures
+    /// per-task turnaround from it) see when each task finished; the default simply drops the
+    /// timestamp, so plain sources behave exactly as before.
+    fn retire_at(&mut self, sw_id: u64, _now: u64) {
+        self.retire(sw_id);
+    }
+
+    /// Informs the source of the polling core's current simulated time.
+    ///
+    /// Runtimes call this immediately before [`poll`](TaskSource::poll); sources with
+    /// deterministic arrival processes ([`crate::TenantSource`]) gate spawn release on it.
+    /// The default is a no-op, so time-blind sources are unaffected.
+    fn advance_to(&mut self, _now: u64) {}
+
+    /// Per-tenant serving metrics, if this source multiplexes tenants
+    /// ([`crate::TenantSource`]). Single-tenant sources report none.
+    fn tenant_reports(&self) -> Vec<crate::tenant::TenantReport> {
+        Vec::new()
+    }
+
+    /// Downcast hook for sources that expose post-run state beyond this trait (the
+    /// multi-tenant merger hands back its tenant assignment through it). `None` by default.
+    fn as_any_mut(&mut self) -> Option<&mut dyn std::any::Any> {
+        None
+    }
+
     /// Upper bound on [`TaskSpec::dep_count`] over every task the source will ever emit.
     ///
     /// Runtimes size per-task metadata (e.g. the Phentos packed-metadata element) from this
